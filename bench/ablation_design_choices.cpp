@@ -1,0 +1,78 @@
+/// Ablation of the design choices DESIGN.md §5 calls out (not a paper
+/// artifact — this regenerates the evidence behind our defaults):
+///   - triangle-gated SCN insertion on/off (the bottom-up core idea)
+///   - vertex-splitting augmentation on/off (Sec. V-F2)
+///   - η sweep (stable-relation support threshold)
+///   - candidate-pair sampling rate sweep (Sec. VI-A3's 10%)
+///   - WL refinement depth h sweep
+/// Each arm runs the full pipeline on the same corpus and reports the
+/// micro metrics on the test names plus stage statistics.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "eval/evaluator.h"
+#include "eval/table_printer.h"
+#include "util/stopwatch.h"
+
+using namespace iuad;
+
+int main() {
+  bench::PrintHeader("ablation_design_choices",
+                     "DESIGN.md §5 — ablations of the open design choices");
+  auto corpus = bench::BenchCorpus(/*seed=*/2021, /*papers=*/6000);
+  const auto names = corpus.TestNames(2);
+  std::printf("corpus: %d papers; %zu test names\n", corpus.db.num_papers(),
+              names.size());
+
+  eval::TablePrinter table({"arm", "MicroA", "MicroP", "MicroR", "MicroF",
+                            "SCRs", "merges", "secs"});
+  auto run_arm = [&](const std::string& label,
+                     const std::function<void(core::IuadConfig*)>& tweak) {
+    core::IuadConfig cfg = bench::BenchIuadConfig();
+    tweak(&cfg);
+    core::IuadPipeline pipeline(cfg);
+    iuad::Stopwatch sw;
+    auto r = pipeline.Run(corpus.db);
+    const double secs = sw.ElapsedSeconds();
+    if (!r.ok()) {
+      table.AddRow({label, "FAILED", r.status().ToString()});
+      return;
+    }
+    auto m = eval::EvaluateOccurrences(corpus.db, r->occurrences, names);
+    table.AddRow({label, bench::F4(m.accuracy), bench::F4(m.precision),
+                  bench::F4(m.recall), bench::F4(m.f1),
+                  std::to_string(r->scn_stats.num_scrs),
+                  std::to_string(r->gcn_stats.merges), bench::F3(secs)});
+  };
+
+  run_arm("default (eta=2, gate, split, 10%, h=2)", [](core::IuadConfig*) {});
+  table.AddSeparator();
+  run_arm("triangle gate OFF",
+          [](core::IuadConfig* c) { c->triangle_gated_insertion = false; });
+  run_arm("vertex splitting OFF",
+          [](core::IuadConfig* c) { c->vertex_splitting = false; });
+  table.AddSeparator();
+  run_arm("eta = 3", [](core::IuadConfig* c) { c->eta = 3; });
+  run_arm("eta = 4", [](core::IuadConfig* c) { c->eta = 4; });
+  table.AddSeparator();
+  run_arm("sample rate 5%", [](core::IuadConfig* c) { c->sample_rate = 0.05; });
+  run_arm("sample rate 50%", [](core::IuadConfig* c) { c->sample_rate = 0.5; });
+  run_arm("sample rate 100%", [](core::IuadConfig* c) { c->sample_rate = 1.0; });
+  table.AddSeparator();
+  run_arm("WL depth h = 1", [](core::IuadConfig* c) { c->wl_iterations = 1; });
+  run_arm("WL depth h = 3", [](core::IuadConfig* c) { c->wl_iterations = 3; });
+  table.AddSeparator();
+  run_arm("delta = 2", [](core::IuadConfig* c) { c->delta = 2.0; });
+  run_arm("delta = -2", [](core::IuadConfig* c) { c->delta = -2.0; });
+  table.Print();
+
+  std::printf(
+      "reading guide: the gate-OFF arm should show the precision cost of\n"
+      "abandoning the bottom-up principle; higher eta trades recall for\n"
+      "precision; sampling rate should barely matter (the paper's point);\n"
+      "h moves little because stage 2's signal is mostly non-structural.\n");
+  return 0;
+}

@@ -1,0 +1,188 @@
+/// google-benchmark micro-benchmarks for the component layers: frequent-
+/// itemset mining, WL kernel construction and evaluation, similarity-vector
+/// throughput, EM fitting/scoring, and per-paper incremental ingestion.
+/// These back the efficiency discussion of Sec. V-F1 with numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "cluster/affinity_propagation.h"
+#include "cluster/dbscan.h"
+#include "cluster/hac.h"
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "core/similarity.h"
+#include "em/mixture_model.h"
+#include "graph/wl_kernel.h"
+#include "mining/fpgrowth.h"
+#include "mining/pair_miner.h"
+#include "util/rng.h"
+
+using namespace iuad;
+
+namespace {
+
+/// Shared fixture state, built once (google-benchmark re-enters functions).
+struct Shared {
+  data::Corpus corpus = bench::BenchCorpus(/*seed=*/5150, /*papers=*/4000);
+  std::vector<mining::Transaction> transactions;
+  core::IuadConfig cfg = bench::BenchIuadConfig();
+  std::unique_ptr<core::DisambiguationResult> result;
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> same_name_pairs;
+
+  Shared() {
+    mining::ItemEncoder encoder;
+    for (const auto& p : corpus.db.papers()) {
+      mining::Transaction t;
+      for (const auto& n : p.author_names) t.push_back(encoder.Encode(n));
+      transactions.push_back(std::move(t));
+    }
+    core::IuadPipeline pipeline(cfg);
+    auto r = pipeline.Run(corpus.db);
+    result = std::make_unique<core::DisambiguationResult>(std::move(*r));
+    for (const auto& name : result->graph.Names()) {
+      const auto& verts = result->graph.VerticesWithName(name);
+      for (size_t i = 0; i + 1 < verts.size(); i += 2) {
+        same_name_pairs.emplace_back(verts[i], verts[i + 1]);
+      }
+    }
+  }
+};
+
+Shared& S() {
+  static Shared* s = new Shared();
+  return *s;
+}
+
+void BM_FpGrowthEta2(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = mining::FpGrowth(S().transactions, {2});
+    benchmark::DoNotOptimize(r->size());
+  }
+}
+BENCHMARK(BM_FpGrowthEta2)->Unit(benchmark::kMillisecond);
+
+void BM_PairCounterEta2(benchmark::State& state) {
+  for (auto _ : state) {
+    mining::PairCounter pc;
+    pc.AddAll(S().transactions);
+    auto pairs = pc.FrequentPairs(2);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_PairCounterEta2)->Unit(benchmark::kMillisecond);
+
+void BM_ScnBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::CollabGraph g;
+    core::OccurrenceIndex occ;
+    core::ScnBuilder scn(S().cfg);
+    auto r = scn.Build(S().corpus.db, &g, &occ);
+    benchmark::DoNotOptimize(r->num_vertices);
+  }
+}
+BENCHMARK(BM_ScnBuild)->Unit(benchmark::kMillisecond);
+
+void BM_WlKernelBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::WlVertexKernel wl(S().result->graph,
+                             static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(wl.depth());
+  }
+}
+BENCHMARK(BM_WlKernelBuild)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_SimilarityVector(benchmark::State& state) {
+  core::SimilarityComputer sim(S().corpus.db, S().result->graph,
+                               S().result->embeddings, S().cfg);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& pr = S().same_name_pairs[i++ % S().same_name_pairs.size()];
+    auto gamma = sim.Compute(pr.first, pr.second);
+    benchmark::DoNotOptimize(gamma[0]);
+  }
+}
+BENCHMARK(BM_SimilarityVector)->Unit(benchmark::kMicrosecond);
+
+void BM_EmFit(benchmark::State& state) {
+  // Synthetic two-component training set of the bench's feature shape.
+  iuad::Rng rng(3);
+  std::vector<std::vector<double>> gammas;
+  for (int i = 0; i < 4000; ++i) {
+    const bool m = rng.Bernoulli(0.1);
+    gammas.push_back({rng.UniformDouble() * (m ? 1.0 : 0.2),
+                      rng.Exponential(m ? 1.0 : 10.0),
+                      rng.Gaussian(m ? 0.6 : 0.1, 0.3),
+                      rng.Exponential(m ? 1.5 : 12.0),
+                      rng.Exponential(m ? 0.8 : 4.0),
+                      rng.Exponential(m ? 2.0 : 15.0)});
+  }
+  em::MixtureConfig mc;
+  mc.families = S().cfg.families;
+  for (auto _ : state) {
+    em::MixtureModel model(mc);
+    auto st = model.Fit(gammas);
+    benchmark::DoNotOptimize(model.final_log_likelihood());
+    if (!st.ok()) state.SkipWithError("EM failed");
+  }
+}
+BENCHMARK(BM_EmFit)->Unit(benchmark::kMillisecond);
+
+void BM_MatchScore(benchmark::State& state) {
+  std::vector<double> gamma{0.4, 0.2, 0.5, 0.3, 0.7, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(S().result->model->MatchScore(gamma));
+  }
+}
+BENCHMARK(BM_MatchScore);
+
+void BM_IncrementalAddPaper(benchmark::State& state) {
+  // Fresh copies per run so ingestion does not accumulate across iterations.
+  auto corpus = S().corpus;
+  auto [history, stream] = corpus.db.HoldOutLatest(512);
+  core::IuadPipeline pipeline(S().cfg);
+  auto result = pipeline.Run(history);
+  core::IncrementalDisambiguator inc(&history, &*result, S().cfg);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = inc.AddPaper(stream[i++ % stream.size()]);
+    benchmark::DoNotOptimize(r->size());
+  }
+}
+BENCHMARK(BM_IncrementalAddPaper)->Unit(benchmark::kMillisecond);
+
+void BM_Clusterers(benchmark::State& state) {
+  // 128-point two-blob distance matrix.
+  iuad::Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 128; ++i) {
+    xs.push_back(rng.UniformDouble() + (i % 2 ? 10.0 : 0.0));
+  }
+  std::vector<std::vector<double>> d(xs.size(),
+                                     std::vector<double>(xs.size(), 0.0));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < xs.size(); ++j) d[i][j] = std::abs(xs[i] - xs[j]);
+  }
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    if (which == 0) {
+      auto r = cluster::Hac(d, {});
+      benchmark::DoNotOptimize(r->size());
+    } else if (which == 1) {
+      auto sims = d;
+      for (auto& row : sims) {
+        for (auto& v : row) v = -v;
+      }
+      auto r = cluster::AffinityPropagation(sims, {});
+      benchmark::DoNotOptimize(r->size());
+    } else {
+      auto r = cluster::Dbscan(d, {});
+      benchmark::DoNotOptimize(r->size());
+    }
+  }
+}
+BENCHMARK(BM_Clusterers)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,44 @@
+/// Reproduces Figure 5: data-scale analysis. IUAD runs on the first
+/// 20/40/60/80/100% of the corpus in publication-year order; the paper
+/// observes precision staying high at every scale while recall climbs from
+/// ~50% to >81% — more data means more stable relations and more merge
+/// evidence.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "eval/evaluator.h"
+#include "eval/table_printer.h"
+
+using namespace iuad;
+
+int main() {
+  bench::PrintHeader("repro_fig5_datascale", "Fig. 5 — data scale analysis");
+  auto corpus = bench::BenchCorpus();
+  const auto names = corpus.TestNames(2);
+  std::printf("corpus: %d papers; %zu test names (fixed across scales)\n",
+              corpus.db.num_papers(), names.size());
+
+  eval::TablePrinter table(
+      {"scale", "MicroA", "MicroP", "MicroR", "MicroF", "papers"});
+  core::IuadPipeline pipeline(bench::BenchIuadConfig());
+  for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto slice = corpus.db.PrefixByYearFraction(fraction);
+    auto result = pipeline.Run(slice);
+    if (!result.ok()) {
+      std::printf("run failed at %.0f%%\n", fraction * 100);
+      return 1;
+    }
+    auto m = eval::EvaluateOccurrences(slice, result->occurrences, names);
+    table.AddRow({std::to_string(static_cast<int>(fraction * 100)) + "%",
+                  bench::F4(m.accuracy), bench::F4(m.precision),
+                  bench::F4(m.recall), bench::F4(m.f1),
+                  std::to_string(slice.num_papers())});
+  }
+  table.Print();
+  std::printf(
+      "paper's Fig. 5 shape: MicroP roughly flat and high at every scale;\n"
+      "MicroR (and with it MicroF/MicroA) climbs as data grows.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+/// Reproduces Figure 6 (rationality of the six similarity functions): for
+/// each γi alone, same-name SCN vertex pairs are merged whenever γi clears a
+/// threshold, sweeping the threshold across the observed range (the paper
+/// sweeps raw thresholds; we sweep observed quantiles, which is the same
+/// curve parameterized robustly). A similarity is "more influential" when
+/// its curves spread more across thresholds — the paper finds the community
+/// similarities (γ5, γ6) most influential and the structural ones least,
+/// since stage 1 already exhausted stable structure.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "core/similarity.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "graph/union_find.h"
+
+using namespace iuad;
+
+namespace {
+
+const char* kFeatureNames[core::kNumSimilarities] = {
+    "g1 WL kernel (6e)",         "g2 clique coincidence (6d)",
+    "g3 research interests (6f)", "g4 time consistency (6c)",
+    "g5 representative community (6a)", "g6 research community (6b)",
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("repro_fig6_similarity",
+                     "Fig. 6 — single-similarity GCN threshold sweeps");
+  auto corpus = bench::BenchCorpus(/*seed=*/2021, /*papers=*/8000);
+  const auto names = corpus.TestNames(2);
+  std::printf("corpus: %d papers; %zu test names\n", corpus.db.num_papers(),
+              names.size());
+
+  // Stage 1 once; all sweeps share the SCN snapshot.
+  core::IuadConfig cfg = bench::BenchIuadConfig();
+  graph::CollabGraph graph;
+  core::OccurrenceIndex occ;
+  core::ScnBuilder scn(cfg);
+  auto scn_stats = scn.Build(corpus.db, &graph, &occ);
+  if (!scn_stats.ok()) {
+    std::printf("SCN failed\n");
+    return 1;
+  }
+  text::Word2Vec w2v(cfg.word2vec);
+  {
+    std::vector<std::vector<std::string>> sentences;
+    for (const auto& p : corpus.db.papers()) {
+      sentences.push_back(corpus.db.KeywordsOf(p.id));
+    }
+    (void)w2v.Train(sentences);
+  }
+  core::SimilarityComputer sim(corpus.db, graph, w2v, cfg);
+
+  // All candidate pairs + γ vectors, computed once.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> pairs;
+  std::vector<core::SimilarityVector> gammas;
+  for (const auto& name : graph.Names()) {
+    const auto& verts = graph.VerticesWithName(name);
+    for (size_t i = 0; i < verts.size(); ++i) {
+      for (size_t j = i + 1; j < verts.size(); ++j) {
+        pairs.emplace_back(verts[i], verts[j]);
+        gammas.push_back(sim.Compute(verts[i], verts[j]));
+      }
+    }
+  }
+  std::printf("candidate pairs: %zu\n", pairs.size());
+
+  for (int f = 0; f < core::kNumSimilarities; ++f) {
+    std::vector<double> values;
+    values.reserve(gammas.size());
+    for (const auto& g : gammas) values.push_back(g[static_cast<size_t>(f)]);
+    std::sort(values.begin(), values.end());
+    auto quantile = [&](double q) {
+      return values[static_cast<size_t>(q * (values.size() - 1))];
+    };
+    eval::TablePrinter table(
+        {"quantile", "threshold", "MicroA", "MicroP", "MicroR", "MicroF"});
+    for (double q : {0.0, 0.5, 0.75, 0.9, 0.97, 0.995}) {
+      const double t = quantile(q);
+      graph::UnionFind uf(graph.num_vertices());
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        if (gammas[k][static_cast<size_t>(f)] >= t &&
+            (q > 0.0 || true)) {
+          uf.Union(pairs[k].first, pairs[k].second);
+        }
+      }
+      eval::PairCounts total;
+      for (const auto& name : names) {
+        const auto& papers = corpus.db.PapersWithName(name);
+        std::vector<int> pred;
+        pred.reserve(papers.size());
+        for (int pid : papers) {
+          const graph::VertexId v = occ.Lookup(pid, name);
+          pred.push_back(v >= 0 ? uf.Find(v) : -1 - pid);
+        }
+        total.Add(eval::PairwiseCounts(
+            pred, eval::TrueLabelsForName(corpus.db, name)));
+      }
+      auto m = eval::ToMetrics(total);
+      table.AddRow({bench::F3(q), bench::F4(t), bench::F4(m.accuracy),
+                    bench::F4(m.precision), bench::F4(m.recall),
+                    bench::F4(m.f1)});
+    }
+    std::printf("\n--- %s ---\n", kFeatureNames[f]);
+    table.Print();
+  }
+  std::printf(
+      "\nshape check (paper Fig. 6): every γ is individually informative\n"
+      "(precision rises with the threshold); the venue/community features\n"
+      "show the widest useful threshold spread, the structural features the\n"
+      "narrowest — stage 1 already consumed the stable structure.\n");
+  return 0;
+}

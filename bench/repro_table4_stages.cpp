@@ -1,0 +1,56 @@
+/// Reproduces Table IV: effect of the two stages. Runs stage 1 alone (SCN)
+/// and the full pipeline (SCN + GCN) and reports the per-metric improvement.
+/// The paper's signature result: recall jumps (+0.374 there) while precision
+/// barely moves (-0.005), because stage 1 only asserts stable relations and
+/// stage 2 merges the same-name fragments the evidence supports.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "eval/evaluator.h"
+#include "eval/table_printer.h"
+
+using namespace iuad;
+
+int main() {
+  bench::PrintHeader("repro_table4_stages", "Table IV — effect of two stages");
+  auto corpus = bench::BenchCorpus();
+  const auto names = corpus.TestNames(2);
+  std::printf("corpus: %d papers; %zu test names\n", corpus.db.num_papers(),
+              names.size());
+
+  core::IuadPipeline pipeline(bench::BenchIuadConfig());
+  auto scn = pipeline.RunScnOnly(corpus.db);
+  auto gcn = pipeline.Run(corpus.db);
+  if (!scn.ok() || !gcn.ok()) {
+    std::printf("pipeline failed\n");
+    return 1;
+  }
+  auto ms = eval::EvaluateOccurrences(corpus.db, scn->occurrences, names);
+  auto mg = eval::EvaluateOccurrences(corpus.db, gcn->occurrences, names);
+
+  eval::TablePrinter table({"Metric", "SCN", "GCN", "Improv.",
+                            "paper SCN/GCN/Improv."});
+  auto row = [&](const char* metric, double s, double g, const char* paper) {
+    table.AddRow({metric, bench::F4(s), bench::F4(g),
+                  (g >= s ? "+" : "") + bench::F4(g - s), paper});
+  };
+  row("MicroA", ms.accuracy, mg.accuracy, "0.6402 / 0.8174 / +0.1772");
+  row("MicroP", ms.precision, mg.precision, "0.8662 / 0.8608 / -0.0054");
+  row("MicroR", ms.recall, mg.recall, "0.4374 / 0.8113 / +0.3739");
+  row("MicroF", ms.f1, mg.f1, "0.5813 / 0.8353 / +0.2540");
+  table.Print();
+
+  std::printf(
+      "stage stats: SCN %ld SCRs, %d vertices; GCN merged %ld of %ld "
+      "candidate pairs' vertices, recovered %ld edges\n",
+      static_cast<long>(gcn->scn_stats.num_scrs), gcn->scn_stats.num_vertices,
+      static_cast<long>(gcn->gcn_stats.merges),
+      static_cast<long>(gcn->gcn_stats.candidate_pairs),
+      static_cast<long>(gcn->gcn_stats.recovered_edges));
+  std::printf(
+      "shape check: the largest improvement is MicroR and precision is ~flat\n"
+      "(the paper's two 'paramount findings' for this table).\n");
+  return 0;
+}

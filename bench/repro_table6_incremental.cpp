@@ -1,0 +1,85 @@
+/// Reproduces Table VI: incremental author disambiguation. The newest
+/// 100 / 200 / 300 papers are held out as the "recently published" stream;
+/// the GCN is built on the remainder; the stream is ingested one paper at a
+/// time with the fitted model only (no retraining). Reported per holdout:
+/// metrics before (on the history) and after (full data including the
+/// stream), their difference, and the average time per ingested paper.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "eval/evaluator.h"
+#include "eval/table_printer.h"
+#include "util/stopwatch.h"
+
+using namespace iuad;
+
+int main() {
+  bench::PrintHeader("repro_table6_incremental",
+                     "Table VI — incremental author disambiguation");
+  auto corpus = bench::BenchCorpus();
+  const auto names = corpus.TestNames(2);
+  std::printf("corpus: %d papers; %zu test names\n", corpus.db.num_papers(),
+              names.size());
+
+  eval::TablePrinter table({"holdout", "metric", "before", "after", "Improv.",
+                            "paper before/after"});
+  const char* paper_rows[3][4] = {
+      // MicroA, MicroP, MicroR, MicroF paper values for holdout 100/200/300.
+      {"0.8154/0.8062", "0.8685/0.8649", "0.7974/0.7829", "0.8315/0.8218"},
+      {"0.8104/0.8079", "0.8546/0.8588", "0.8008/0.7941", "0.8268/0.8252"},
+      {"0.8166/0.8085", "0.8544/0.8606", "0.8160/0.7931", "0.8348/0.8255"},
+  };
+  const char* paper_ms[3] = {"47.76", "45.22", "45.40"};
+
+  int hold_idx = 0;
+  for (int holdout : {100, 200, 300}) {
+    auto [history, stream] = corpus.db.HoldOutLatest(holdout);
+    core::IuadConfig cfg = bench::BenchIuadConfig();
+    core::IuadPipeline pipeline(cfg);
+    auto result = pipeline.Run(history);
+    if (!result.ok()) {
+      std::printf("pipeline failed\n");
+      return 1;
+    }
+    auto before =
+        eval::EvaluateOccurrences(history, result->occurrences, names);
+
+    core::IncrementalDisambiguator inc(&history, &*result, cfg);
+    iuad::Stopwatch sw;
+    for (const auto& paper : stream) {
+      auto st = inc.AddPaper(paper);
+      if (!st.ok()) {
+        std::printf("ingest failed: %s\n", st.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double ms_per_paper =
+        sw.ElapsedMillis() / static_cast<double>(stream.size());
+    auto after =
+        eval::EvaluateOccurrences(history, result->occurrences, names);
+
+    auto row = [&](const char* metric, double b, double a, int paper_col) {
+      table.AddRow({std::to_string(holdout), metric, bench::F4(b),
+                    bench::F4(a), (a >= b ? "+" : "") + bench::F4(a - b),
+                    paper_rows[hold_idx][paper_col]});
+    };
+    row("MicroA", before.accuracy, after.accuracy, 0);
+    row("MicroP", before.precision, after.precision, 1);
+    row("MicroR", before.recall, after.recall, 2);
+    row("MicroF", before.f1, after.f1, 3);
+    table.AddRow({std::to_string(holdout), "avg ms/paper", "-",
+                  bench::F3(ms_per_paper), "-",
+                  std::string(paper_ms[hold_idx]) + " ms"});
+    table.AddSeparator();
+    ++hold_idx;
+  }
+  table.Print();
+  std::printf(
+      "shape check: metrics move only slightly after ingesting the stream\n"
+      "(the paper sees small reductions, ~0.01), and per-paper cost is tens\n"
+      "of milliseconds, no retraining.\n");
+  return 0;
+}

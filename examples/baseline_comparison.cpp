@@ -1,0 +1,104 @@
+/// Head-to-head on one ambiguous name: runs IUAD and all four unsupervised
+/// baselines over the same database and prints each method's clustering of
+/// a single name side by side with the ground truth — a compact way to *see*
+/// the difference between bottom-up network reconstruction and top-down
+/// ego-network clustering.
+///
+/// Build & run:  ./build/examples/baseline_comparison
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "baselines/unsupervised.h"
+#include "core/pipeline.h"
+#include "data/corpus_generator.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+using namespace iuad;
+
+namespace {
+
+/// Renders a clustering as a compact partition string, e.g. "AAB BA".
+std::string RenderPartition(const std::vector<int>& labels) {
+  std::string out;
+  for (int l : labels) {
+    out.push_back(l < 26 ? static_cast<char>('A' + l) : '+');
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  data::CorpusConfig corpus_cfg;
+  corpus_cfg.num_communities = 10;
+  corpus_cfg.authors_per_community = 40;
+  corpus_cfg.num_papers = 3500;
+  corpus_cfg.seed = 1234;
+  auto corpus = data::CorpusGenerator(corpus_cfg).Generate();
+
+  core::IuadConfig config;
+  config.word2vec.dim = 24;
+  core::IuadPipeline pipeline(config);
+  auto result = pipeline.Run(corpus.db);
+  if (!result.ok()) {
+    std::printf("pipeline failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Pick the ambiguous name with the most true authors (the hard case).
+  auto names = corpus.TestNames(2);
+  std::string name;
+  size_t most_authors = 0;
+  for (const auto& n : names) {
+    const size_t k = corpus.TrueClustersOfName(n).size();
+    if (k > most_authors) {
+      most_authors = k;
+      name = n;
+    }
+  }
+  const auto& papers = corpus.db.PapersWithName(name);
+  std::printf("name \"%s\": %zu papers, %zu true authors\n", name.c_str(),
+              papers.size(), most_authors);
+  std::printf("each column below is one paper; same letter = same author\n\n");
+
+  const auto truth = eval::TrueLabelsForName(corpus.db, name);
+  std::printf("  %-12s %s\n", "TRUTH", RenderPartition(truth).c_str());
+
+  // IUAD's answer, densified to letters.
+  {
+    std::vector<int> pred;
+    std::map<graph::VertexId, int> remap;
+    for (int pid : papers) {
+      const graph::VertexId v = result->occurrences.Lookup(pid, name);
+      auto [it, inserted] = remap.try_emplace(v, static_cast<int>(remap.size()));
+      pred.push_back(it->second);
+    }
+    auto m = eval::ToMetrics(eval::PairwiseCounts(pred, truth));
+    std::printf("  %-12s %s   (%s)\n", "IUAD", RenderPartition(pred).c_str(),
+                eval::FormatMetrics(m).c_str());
+  }
+
+  std::vector<std::unique_ptr<baselines::UnsupervisedBaseline>> competitors;
+  competitors.push_back(std::make_unique<baselines::AnonBaseline>(
+      corpus.db, &result->embeddings));
+  competitors.push_back(std::make_unique<baselines::NetEBaseline>(
+      corpus.db, &result->embeddings));
+  competitors.push_back(std::make_unique<baselines::AminerBaseline>(
+      corpus.db, &result->embeddings));
+  competitors.push_back(std::make_unique<baselines::GhostBaseline>(corpus.db));
+  for (const auto& baseline : competitors) {
+    auto pred = baseline->Disambiguate(name);
+    auto m = eval::ToMetrics(eval::PairwiseCounts(pred, truth));
+    std::printf("  %-12s %s   (%s)\n", baseline->Name().c_str(),
+                RenderPartition(pred).c_str(),
+                eval::FormatMetrics(m).c_str());
+  }
+  std::printf(
+      "\ntypical reading: top-down methods either shatter the name (many\n"
+      "letters) or glue authors together; IUAD's bottom-up construction\n"
+      "tracks the true partition more closely.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "baselines/paper_embedder.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace iuad::baselines {
+
+text::Vec HashVector(const std::string& s, int dim) {
+  // FNV-1a over the string seeds a deterministic generator.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  iuad::Rng rng(h);
+  text::Vec v(static_cast<size_t>(dim));
+  double norm2 = 0.0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng.Gaussian());
+    norm2 += static_cast<double>(x) * x;
+  }
+  const float inv = norm2 > 0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+PaperEmbedder::PaperEmbedder(const data::PaperDatabase& db,
+                             const text::Word2Vec* word_vecs,
+                             EmbedderConfig config)
+    : db_(db), word_vecs_(word_vecs), config_(std::move(config)) {
+  if (word_vecs_ != nullptr && word_vecs_->trained()) {
+    const auto& vocab = word_vecs_->vocabulary();
+    text::Vec sum(static_cast<size_t>(word_vecs_->dim()), 0.0f);
+    double total = 0.0;
+    for (int id = 0; id < vocab.size(); ++id) {
+      const text::Vec* v = word_vecs_->VectorOf(vocab.WordOf(id));
+      if (v == nullptr) continue;
+      const float w = static_cast<float>(vocab.CountOf(id));
+      for (size_t i = 0; i < sum.size(); ++i) sum[i] += w * (*v)[i];
+      total += w;
+    }
+    if (total > 0) {
+      text::ScaleInPlace(&sum, static_cast<float>(1.0 / total));
+      title_center_ = std::move(sum);
+    }
+  }
+}
+
+text::Vec PaperEmbedder::Embed(int paper_id) const {
+  const data::Paper& paper = db_.paper(paper_id);
+  text::Vec out(static_cast<size_t>(config_.dim), 0.0f);
+
+  if (config_.coauthor_weight > 0.0) {
+    text::Vec ch(static_cast<size_t>(config_.dim), 0.0f);
+    int n = 0;
+    for (const auto& name : paper.author_names) {
+      if (name == config_.focal_name) continue;
+      text::AddInPlace(&ch, HashVector(name, config_.dim));
+      ++n;
+    }
+    if (n > 0) text::ScaleInPlace(&ch, static_cast<float>(config_.coauthor_weight / n));
+    text::AddInPlace(&out, ch);
+  }
+
+  if (config_.title_weight > 0.0 && word_vecs_ != nullptr &&
+      word_vecs_->trained()) {
+    text::Vec ch = word_vecs_->MeanOf(db_.KeywordsOf(paper_id));
+    if (!title_center_.empty() && text::Norm(ch) > 0) {
+      for (size_t i = 0; i < ch.size(); ++i) ch[i] -= title_center_[i];
+    }
+    // Word2Vec dimension may differ from the channel dimension; project by
+    // truncation / zero-padding (cheap, deterministic).
+    ch.resize(static_cast<size_t>(config_.dim), 0.0f);
+    const double norm = text::Norm(ch);
+    if (norm > 0) {
+      text::ScaleInPlace(&ch, static_cast<float>(config_.title_weight / norm));
+    }
+    text::AddInPlace(&out, ch);
+  }
+
+  if (config_.venue_weight > 0.0) {
+    text::Vec ch = HashVector("venue::" + paper.venue, config_.dim);
+    text::ScaleInPlace(&ch, static_cast<float>(config_.venue_weight));
+    text::AddInPlace(&out, ch);
+  }
+  return out;
+}
+
+std::vector<text::Vec> PaperEmbedder::EmbedAll(
+    const std::vector<int>& paper_ids) const {
+  std::vector<text::Vec> out;
+  out.reserve(paper_ids.size());
+  for (int pid : paper_ids) out.push_back(Embed(pid));
+  return out;
+}
+
+std::vector<std::vector<double>> CosineDistanceMatrix(
+    const std::vector<text::Vec>& vecs) {
+  const size_t n = vecs.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dist = 1.0 - text::Cosine(vecs[i], vecs[j]);
+      d[i][j] = d[j][i] = dist;
+    }
+  }
+  return d;
+}
+
+}  // namespace iuad::baselines

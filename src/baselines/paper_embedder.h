@@ -1,0 +1,68 @@
+#ifndef IUAD_BASELINES_PAPER_EMBEDDER_H_
+#define IUAD_BASELINES_PAPER_EMBEDDER_H_
+
+/// \file paper_embedder.h
+/// Paper-level embedding channels shared by the embedding-based baselines.
+/// The published systems learn network embeddings with gradient methods we
+/// cannot reproduce byte-for-byte offline; the substitution (DESIGN.md §2)
+/// keeps the *information channels* identical — who you wrote with
+/// (co-author channel), what you wrote about (title channel trained on the
+/// corpus), where you published (venue channel) — so the baselines'
+/// qualitative behaviour (top-down ego-network clustering) is preserved.
+
+#include <string>
+#include <vector>
+
+#include "data/paper_database.h"
+#include "text/embedding.h"
+#include "text/word2vec.h"
+
+namespace iuad::baselines {
+
+/// Deterministic pseudo-random unit vector for an arbitrary string (the
+/// hashing-trick stand-in for learned node embeddings). Same string, same
+/// vector, across runs and platforms.
+text::Vec HashVector(const std::string& s, int dim);
+
+/// Channel weights for composing a paper embedding.
+struct EmbedderConfig {
+  int dim = 32;              ///< Per-channel dimension; channels are summed.
+  double coauthor_weight = 1.0;
+  double title_weight = 1.0;
+  double venue_weight = 0.0;
+  /// Name excluded from the co-author channel (the focal, ambiguous name —
+  /// every ego-network method anonymizes it).
+  std::string focal_name;
+};
+
+/// Composes per-paper vectors over the given database.
+class PaperEmbedder {
+ public:
+  PaperEmbedder(const data::PaperDatabase& db, const text::Word2Vec* word_vecs,
+                EmbedderConfig config);
+
+  /// Embedding of one paper.
+  text::Vec Embed(int paper_id) const;
+
+  /// Embeddings for a list of papers.
+  std::vector<text::Vec> EmbedAll(const std::vector<int>& paper_ids) const;
+
+  int dim() const { return config_.dim; }
+
+ private:
+  const data::PaperDatabase& db_;
+  const text::Word2Vec* word_vecs_;
+  EmbedderConfig config_;
+  /// Corpus-frequency-weighted mean word vector, removed from the title
+  /// channel: averaged word embeddings share a large common component and
+  /// their raw cosines saturate near 1 (no discriminative power).
+  text::Vec title_center_;
+};
+
+/// Cosine-distance matrix (1 - cosine) over a vector set.
+std::vector<std::vector<double>> CosineDistanceMatrix(
+    const std::vector<text::Vec>& vecs);
+
+}  // namespace iuad::baselines
+
+#endif  // IUAD_BASELINES_PAPER_EMBEDDER_H_

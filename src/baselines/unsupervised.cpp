@@ -1,0 +1,176 @@
+#include "baselines/unsupervised.h"
+
+#include <algorithm>
+
+#include "baselines/paper_embedder.h"
+#include "util/logging.h"
+
+namespace iuad::baselines {
+
+namespace {
+
+/// Fallback labels when a clusterer fails (shouldn't happen on square
+/// inputs): all singletons.
+std::vector<int> Singletons(size_t n) {
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i);
+  return labels;
+}
+
+}  // namespace
+
+// --- ANON --------------------------------------------------------------------
+
+AnonBaseline::AnonBaseline(const data::PaperDatabase& db,
+                           const text::Word2Vec* word_vecs,
+                           double hac_threshold)
+    : db_(db), word_vecs_(word_vecs), hac_threshold_(hac_threshold) {}
+
+std::vector<int> AnonBaseline::Disambiguate(const std::string& name) const {
+  const auto& papers = db_.PapersWithName(name);
+  EmbedderConfig cfg;
+  cfg.focal_name = name;
+  cfg.coauthor_weight = 1.0;
+  cfg.title_weight = 0.25;  // ANON is primarily relational
+  PaperEmbedder embedder(db_, word_vecs_, cfg);
+  auto dist = CosineDistanceMatrix(embedder.EmbedAll(papers));
+  cluster::HacConfig hc;
+  hc.linkage = cluster::Linkage::kAverage;
+  hc.distance_threshold = hac_threshold_;
+  auto labels = cluster::Hac(dist, hc);
+  return labels.ok() ? *labels : Singletons(papers.size());
+}
+
+// --- NetE --------------------------------------------------------------------
+
+NetEBaseline::NetEBaseline(const data::PaperDatabase& db,
+                           const text::Word2Vec* word_vecs,
+                           cluster::DbscanConfig dbscan)
+    : db_(db), word_vecs_(word_vecs), dbscan_(dbscan) {}
+
+std::vector<int> NetEBaseline::Disambiguate(const std::string& name) const {
+  const auto& papers = db_.PapersWithName(name);
+  EmbedderConfig cfg;
+  cfg.focal_name = name;
+  cfg.coauthor_weight = 1.0;
+  cfg.title_weight = 0.8;
+  cfg.venue_weight = 0.4;
+  PaperEmbedder embedder(db_, word_vecs_, cfg);
+  auto dist = CosineDistanceMatrix(embedder.EmbedAll(papers));
+  auto labels = cluster::Dbscan(dist, dbscan_);
+  return labels.ok() ? *labels : Singletons(papers.size());
+}
+
+// --- Aminer ------------------------------------------------------------------
+
+AminerBaseline::AminerBaseline(const data::PaperDatabase& db,
+                               const text::Word2Vec* word_vecs,
+                               double hac_threshold, double local_mix)
+    : db_(db),
+      word_vecs_(word_vecs),
+      hac_threshold_(hac_threshold),
+      local_mix_(local_mix) {}
+
+std::vector<int> AminerBaseline::Disambiguate(const std::string& name) const {
+  const auto& papers = db_.PapersWithName(name);
+  // Global embedding: text + venue (what Aminer learns corpus-wide).
+  EmbedderConfig cfg;
+  cfg.focal_name = name;
+  cfg.coauthor_weight = 0.0;
+  cfg.title_weight = 1.0;
+  cfg.venue_weight = 0.5;
+  PaperEmbedder embedder(db_, word_vecs_, cfg);
+  auto vecs = embedder.EmbedAll(papers);
+
+  // Local refinement: average each paper with neighbors that share a
+  // co-author (one smoothing round over the local linkage graph).
+  std::vector<std::vector<std::string>> coauthors(papers.size());
+  for (size_t i = 0; i < papers.size(); ++i) {
+    for (const auto& n : db_.paper(papers[i]).author_names) {
+      if (n != name) coauthors[i].push_back(n);
+    }
+    std::sort(coauthors[i].begin(), coauthors[i].end());
+  }
+  std::vector<text::Vec> refined = vecs;
+  for (size_t i = 0; i < papers.size(); ++i) {
+    text::Vec nbr_mean(vecs[i].size(), 0.0f);
+    int nbrs = 0;
+    for (size_t j = 0; j < papers.size(); ++j) {
+      if (i == j) continue;
+      std::vector<std::string> common;
+      std::set_intersection(coauthors[i].begin(), coauthors[i].end(),
+                            coauthors[j].begin(), coauthors[j].end(),
+                            std::back_inserter(common));
+      if (!common.empty()) {
+        text::AddInPlace(&nbr_mean, vecs[j]);
+        ++nbrs;
+      }
+    }
+    if (nbrs > 0) {
+      text::ScaleInPlace(&nbr_mean, static_cast<float>(local_mix_ / nbrs));
+      text::ScaleInPlace(&refined[i], static_cast<float>(1.0 - local_mix_));
+      text::AddInPlace(&refined[i], nbr_mean);
+    }
+  }
+  auto dist = CosineDistanceMatrix(refined);
+  cluster::HacConfig hc;
+  hc.linkage = cluster::Linkage::kAverage;
+  hc.distance_threshold = hac_threshold_;
+  auto labels = cluster::Hac(dist, hc);
+  return labels.ok() ? *labels : Singletons(papers.size());
+}
+
+// --- GHOST -------------------------------------------------------------------
+
+GhostBaseline::GhostBaseline(const data::PaperDatabase& db,
+                             double two_hop_weight)
+    : db_(db), two_hop_weight_(two_hop_weight) {
+  // Global co-authorship counts for the 2-hop term.
+  for (const auto& paper : db.papers()) {
+    mining::Transaction t;
+    for (const auto& n : paper.author_names) t.push_back(encoder_.Encode(n));
+    copub_.AddTransaction(t);
+  }
+}
+
+std::vector<int> GhostBaseline::Disambiguate(const std::string& name) const {
+  const auto& papers = db_.PapersWithName(name);
+  const size_t n = papers.size();
+  std::vector<std::vector<mining::Item>> coauthors(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& nm : db_.paper(papers[i]).author_names) {
+      if (nm == name) continue;
+      const mining::Item it = encoder_.Find(nm);
+      if (it >= 0) coauthors[i].push_back(it);
+    }
+    std::sort(coauthors[i].begin(), coauthors[i].end());
+    coauthors[i].erase(std::unique(coauthors[i].begin(), coauthors[i].end()),
+                       coauthors[i].end());
+  }
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // Direct: shared co-author names.
+      std::vector<mining::Item> common;
+      std::set_intersection(coauthors[i].begin(), coauthors[i].end(),
+                            coauthors[j].begin(), coauthors[j].end(),
+                            std::back_inserter(common));
+      double s = static_cast<double>(common.size());
+      // 2-hop: co-author pairs (u, v) that ever co-published (valid paths
+      // of length 2 in the collaboration graph).
+      int two_hop = 0;
+      for (mining::Item u : coauthors[i]) {
+        for (mining::Item v : coauthors[j]) {
+          if (u != v && copub_.CountOf(u, v) > 0) ++two_hop;
+        }
+      }
+      s += two_hop_weight_ * static_cast<double>(two_hop);
+      sim[i][j] = sim[j][i] = s;
+    }
+  }
+  cluster::ApConfig ap;
+  auto labels = cluster::AffinityPropagation(sim, ap);
+  return labels.ok() ? *labels : Singletons(n);
+}
+
+}  // namespace iuad::baselines

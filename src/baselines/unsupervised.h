@@ -1,0 +1,103 @@
+#ifndef IUAD_BASELINES_UNSUPERVISED_H_
+#define IUAD_BASELINES_UNSUPERVISED_H_
+
+/// \file unsupervised.h
+/// The four unsupervised competitors of Table III, each a faithful
+/// *pipeline-shape* reproduction (see DESIGN.md §2 for the embedding
+/// substitutions):
+///   ANON   [22] Zhang & Al Hasan: coauthor-relational paper embedding + HAC
+///   NetE   [23] Xu et al.: multi-channel embedding + density clustering
+///   Aminer [33] Zhang et al.: global text embedding refined by local
+///               coauthor structure + HAC
+///   GHOST  [27] Fan et al.: structure-only path-based paper similarity + AP
+///
+/// All are *top-down* methods: they look at one name's ego set of papers at
+/// a time — exactly the design IUAD's bottom-up construction criticizes.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/affinity_propagation.h"
+#include "cluster/dbscan.h"
+#include "cluster/hac.h"
+#include "data/paper_database.h"
+#include "mining/pair_miner.h"
+#include "text/word2vec.h"
+
+namespace iuad::baselines {
+
+/// Common interface: cluster the papers of `name` (labels parallel to
+/// db.PapersWithName(name)).
+class UnsupervisedBaseline {
+ public:
+  virtual ~UnsupervisedBaseline() = default;
+  virtual std::vector<int> Disambiguate(const std::string& name) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// ANON: coauthor-channel embedding, average-linkage HAC.
+class AnonBaseline : public UnsupervisedBaseline {
+ public:
+  AnonBaseline(const data::PaperDatabase& db, const text::Word2Vec* word_vecs,
+               double hac_threshold = 0.7);
+  std::vector<int> Disambiguate(const std::string& name) const override;
+  std::string Name() const override { return "ANON"; }
+
+ private:
+  const data::PaperDatabase& db_;
+  const text::Word2Vec* word_vecs_;
+  double hac_threshold_;
+};
+
+/// NetE: coauthor+title+venue channels, DBSCAN (HDBSCAN stand-in).
+class NetEBaseline : public UnsupervisedBaseline {
+ public:
+  NetEBaseline(const data::PaperDatabase& db, const text::Word2Vec* word_vecs,
+               cluster::DbscanConfig dbscan = {/*eps=*/0.25, /*min_points=*/2});
+  std::vector<int> Disambiguate(const std::string& name) const override;
+  std::string Name() const override { return "NetE"; }
+
+ private:
+  const data::PaperDatabase& db_;
+  const text::Word2Vec* word_vecs_;
+  cluster::DbscanConfig dbscan_;
+};
+
+/// Aminer: global text embedding, one round of local smoothing over the
+/// shared-coauthor graph, HAC.
+class AminerBaseline : public UnsupervisedBaseline {
+ public:
+  AminerBaseline(const data::PaperDatabase& db, const text::Word2Vec* word_vecs,
+                 double hac_threshold = 0.3, double local_mix = 0.5);
+  std::vector<int> Disambiguate(const std::string& name) const override;
+  std::string Name() const override { return "Aminer"; }
+
+ private:
+  const data::PaperDatabase& db_;
+  const text::Word2Vec* word_vecs_;
+  double hac_threshold_;
+  double local_mix_;
+};
+
+/// GHOST: structure-only. Paper-pair similarity = direct shared co-authors
+/// plus a discounted 2-hop term through the *global* co-authorship relation,
+/// clustered with affinity propagation.
+class GhostBaseline : public UnsupervisedBaseline {
+ public:
+  GhostBaseline(const data::PaperDatabase& db, double two_hop_weight = 0.3);
+  std::vector<int> Disambiguate(const std::string& name) const override;
+  std::string Name() const override { return "GHOST"; }
+
+ private:
+  const data::PaperDatabase& db_;
+  double two_hop_weight_;
+  /// Global name-level co-authorship counts (who ever wrote with whom).
+  mining::ItemEncoder encoder_;
+  mining::PairCounter copub_;
+};
+
+}  // namespace iuad::baselines
+
+#endif  // IUAD_BASELINES_UNSUPERVISED_H_

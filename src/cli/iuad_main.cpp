@@ -1,0 +1,189 @@
+/// `iuad` — command-line front end for the library.
+///
+/// Subcommands:
+///   iuad generate <out.tsv> [--papers N] [--seed S]
+///       Emit a synthetic labeled corpus (the DBLP stand-in) as a paper TSV.
+///   iuad run <papers.tsv> [--eta N] [--delta X] [--graph out_graph.tsv]
+///            [--clusters out_clusters.tsv]
+///       Reconstruct the collaboration network; optionally persist the
+///       network and the per-occurrence author attribution.
+///   iuad evaluate <papers.tsv>
+///       Run the pipeline and score it against the TSV's ground-truth
+///       column (pairwise micro metrics over ambiguous names).
+///
+/// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/corpus_generator.h"
+#include "eval/evaluator.h"
+#include "graph/graph_io.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/tsv.h"
+
+using namespace iuad;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "iuad: %s\n", msg.c_str());
+  return 1;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  iuad generate <out.tsv> [--papers N] [--seed S]\n"
+               "  iuad run <papers.tsv> [--eta N] [--delta X]\n"
+               "           [--graph out_graph.tsv] [--clusters out.tsv]\n"
+               "  iuad evaluate <papers.tsv> [--eta N] [--delta X]\n");
+}
+
+/// Tiny flag parser: --key value pairs after the positional arguments.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+int CmdGenerate(const std::string& out,
+                const std::map<std::string, std::string>& flags) {
+  data::CorpusConfig cfg;
+  cfg.num_papers = 10000;
+  if (auto it = flags.find("papers"); it != flags.end()) {
+    cfg.num_papers = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    cfg.seed = static_cast<uint64_t>(std::atoll(it->second.c_str()));
+  }
+  // Hold DBLP-like density at any requested scale (cf. bench_common.h).
+  const int authors = std::max(400, cfg.num_papers / 5);
+  cfg.num_communities = std::max(4, authors / cfg.authors_per_community);
+  const double scale = static_cast<double>(authors) / 960.0;
+  cfg.given_name_pool = static_cast<int>(180 * scale);
+  cfg.surname_pool = static_cast<int>(140 * scale);
+  cfg.name_zipf = 0.7;
+
+  auto corpus = data::CorpusGenerator(cfg).Generate();
+  iuad::Status st = corpus.db.SaveTsv(out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %d papers (%zu names, %zu ambiguous) to %s\n",
+              corpus.db.num_papers(), corpus.db.names().size(),
+              corpus.AmbiguousNames(2).size(), out.c_str());
+  return 0;
+}
+
+core::IuadConfig ConfigFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 24;
+  if (auto it = flags.find("eta"); it != flags.end()) {
+    cfg.eta = std::atoll(it->second.c_str());
+  }
+  if (auto it = flags.find("delta"); it != flags.end()) {
+    cfg.delta = std::atof(it->second.c_str());
+  }
+  return cfg;
+}
+
+int CmdRun(const std::string& in,
+           const std::map<std::string, std::string>& flags) {
+  auto db = data::PaperDatabase::LoadTsv(in);
+  if (!db.ok()) return Fail(db.status().ToString());
+  core::IuadConfig cfg = ConfigFromFlags(flags);
+  core::IuadPipeline pipeline(cfg);
+  iuad::Stopwatch sw;
+  auto result = pipeline.Run(*db);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf(
+      "reconstructed %d papers in %.1fs: %d author vertices, %d edges, "
+      "%ld stable relations, %ld merges\n",
+      db->num_papers(), sw.ElapsedSeconds(), result->graph.num_alive(),
+      result->graph.num_edges(),
+      static_cast<long>(result->scn_stats.num_scrs),
+      static_cast<long>(result->gcn_stats.merges));
+
+  if (auto it = flags.find("graph"); it != flags.end()) {
+    iuad::Status st = graph::SaveGraphTsv(result->graph, it->second);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote network to %s\n", it->second.c_str());
+  }
+  if (auto it = flags.find("clusters"); it != flags.end()) {
+    // One row per byline occurrence: paper id, name, author-vertex id.
+    std::vector<TsvRow> rows;
+    for (const auto& p : db->papers()) {
+      for (const auto& name : p.author_names) {
+        rows.push_back({std::to_string(p.id), name,
+                        std::to_string(result->occurrences.Lookup(p.id, name))});
+      }
+    }
+    iuad::Status st = WriteTsvFile(it->second, rows);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %zu occurrence attributions to %s\n", rows.size(),
+                it->second.c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const std::string& in,
+                const std::map<std::string, std::string>& flags) {
+  auto db = data::PaperDatabase::LoadTsv(in);
+  if (!db.ok()) return Fail(db.status().ToString());
+  // Ambiguous names by ground truth.
+  std::map<std::string, std::set<data::AuthorId>> authors_of;
+  for (const auto& p : db->papers()) {
+    for (size_t i = 0;
+         i < p.author_names.size() && i < p.true_author_ids.size(); ++i) {
+      if (p.true_author_ids[i] != data::kUnknownAuthor) {
+        authors_of[p.author_names[i]].insert(p.true_author_ids[i]);
+      }
+    }
+  }
+  std::vector<std::string> names;
+  for (const auto& [name, ids] : authors_of) {
+    if (ids.size() >= 2 && db->PapersWithName(name).size() <= 120) {
+      names.push_back(name);
+    }
+  }
+  if (names.empty()) {
+    return Fail("no ambiguous ground-truth names in " + in +
+                " (did you generate with labels?)");
+  }
+  core::IuadPipeline pipeline(ConfigFromFlags(flags));
+  auto result = pipeline.Run(*db);
+  if (!result.ok()) return Fail(result.status().ToString());
+  auto m = eval::EvaluateOccurrences(*db, result->occurrences, names);
+  std::printf("%zu test names: %s\n", names.size(),
+              eval::FormatMetrics(m).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  auto flags = ParseFlags(argc, argv, 3);
+  if (cmd == "generate") return CmdGenerate(path, flags);
+  if (cmd == "run") return CmdRun(path, flags);
+  if (cmd == "evaluate") return CmdEvaluate(path, flags);
+  Usage();
+  return 1;
+}

@@ -1,0 +1,123 @@
+#include "cluster/affinity_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace iuad::cluster {
+
+iuad::Result<std::vector<int>> AffinityPropagation(
+    const std::vector<std::vector<double>>& similarities,
+    const ApConfig& config) {
+  const size_t n = similarities.size();
+  for (const auto& row : similarities) {
+    if (row.size() != n) {
+      return iuad::Status::InvalidArgument("similarity matrix must be square");
+    }
+  }
+  std::vector<int> labels(n, 0);
+  if (n <= 1) return labels;
+
+  // Preference: median of off-diagonal similarities unless overridden.
+  double pref = config.preference;
+  if (std::isnan(pref)) {
+    std::vector<double> vals;
+    vals.reserve(n * (n - 1));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i != j) vals.push_back(similarities[i][j]);
+      }
+    }
+    std::nth_element(vals.begin(), vals.begin() + static_cast<long>(vals.size() / 2),
+                     vals.end());
+    pref = vals[vals.size() / 2];
+  }
+
+  std::vector<std::vector<double>> s = similarities;
+  for (size_t i = 0; i < n; ++i) s[i][i] = pref;
+
+  std::vector<std::vector<double>> r(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  std::vector<int> exemplar(n, -1);
+  int stable_iters = 0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Responsibilities: r(i,k) <- s(i,k) - max_{k' != k} [a(i,k') + s(i,k')].
+    for (size_t i = 0; i < n; ++i) {
+      double max1 = -std::numeric_limits<double>::infinity();
+      double max2 = max1;
+      size_t arg1 = 0;
+      for (size_t k = 0; k < n; ++k) {
+        const double v = a[i][k] + s[i][k];
+        if (v > max1) {
+          max2 = max1;
+          max1 = v;
+          arg1 = k;
+        } else if (v > max2) {
+          max2 = v;
+        }
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const double sub = (k == arg1) ? max2 : max1;
+        r[i][k] = config.damping * r[i][k] +
+                  (1.0 - config.damping) * (s[i][k] - sub);
+      }
+    }
+    // Availabilities: a(i,k) <- min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k)));
+    // a(k,k) <- sum_{i' != k} max(0, r(i',k)).
+    for (size_t k = 0; k < n; ++k) {
+      double pos_sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i != k) pos_sum += std::max(0.0, r[i][k]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        double v;
+        if (i == k) {
+          v = pos_sum;
+        } else {
+          v = std::min(0.0, r[k][k] + pos_sum - std::max(0.0, r[i][k]));
+        }
+        a[i][k] = config.damping * a[i][k] + (1.0 - config.damping) * v;
+      }
+    }
+    // Exemplar check.
+    std::vector<int> new_exemplar(n);
+    for (size_t i = 0; i < n; ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      size_t arg = i;
+      for (size_t k = 0; k < n; ++k) {
+        const double v = a[i][k] + r[i][k];
+        if (v > best) {
+          best = v;
+          arg = k;
+        }
+      }
+      new_exemplar[i] = static_cast<int>(arg);
+    }
+    if (new_exemplar == exemplar) {
+      if (++stable_iters >= config.convergence_iterations) break;
+    } else {
+      stable_iters = 0;
+      exemplar = std::move(new_exemplar);
+    }
+  }
+
+  // Items whose exemplar is itself are cluster centers; everyone else joins
+  // their exemplar's center (one hop is enough after convergence; fall back
+  // to self otherwise).
+  std::vector<int> center(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int e = exemplar[static_cast<size_t>(i)];
+    center[i] = (exemplar[static_cast<size_t>(e)] == e) ? e : static_cast<int>(i);
+  }
+  std::vector<int> remap(n, -1);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int& m = remap[static_cast<size_t>(center[i])];
+    if (m == -1) m = next++;
+    labels[i] = m;
+  }
+  return labels;
+}
+
+}  // namespace iuad::cluster

@@ -1,0 +1,35 @@
+#ifndef IUAD_CLUSTER_AFFINITY_PROPAGATION_H_
+#define IUAD_CLUSTER_AFFINITY_PROPAGATION_H_
+
+/// \file affinity_propagation.h
+/// Affinity Propagation (Frey & Dueck, Science 2007): exemplar-based
+/// clustering by responsibility/availability message passing over a
+/// similarity matrix. Used by the GHOST [27] and NetE [23] baselines.
+
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::cluster {
+
+struct ApConfig {
+  /// Message damping in [0.5, 1).
+  double damping = 0.7;
+  int max_iterations = 200;
+  /// Stop after this many iterations without exemplar changes.
+  int convergence_iterations = 15;
+  /// Self-similarity (preference). NaN = use the median of the input
+  /// similarities (the standard default; fewer clusters <- lower values).
+  double preference = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Clusters n items from an n x n similarity matrix (higher = more alike).
+/// Returns dense labels; every item is assigned to its exemplar's cluster.
+iuad::Result<std::vector<int>> AffinityPropagation(
+    const std::vector<std::vector<double>>& similarities,
+    const ApConfig& config);
+
+}  // namespace iuad::cluster
+
+#endif  // IUAD_CLUSTER_AFFINITY_PROPAGATION_H_

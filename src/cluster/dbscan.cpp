@@ -1,0 +1,62 @@
+#include "cluster/dbscan.h"
+
+#include <queue>
+
+namespace iuad::cluster {
+
+iuad::Result<std::vector<int>> Dbscan(
+    const std::vector<std::vector<double>>& distances,
+    const DbscanConfig& config) {
+  const size_t n = distances.size();
+  for (const auto& row : distances) {
+    if (row.size() != n) {
+      return iuad::Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(n, kUnvisited);
+
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> nbrs;
+    for (size_t j = 0; j < n; ++j) {
+      if (distances[i][j] <= config.eps) nbrs.push_back(j);  // includes self
+    }
+    return nbrs;
+  };
+
+  int next_cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    auto nbrs = neighbors_of(i);
+    if (static_cast<int>(nbrs.size()) < config.min_points) {
+      labels[i] = -1;  // provisional noise; may be claimed as border later
+      continue;
+    }
+    const int cid = next_cluster++;
+    labels[i] = cid;
+    std::queue<size_t> frontier;
+    for (size_t j : nbrs) {
+      if (j != i) frontier.push(j);
+    }
+    while (!frontier.empty()) {
+      const size_t j = frontier.front();
+      frontier.pop();
+      if (labels[j] == -1) labels[j] = cid;  // border point
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cid;
+      auto jn = neighbors_of(j);
+      if (static_cast<int>(jn.size()) >= config.min_points) {
+        for (size_t k : jn) {
+          if (labels[k] == kUnvisited || labels[k] == -1) frontier.push(k);
+        }
+      }
+    }
+  }
+  // Noise -> singletons.
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0) labels[i] = next_cluster++;
+  }
+  return labels;
+}
+
+}  // namespace iuad::cluster

@@ -1,0 +1,29 @@
+#ifndef IUAD_CLUSTER_DBSCAN_H_
+#define IUAD_CLUSTER_DBSCAN_H_
+
+/// \file dbscan.h
+/// DBSCAN density clustering over a precomputed distance matrix. Stands in
+/// for the HDBSCAN clusterer of the NetE [23] baseline (same density-based
+/// family; DESIGN.md §2). Noise points become singleton clusters — in
+/// author disambiguation an unclustered paper is simply its own author.
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::cluster {
+
+struct DbscanConfig {
+  double eps = 0.3;   ///< Neighborhood radius.
+  int min_points = 2; ///< Core-point density threshold (incl. self).
+};
+
+/// Clusters n items given an n x n distance matrix; returns dense labels
+/// with noise points as singletons.
+iuad::Result<std::vector<int>> Dbscan(
+    const std::vector<std::vector<double>>& distances,
+    const DbscanConfig& config);
+
+}  // namespace iuad::cluster
+
+#endif  // IUAD_CLUSTER_DBSCAN_H_

@@ -1,0 +1,88 @@
+#include "cluster/hac.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace iuad::cluster {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+iuad::Result<std::vector<int>> Hac(
+    const std::vector<std::vector<double>>& distances,
+    const HacConfig& config) {
+  const size_t n = distances.size();
+  for (const auto& row : distances) {
+    if (row.size() != n) {
+      return iuad::Status::InvalidArgument("distance matrix must be square");
+    }
+  }
+  std::vector<int> labels(n);
+  if (n == 0) return labels;
+
+  // Working copy with Lance-Williams updates; `size[i]` tracks cluster
+  // cardinality for average linkage, `active[i]` marks live clusters.
+  std::vector<std::vector<double>> d = distances;
+  std::vector<int> size(n, 1);
+  std::vector<bool> active(n, true);
+  std::vector<int> member(n);  // item -> current cluster id
+  for (size_t i = 0; i < n; ++i) member[i] = static_cast<int>(i);
+
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = kInf;
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > config.distance_threshold) break;
+
+    // Merge bj into bi.
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double nd;
+      switch (config.linkage) {
+        case Linkage::kSingle:
+          nd = std::min(d[bi][k], d[bj][k]);
+          break;
+        case Linkage::kComplete:
+          nd = std::max(d[bi][k], d[bj][k]);
+          break;
+        case Linkage::kAverage:
+        default:
+          nd = (d[bi][k] * size[bi] + d[bj][k] * size[bj]) /
+               static_cast<double>(size[bi] + size[bj]);
+          break;
+      }
+      d[bi][k] = d[k][bi] = nd;
+    }
+    size[bi] += size[bj];
+    active[bj] = false;
+    for (size_t item = 0; item < n; ++item) {
+      if (member[item] == static_cast<int>(bj)) {
+        member[item] = static_cast<int>(bi);
+      }
+    }
+  }
+
+  // Densify labels.
+  std::vector<int> remap(n, -1);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int& r = remap[static_cast<size_t>(member[i])];
+    if (r == -1) r = next++;
+    labels[i] = r;
+  }
+  return labels;
+}
+
+}  // namespace iuad::cluster

@@ -1,0 +1,31 @@
+#ifndef IUAD_CLUSTER_HAC_H_
+#define IUAD_CLUSTER_HAC_H_
+
+/// \file hac.h
+/// Hierarchical agglomerative clustering with selectable linkage over a
+/// precomputed distance matrix. This is the clusterer of the ANON [22] and
+/// Aminer [33] baselines (papers in one cluster = one author).
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::cluster {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+struct HacConfig {
+  Linkage linkage = Linkage::kAverage;
+  /// Merging stops when the closest pair of clusters is farther than this.
+  double distance_threshold = 0.5;
+};
+
+/// Clusters n items given an n x n symmetric distance matrix. Returns dense
+/// cluster labels in [0, k). O(n^2) memory, O(n^2 log n)-ish time via
+/// nearest-neighbor caching — adequate for per-name paper sets.
+iuad::Result<std::vector<int>> Hac(
+    const std::vector<std::vector<double>>& distances, const HacConfig& config);
+
+}  // namespace iuad::cluster
+
+#endif  // IUAD_CLUSTER_HAC_H_

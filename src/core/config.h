@@ -1,0 +1,94 @@
+#ifndef IUAD_CORE_CONFIG_H_
+#define IUAD_CORE_CONFIG_H_
+
+/// \file config.h
+/// All knobs of the IUAD pipeline in one place. Defaults follow the paper's
+/// experimental settings where stated (η-SCRs with η = 2 as in the running
+/// example, 10% candidate-pair sampling, α = 0.62 time decay) and DESIGN.md
+/// documents every choice the paper leaves open.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "em/mixture_model.h"
+#include "graph/collab_graph.h"
+#include "text/word2vec.h"
+
+namespace iuad::core {
+
+/// Number of similarity functions γ1..γ6 (Sec. V-B).
+constexpr int kNumSimilarities = 6;
+
+struct IuadConfig {
+  // --- Stage 1: SCN construction (Sec. IV) -----------------------------
+  /// η: minimum co-occurrence count of a stable collaborative relation.
+  int64_t eta = 2;
+  /// The Fig. 4 insertion rule: a new SCR endpoint reuses an existing
+  /// vertex only when an incident triangle of SCRs supports it. Disabling
+  /// (ablation) merges same-name endpoints unconditionally — precision
+  /// collapses, which is the point of the bottom-up design.
+  bool triangle_gated_insertion = true;
+
+  // --- Similarities (Sec. V-B) ------------------------------------------
+  /// h: Weisfeiler-Lehman refinement depth for γ1.
+  int wl_iterations = 2;
+  /// α: time-decay factor of γ4 (the paper cites FutureRank's 0.62).
+  double time_decay_alpha = 0.62;
+  /// Embedding trainer for γ3 (replaces the paper's pretrained vectors).
+  text::Word2VecConfig word2vec;
+
+  // --- Stage 2: GCN construction (Sec. V) --------------------------------
+  /// δ: decision threshold on the posterior log-odds score (Eq. 11).
+  double delta = 0.0;
+  /// Fraction of candidate pairs used to train the generative model
+  /// (Sec. VI-A3 samples 10%).
+  double sample_rate = 0.10;
+  /// Vertex-splitting augmentation against class imbalance (Sec. V-F2).
+  /// Small vertices are split too (min 2 papers): the planted matched pairs
+  /// must cover the *small-profile* similarity scale as well, or the EM
+  /// matched component learns only the prolific-author regime and
+  /// mis-scores single-paper evidence (the incremental case).
+  bool vertex_splitting = true;
+  int split_min_papers = 2;    ///< Vertices with >= this many papers split.
+  int max_split_vertices = 300;
+  /// Safety cap: names sharing more vertices than this have their candidate
+  /// pairs deterministically subsampled (the paper's DBLP run needs none).
+  int max_pairs_per_name = 20000;
+  /// Per-feature exponential-family choice (order γ1..γ6). γ1 (normalized
+  /// WL) is semi-discrete — exactly 0 for the many pairs with no shared
+  /// ball labels — so it gets the binned Multinomial, which absorbs point
+  /// masses gracefully; γ3 (cosine) is bounded and bell-ish => Gaussian;
+  /// the overlap-style similarities are nonnegative and heavy-tailed =>
+  /// Exponential. See DESIGN.md §5; ablated in bench/ablation_design_choices.
+  std::vector<em::FamilyType> families = {
+      em::FamilyType::kMultinomial, em::FamilyType::kExponential,
+      em::FamilyType::kGaussian,    em::FamilyType::kExponential,
+      em::FamilyType::kExponential, em::FamilyType::kExponential,
+  };
+  /// EM settings (init quantile, tolerance, ...).
+  em::MixtureConfig em;
+
+  // --- Semi-supervision (the paper's stated future work, Sec. VII) -------
+  /// Optional label oracle over candidate vertex pairs. Return 1 for a
+  /// known match, 0 for a known non-match, -1 for unknown. Known labels
+  /// pin the EM initial responsibilities (0.99 / 0.01) for those training
+  /// pairs; everything else stays unsupervised. Typical source: a few
+  /// manually-curated author profiles.
+  std::function<int(const graph::CollabGraph&, graph::VertexId,
+                    graph::VertexId)>
+      pair_label_oracle;
+
+  // --- Incremental mode (Sec. V-E) ---------------------------------------
+  /// Rebuild the WL kernel / similarity caches after this many ingested
+  /// papers (stale structure in between is tolerated by design — the paper
+  /// never retrains on new papers).
+  int incremental_refresh_interval = 64;
+
+  /// Seed for every randomized component (sampling, splitting, embeddings).
+  uint64_t seed = 1234;
+};
+
+}  // namespace iuad::core
+
+#endif  // IUAD_CORE_CONFIG_H_

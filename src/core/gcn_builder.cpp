@@ -1,0 +1,234 @@
+#include "core/gcn_builder.h"
+
+#include <algorithm>
+
+#include "core/similarity.h"
+#include "graph/union_find.h"
+#include "util/logging.h"
+
+namespace iuad::core {
+
+using graph::VertexId;
+
+iuad::Result<VertexId> SplitVertexForAugmentation(graph::CollabGraph* graph,
+                                                  VertexId v,
+                                                  iuad::Rng* rng) {
+  if (!graph->alive(v)) {
+    return iuad::Status::FailedPrecondition("cannot split dead vertex");
+  }
+  std::vector<int> papers = graph->vertex(v).papers;
+  if (papers.size() < 2) {
+    return iuad::Status::InvalidArgument("vertex has < 2 papers to split");
+  }
+  rng->Shuffle(&papers);
+  const size_t half = papers.size() / 2;
+  std::vector<int> moved(papers.begin(), papers.begin() + static_cast<long>(half));
+  std::vector<int> kept(papers.begin() + static_cast<long>(half), papers.end());
+  std::sort(moved.begin(), moved.end());
+  std::sort(kept.begin(), kept.end());
+
+  const VertexId v2 = graph->AddVertex(graph->vertex(v).name, moved);
+  graph->SetVertexPapers(v, kept);
+
+  // Edge surgery: an incident edge's papers follow the half they belong to.
+  const auto neighbors = graph->NeighborsOf(v);  // copy: we mutate below
+  for (const auto& [nbr, edge_papers] : neighbors) {
+    std::vector<int> stay, go;
+    for (int pid : edge_papers) {
+      if (std::binary_search(moved.begin(), moved.end(), pid)) {
+        go.push_back(pid);
+      } else {
+        stay.push_back(pid);
+      }
+    }
+    if (go.empty()) continue;
+    IUAD_RETURN_NOT_OK(graph->SetEdgePapers(v, nbr, std::move(stay)));
+    IUAD_RETURN_NOT_OK(graph->AddEdgePapers(v2, nbr, go));
+  }
+  return v2;
+}
+
+std::vector<std::pair<VertexId, VertexId>> GcnBuilder::CandidatePairs(
+    const graph::CollabGraph& graph, iuad::Rng* rng,
+    int64_t* names_with_candidates) const {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  int64_t names = 0;
+  for (const auto& name : graph.Names()) {
+    const auto& verts = graph.VerticesWithName(name);
+    if (verts.size() < 2) continue;
+    ++names;
+    const int64_t all =
+        static_cast<int64_t>(verts.size()) * (static_cast<int64_t>(verts.size()) - 1) / 2;
+    if (all <= config_.max_pairs_per_name) {
+      for (size_t i = 0; i < verts.size(); ++i) {
+        for (size_t j = i + 1; j < verts.size(); ++j) {
+          pairs.emplace_back(verts[i], verts[j]);
+        }
+      }
+    } else {
+      // Deterministic subsample: random index pairs without enumeration.
+      for (int64_t k = 0; k < config_.max_pairs_per_name; ++k) {
+        const size_t i = rng->NextBounded(verts.size());
+        size_t j = rng->NextBounded(verts.size() - 1);
+        if (j >= i) ++j;
+        pairs.emplace_back(std::min(verts[i], verts[j]),
+                           std::max(verts[i], verts[j]));
+      }
+      std::sort(pairs.end() - config_.max_pairs_per_name, pairs.end());
+      pairs.erase(std::unique(pairs.end() - config_.max_pairs_per_name,
+                              pairs.end()),
+                  pairs.end());
+    }
+  }
+  if (names_with_candidates) *names_with_candidates = names;
+  return pairs;
+}
+
+iuad::Result<GcnStats> GcnBuilder::Build(
+    const data::PaperDatabase& db, graph::CollabGraph* graph,
+    OccurrenceIndex* occurrences, const text::Word2Vec& embeddings,
+    std::unique_ptr<em::MixtureModel>* model_out) const {
+  GcnStats stats;
+  model_out->reset();
+  iuad::Rng rng(config_.seed ^ 0x9cda1f);
+
+  // ---- Vertex-splitting augmentation (Sec. V-F2). ------------------------
+  std::vector<std::pair<VertexId, VertexId>> augmented;
+  if (config_.vertex_splitting) {
+    std::vector<VertexId> eligible;
+    for (VertexId v : graph->AliveVertices()) {
+      if (static_cast<int>(graph->vertex(v).papers.size()) >=
+          config_.split_min_papers) {
+        eligible.push_back(v);
+      }
+    }
+    rng.Shuffle(&eligible);
+    if (static_cast<int>(eligible.size()) > config_.max_split_vertices) {
+      eligible.resize(static_cast<size_t>(config_.max_split_vertices));
+    }
+    for (VertexId v : eligible) {
+      auto v2 = SplitVertexForAugmentation(graph, v, &rng);
+      if (!v2.ok()) return v2.status();
+      augmented.emplace_back(v, *v2);
+    }
+    stats.augmented_pairs = static_cast<int64_t>(augmented.size());
+  }
+
+  // ---- Training data on the augmented graph. -----------------------------
+  std::vector<std::vector<double>> train_gammas;
+  int64_t n_aug_in_train = 0;
+  {
+    SimilarityComputer sim(db, *graph, embeddings, config_);
+    int64_t names = 0;
+    auto pairs = CandidatePairs(*graph, &rng, &names);
+    // Sample config_.sample_rate of the candidate pairs...
+    std::vector<std::pair<VertexId, VertexId>> sampled;
+    for (const auto& pr : pairs) {
+      if (rng.Bernoulli(config_.sample_rate)) sampled.push_back(pr);
+    }
+    // ...but never train on an empty/near-empty set if candidates exist.
+    if (sampled.size() < 8 && !pairs.empty()) {
+      sampled.assign(pairs.begin(),
+                     pairs.begin() + std::min<size_t>(pairs.size(), 64));
+    }
+    // The planted split pairs are part of the candidate set by construction
+    // (same name); make sure each is present exactly once.
+    std::sort(sampled.begin(), sampled.end());
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    for (auto [v, v2] : augmented) {
+      auto pr = std::make_pair(std::min(v, v2), std::max(v, v2));
+      if (!std::binary_search(sampled.begin(), sampled.end(), pr)) {
+        sampled.push_back(pr);
+      }
+    }
+    // Similarity vectors + which rows are planted matches.
+    std::vector<bool> is_planted(sampled.size(), false);
+    std::sort(augmented.begin(), augmented.end());
+    for (size_t k = 0; k < sampled.size(); ++k) {
+      auto pr = std::make_pair(std::min(sampled[k].first, sampled[k].second),
+                               std::max(sampled[k].first, sampled[k].second));
+      is_planted[k] = std::binary_search(augmented.begin(), augmented.end(), pr);
+      if (is_planted[k]) ++n_aug_in_train;
+      train_gammas.push_back(sim.Compute(sampled[k].first, sampled[k].second));
+    }
+    stats.training_pairs = static_cast<int64_t>(train_gammas.size());
+
+    if (!train_gammas.empty()) {
+      auto model = std::make_unique<em::MixtureModel>([&] {
+        em::MixtureConfig mc = config_.em;
+        mc.families = config_.families;
+        return mc;
+      }());
+      std::vector<double> init = model->InitialResponsibilities(train_gammas);
+      for (size_t k = 0; k < init.size(); ++k) {
+        if (is_planted[k]) init[k] = 1.0 - 1e-3;
+      }
+      // Semi-supervision (Sec. VII future work): known pair labels pin
+      // their initial responsibilities.
+      if (config_.pair_label_oracle) {
+        for (size_t k = 0; k < sampled.size(); ++k) {
+          const int label = config_.pair_label_oracle(*graph, sampled[k].first,
+                                                      sampled[k].second);
+          if (label == 1) init[k] = 1.0 - 1e-3;
+          if (label == 0) init[k] = 1e-3;
+        }
+      }
+      IUAD_RETURN_NOT_OK(model->Fit(train_gammas, init));
+      stats.em_log_likelihood = model->final_log_likelihood();
+      stats.em_iterations = model->iterations_run();
+      *model_out = std::move(model);
+    }
+  }
+
+  // ---- Undo the augmentation splits. --------------------------------------
+  for (auto [v, v2] : augmented) {
+    IUAD_RETURN_NOT_OK(graph->MergeVertices(v, v2));
+  }
+
+  if (*model_out == nullptr) {
+    // No same-name pairs anywhere: the SCN is already the GCN; still recover
+    // the co-author-list relations below.
+    IUAD_LOG(kInfo) << "GCN: no candidate pairs; skipping EM/merge phase";
+  } else {
+    // ---- Decision phase on the clean graph (Lines 11-15). ----------------
+    SimilarityComputer sim(db, *graph, embeddings, config_);
+    auto pairs = CandidatePairs(*graph, &rng, &stats.names_with_candidates);
+    stats.candidate_pairs = static_cast<int64_t>(pairs.size());
+    graph::UnionFind uf(graph->num_vertices());
+    const em::MixtureModel& model = **model_out;
+    for (const auto& [u, v] : pairs) {
+      const double score = model.MatchScore(sim.Compute(u, v));
+      if (score >= config_.delta) uf.Union(u, v);
+    }
+    // Apply merges: within each set, absorb everything into the lowest id.
+    std::unordered_map<int, VertexId> keeper;
+    for (VertexId v : graph->AliveVertices()) {
+      const int root = uf.Find(v);
+      auto [it, inserted] = keeper.try_emplace(root, v);
+      if (inserted) continue;
+      IUAD_RETURN_NOT_OK(graph->MergeVertices(it->second, v));
+      occurrences->RecordMerge(it->second, v);
+      ++stats.merges;
+    }
+  }
+
+  // ---- Recover collaborative relations from co-author lists (Line 16). ---
+  for (const auto& paper : db.papers()) {
+    const size_t n = paper.author_names.size();
+    for (size_t i = 0; i < n; ++i) {
+      const VertexId vi = occurrences->Lookup(paper.id, paper.author_names[i]);
+      if (vi < 0) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        const VertexId vj =
+            occurrences->Lookup(paper.id, paper.author_names[j]);
+        if (vj < 0 || vj == vi) continue;
+        const bool existed = graph->NeighborsOf(vi).count(vj) > 0;
+        IUAD_RETURN_NOT_OK(graph->AddEdgePapers(vi, vj, {paper.id}));
+        if (!existed) ++stats.recovered_edges;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace iuad::core

@@ -1,0 +1,71 @@
+#ifndef IUAD_CORE_GCN_BUILDER_H_
+#define IUAD_CORE_GCN_BUILDER_H_
+
+/// \file gcn_builder.h
+/// Stage 2 of Algorithm 1: Global Collaboration Network construction
+/// (Sec. V). For every pair of same-name SCN vertices a similarity vector γ
+/// is computed (Sec. V-B); a two-component exponential-family mixture is
+/// fitted by EM on a sampled subset (10% by default, Sec. VI-A3) augmented
+/// with planted matched pairs from random vertex splitting (Sec. V-F2);
+/// pairs scoring log-odds ≥ δ (Eq. 11) are merged; finally the collaborative
+/// relations present in the co-author lists are recovered as edges
+/// (Algorithm 1, Line 16), completing the global collaboration network.
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/occurrence_index.h"
+#include "data/paper_database.h"
+#include "em/mixture_model.h"
+#include "graph/collab_graph.h"
+#include "text/word2vec.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace iuad::core {
+
+/// Stage-2 statistics.
+struct GcnStats {
+  int64_t names_with_candidates = 0;
+  int64_t candidate_pairs = 0;
+  int64_t training_pairs = 0;   ///< Sampled (includes augmented).
+  int64_t augmented_pairs = 0;  ///< Planted matches from vertex splitting.
+  int64_t merges = 0;           ///< Vertices absorbed by decisions.
+  int64_t recovered_edges = 0;  ///< Non-stable relations restored (Line 16).
+  double em_log_likelihood = 0.0;
+  int em_iterations = 0;
+};
+
+/// Splits vertex `v` into two by random paper bisection, rewiring incident
+/// edges by paper membership. Returns the new vertex (same name). Exposed
+/// for tests; `v` must hold at least 2 papers.
+iuad::Result<graph::VertexId> SplitVertexForAugmentation(
+    graph::CollabGraph* graph, graph::VertexId v, iuad::Rng* rng);
+
+/// Builds the GCN in place.
+class GcnBuilder {
+ public:
+  explicit GcnBuilder(const IuadConfig& config) : config_(config) {}
+
+  /// Mutates `graph` (merges + recovered edges) and `occurrences` (merge
+  /// aliases). On success `*model_out` holds the fitted generative model
+  /// (null when the corpus has no same-name vertex pairs at all).
+  iuad::Result<GcnStats> Build(
+      const data::PaperDatabase& db, graph::CollabGraph* graph,
+      OccurrenceIndex* occurrences, const text::Word2Vec& embeddings,
+      std::unique_ptr<em::MixtureModel>* model_out) const;
+
+ private:
+  /// All same-name alive vertex pairs, capped per name (deterministic
+  /// subsample beyond config_.max_pairs_per_name).
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> CandidatePairs(
+      const graph::CollabGraph& graph, iuad::Rng* rng,
+      int64_t* names_with_candidates) const;
+
+  IuadConfig config_;
+};
+
+}  // namespace iuad::core
+
+#endif  // IUAD_CORE_GCN_BUILDER_H_

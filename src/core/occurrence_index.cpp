@@ -1,0 +1,65 @@
+#include "core/occurrence_index.h"
+
+namespace iuad::core {
+
+uint64_t OccurrenceIndex::KeyOf(int paper_id, const std::string& name) const {
+  auto [it, inserted] =
+      name_ids_.try_emplace(name, static_cast<int>(name_ids_.size()));
+  return (static_cast<uint64_t>(static_cast<uint32_t>(paper_id)) << 32) |
+         static_cast<uint32_t>(it->second);
+}
+
+graph::VertexId OccurrenceIndex::AssignIfAbsent(int paper_id,
+                                                const std::string& name,
+                                                graph::VertexId v) {
+  auto [it, inserted] = occurrences_.try_emplace(KeyOf(paper_id, name), v);
+  return Resolve(it->second);
+}
+
+graph::VertexId OccurrenceIndex::Lookup(int paper_id,
+                                        const std::string& name) const {
+  auto name_it = name_ids_.find(name);
+  if (name_it == name_ids_.end()) return -1;
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(paper_id)) << 32) |
+      static_cast<uint32_t>(name_it->second);
+  auto it = occurrences_.find(key);
+  return it == occurrences_.end() ? -1 : Resolve(it->second);
+}
+
+void OccurrenceIndex::RecordMerge(graph::VertexId kept,
+                                  graph::VertexId absorbed) {
+  kept = Resolve(kept);
+  absorbed = Resolve(absorbed);
+  if (kept != absorbed) alias_[absorbed] = kept;
+}
+
+graph::VertexId OccurrenceIndex::Resolve(graph::VertexId v) const {
+  graph::VertexId root = v;
+  while (true) {
+    auto it = alias_.find(root);
+    if (it == alias_.end()) break;
+    root = it->second;
+  }
+  // Path compression.
+  while (v != root) {
+    auto it = alias_.find(v);
+    graph::VertexId next = it->second;
+    it->second = root;
+    v = next;
+  }
+  return root;
+}
+
+std::unordered_map<graph::VertexId, std::vector<int>>
+OccurrenceIndex::ClustersOfName(const std::string& name,
+                                const std::vector<int>& paper_ids) const {
+  std::unordered_map<graph::VertexId, std::vector<int>> clusters;
+  for (int pid : paper_ids) {
+    graph::VertexId v = Lookup(pid, name);
+    if (v >= 0) clusters[v].push_back(pid);
+  }
+  return clusters;
+}
+
+}  // namespace iuad::core

@@ -1,0 +1,60 @@
+#ifndef IUAD_CORE_OCCURRENCE_INDEX_H_
+#define IUAD_CORE_OCCURRENCE_INDEX_H_
+
+/// \file occurrence_index.h
+/// Tracks which graph vertex each (paper, name) byline occurrence is
+/// attributed to. This is the disambiguation *answer*: papers of name `a`
+/// grouped by their occurrence vertex form the predicted author clusters.
+/// Vertex merges are recorded as aliases so lookups always resolve to the
+/// surviving vertex.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/collab_graph.h"
+
+namespace iuad::core {
+
+/// (paper, name) -> vertex map with merge-aliasing.
+class OccurrenceIndex {
+ public:
+  /// Assigns occurrence (paper, name) to `v` if unassigned. Returns the
+  /// vertex that owns the occurrence after the call (the pre-existing owner
+  /// when already assigned — callers decide whether that constitutes a
+  /// conflict to merge).
+  graph::VertexId AssignIfAbsent(int paper_id, const std::string& name,
+                                 graph::VertexId v);
+
+  /// Current owner of (paper, name), alias-resolved; -1 if unassigned.
+  graph::VertexId Lookup(int paper_id, const std::string& name) const;
+
+  /// Records that `absorbed` was merged into `kept`; future lookups of
+  /// occurrences owned by `absorbed` return `kept`.
+  void RecordMerge(graph::VertexId kept, graph::VertexId absorbed);
+
+  /// Resolves a vertex id through the recorded merge aliases.
+  graph::VertexId Resolve(graph::VertexId v) const;
+
+  /// Number of assigned occurrences.
+  int64_t size() const { return static_cast<int64_t>(occurrences_.size()); }
+
+  /// Papers of `name` grouped by owning vertex: the predicted clustering of
+  /// that name, restricted to the given papers.
+  std::unordered_map<graph::VertexId, std::vector<int>> ClustersOfName(
+      const std::string& name, const std::vector<int>& paper_ids) const;
+
+ private:
+  uint64_t KeyOf(int paper_id, const std::string& name) const;
+
+  // Name interning (local, independent of any miner's encoder).
+  mutable std::unordered_map<std::string, int> name_ids_;
+  std::unordered_map<uint64_t, graph::VertexId> occurrences_;
+  // Alias forest with path compression on read (mutable).
+  mutable std::unordered_map<graph::VertexId, graph::VertexId> alias_;
+};
+
+}  // namespace iuad::core
+
+#endif  // IUAD_CORE_OCCURRENCE_INDEX_H_

@@ -1,0 +1,84 @@
+#include "core/pipeline.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace iuad::core {
+
+iuad::Result<DisambiguationResult> IuadPipeline::Run(
+    const data::PaperDatabase& db) const {
+  DisambiguationResult result;
+
+  // Title-keyword embeddings for γ3 (corpus-trained; DESIGN.md §2).
+  {
+    iuad::Stopwatch sw;
+    text::Word2VecConfig wc = config_.word2vec;
+    wc.seed = config_.seed ^ 0x5eedbeef;
+    result.embeddings = text::Word2Vec(wc);
+    std::vector<std::vector<std::string>> sentences;
+    sentences.reserve(static_cast<size_t>(db.num_papers()));
+    for (const auto& paper : db.papers()) {
+      sentences.push_back(db.KeywordsOf(paper.id));
+    }
+    iuad::Status st = result.embeddings.Train(sentences);
+    if (!st.ok()) {
+      // A corpus too small/odd for embeddings is not fatal: γ3 degrades to 0.
+      IUAD_LOG(kWarning) << "word2vec training skipped: " << st.ToString();
+    }
+    result.embed_seconds = sw.ElapsedSeconds();
+  }
+
+  {
+    iuad::Stopwatch sw;
+    ScnBuilder scn(config_);
+    auto stats = scn.Build(db, &result.graph, &result.occurrences);
+    if (!stats.ok()) return stats.status();
+    result.scn_stats = *stats;
+    result.scn_seconds = sw.ElapsedSeconds();
+  }
+
+  {
+    iuad::Stopwatch sw;
+    GcnBuilder gcn(config_);
+    auto stats = gcn.Build(db, &result.graph, &result.occurrences,
+                           result.embeddings, &result.model);
+    if (!stats.ok()) return stats.status();
+    result.gcn_stats = *stats;
+    result.gcn_seconds = sw.ElapsedSeconds();
+  }
+  return result;
+}
+
+iuad::Result<DisambiguationResult> IuadPipeline::RunScnOnly(
+    const data::PaperDatabase& db) const {
+  DisambiguationResult result;
+  iuad::Stopwatch sw;
+  ScnBuilder scn(config_);
+  auto stats = scn.Build(db, &result.graph, &result.occurrences);
+  if (!stats.ok()) return stats.status();
+  result.scn_stats = *stats;
+  IUAD_RETURN_NOT_OK(RecoverRelations(db, &result));
+  result.scn_seconds = sw.ElapsedSeconds();
+  return result;
+}
+
+iuad::Status IuadPipeline::RecoverRelations(const data::PaperDatabase& db,
+                                            DisambiguationResult* result) const {
+  for (const auto& paper : db.papers()) {
+    const size_t n = paper.author_names.size();
+    for (size_t i = 0; i < n; ++i) {
+      const graph::VertexId vi =
+          result->occurrences.Lookup(paper.id, paper.author_names[i]);
+      if (vi < 0) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        const graph::VertexId vj =
+            result->occurrences.Lookup(paper.id, paper.author_names[j]);
+        if (vj < 0 || vj == vi) continue;
+        IUAD_RETURN_NOT_OK(result->graph.AddEdgePapers(vi, vj, {paper.id}));
+      }
+    }
+  }
+  return iuad::Status::OK();
+}
+
+}  // namespace iuad::core

@@ -1,0 +1,62 @@
+#ifndef IUAD_CORE_PIPELINE_H_
+#define IUAD_CORE_PIPELINE_H_
+
+/// \file pipeline.h
+/// The public entry point: runs Algorithm 1 end-to-end over a paper
+/// database and returns the reconstructed global collaboration network plus
+/// everything the incremental path needs (fitted model, embeddings,
+/// occurrence attribution).
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/gcn_builder.h"
+#include "core/occurrence_index.h"
+#include "core/scn_builder.h"
+#include "data/paper_database.h"
+#include "em/mixture_model.h"
+#include "graph/collab_graph.h"
+#include "text/word2vec.h"
+#include "util/status.h"
+
+namespace iuad::core {
+
+/// Everything IUAD produces. Move-only (owns the fitted model).
+struct DisambiguationResult {
+  graph::CollabGraph graph;        ///< The reconstructed network.
+  OccurrenceIndex occurrences;     ///< (paper, name) -> vertex attribution.
+  std::unique_ptr<em::MixtureModel> model;  ///< Fitted Θ̂ (null in SCN-only runs).
+  text::Word2Vec embeddings;       ///< Title-keyword vectors (γ3).
+  ScnStats scn_stats;
+  GcnStats gcn_stats;
+  double embed_seconds = 0.0;
+  double scn_seconds = 0.0;
+  double gcn_seconds = 0.0;
+};
+
+/// Facade over ScnBuilder + GcnBuilder.
+class IuadPipeline {
+ public:
+  explicit IuadPipeline(IuadConfig config = {}) : config_(std::move(config)) {}
+
+  /// Full two-stage run (Algorithm 1).
+  iuad::Result<DisambiguationResult> Run(const data::PaperDatabase& db) const;
+
+  /// Stage-1-only run: the "SCN" arm of Table IV. No embeddings are trained
+  /// and no model is fitted; collaborative-relation recovery (Line 16) is
+  /// still applied so the output is a complete network.
+  iuad::Result<DisambiguationResult> RunScnOnly(
+      const data::PaperDatabase& db) const;
+
+  const IuadConfig& config() const { return config_; }
+
+ private:
+  iuad::Status RecoverRelations(const data::PaperDatabase& db,
+                                DisambiguationResult* result) const;
+
+  IuadConfig config_;
+};
+
+}  // namespace iuad::core
+
+#endif  // IUAD_CORE_PIPELINE_H_

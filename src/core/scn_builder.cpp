@@ -1,0 +1,150 @@
+#include "core/scn_builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mining/pair_miner.h"
+
+namespace iuad::core {
+
+namespace {
+
+using graph::VertexId;
+using mining::Item;
+
+/// Sorted intersection of two paper-id lists.
+std::vector<int> IntersectSorted(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+iuad::Result<ScnStats> ScnBuilder::Build(const data::PaperDatabase& db,
+                                         graph::CollabGraph* graph,
+                                         OccurrenceIndex* occurrences) const {
+  if (graph->num_vertices() != 0) {
+    return iuad::Status::InvalidArgument("SCN builder requires empty graph");
+  }
+  ScnStats stats;
+
+  // ---- Step I: mine all η-SCRs from the co-author lists. -----------------
+  mining::ItemEncoder encoder;
+  mining::PairCounter counter;
+  for (const auto& paper : db.papers()) {
+    mining::Transaction t;
+    t.reserve(paper.author_names.size());
+    for (const auto& name : paper.author_names) {
+      t.push_back(encoder.Encode(name));
+    }
+    counter.AddTransaction(t);
+  }
+  auto scrs = counter.FrequentPairs(config_.eta);
+  stats.num_scrs = static_cast<int64_t>(scrs.size());
+
+  // Fast SCR membership test, used by the triangle gate.
+  std::unordered_set<uint64_t> scr_set;
+  scr_set.reserve(scrs.size() * 2);
+  for (const auto& fi : scrs) {
+    scr_set.insert(mining::PairKey(fi.items[0], fi.items[1]));
+  }
+  auto is_scr = [&scr_set](Item a, Item b) {
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    return scr_set.count(mining::PairKey(a, b)) > 0;
+  };
+
+  // Deterministic insertion order: strongest relations first (they lay the
+  // skeleton the triangle gate tests against), ties lexicographic.
+  std::sort(scrs.begin(), scrs.end(),
+            [](const mining::FrequentItemset& x,
+               const mining::FrequentItemset& y) {
+              if (x.support != y.support) return x.support > y.support;
+              return x.items < y.items;
+            });
+
+  // ---- Step II: insert 2-SCRs with triangle-gated endpoint resolution. ---
+  // Resolves which existing same-name vertex (if any) an SCR endpoint
+  // refers to: reuse vertex `v` of name `self` iff some neighbor u of v
+  // forms an η-SCR with the *other* endpoint's name (Fig. 4 (ii)); with the
+  // gate disabled (ablation), any same-name vertex is reused.
+  auto resolve_endpoint = [&](const std::string& self_name,
+                              Item other_item) -> VertexId {
+    const auto& candidates = graph->VerticesWithName(self_name);
+    if (candidates.empty()) return -1;
+    if (!config_.triangle_gated_insertion) return candidates.front();
+    for (VertexId v : candidates) {
+      for (const auto& [nbr, papers] : graph->NeighborsOf(v)) {
+        const Item nbr_item = encoder.Find(graph->vertex(nbr).name);
+        if (nbr_item >= 0 && is_scr(nbr_item, other_item)) return v;
+      }
+    }
+    return -1;
+  };
+
+  for (const auto& scr : scrs) {
+    const Item ia = scr.items[0];
+    const Item ib = scr.items[1];
+    const std::string& name_a = encoder.Decode(ia);
+    const std::string& name_b = encoder.Decode(ib);
+    // P_ab: all papers whose byline contains both names — under the stable-
+    // relation assumption they are all by the same author pair (Sec. IV-B).
+    const std::vector<int> shared =
+        IntersectSorted(db.PapersWithName(name_a), db.PapersWithName(name_b));
+
+    VertexId va = resolve_endpoint(name_a, ib);
+    VertexId vb = resolve_endpoint(name_b, ia);
+    if (va < 0) va = graph->AddVertex(name_a, {});
+    if (vb < 0) vb = graph->AddVertex(name_b, {});
+
+    // Attribute each shared occurrence; an occurrence already owned by a
+    // *different* same-name vertex proves the two vertices identical.
+    for (int pid : shared) {
+      VertexId owner_a = occurrences->AssignIfAbsent(pid, name_a, va);
+      if (owner_a != va && graph->alive(owner_a) && graph->alive(va)) {
+        IUAD_RETURN_NOT_OK(graph->MergeVertices(owner_a, va));
+        occurrences->RecordMerge(owner_a, va);
+        ++stats.conflict_merges;
+        va = owner_a;
+        if (vb == va) {
+          // Degenerate: conflict merge fused the two endpoints (possible
+          // only through pathological same-name chains); skip the edge.
+          break;
+        }
+      }
+      VertexId owner_b = occurrences->AssignIfAbsent(pid, name_b, vb);
+      if (owner_b != vb && graph->alive(owner_b) && graph->alive(vb)) {
+        IUAD_RETURN_NOT_OK(graph->MergeVertices(owner_b, vb));
+        occurrences->RecordMerge(owner_b, vb);
+        ++stats.conflict_merges;
+        vb = owner_b;
+      }
+      if (va == vb) break;
+    }
+    if (va == vb || !graph->alive(va) || !graph->alive(vb)) continue;
+
+    graph->AddVertexPapers(va, shared);
+    graph->AddVertexPapers(vb, shared);
+    IUAD_RETURN_NOT_OK(graph->AddEdgePapers(va, vb, shared));
+    stats.covered_occurrences += 2 * static_cast<int64_t>(shared.size());
+  }
+
+  // ---- Remaining occurrences become per-paper singleton vertices. --------
+  for (const auto& paper : db.papers()) {
+    for (const auto& name : paper.author_names) {
+      if (occurrences->Lookup(paper.id, name) >= 0) continue;
+      VertexId v = graph->AddVertex(name, {paper.id});
+      occurrences->AssignIfAbsent(paper.id, name, v);
+      ++stats.singleton_occurrences;
+    }
+  }
+
+  stats.num_vertices = graph->num_alive();
+  stats.num_edges = graph->num_edges();
+  return stats;
+}
+
+}  // namespace iuad::core

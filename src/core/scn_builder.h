@@ -1,0 +1,53 @@
+#ifndef IUAD_CORE_SCN_BUILDER_H_
+#define IUAD_CORE_SCN_BUILDER_H_
+
+/// \file scn_builder.h
+/// Stage 1 of Algorithm 1: Stable Collaboration Network construction
+/// (Sec. IV). η-SCRs are mined from the co-author lists; 2-SCRs are inserted
+/// into the graph with the triangle-gated endpoint resolution of Fig. 4
+/// (an existing same-name vertex is reused only when one of its neighbors
+/// forms an η-SCR with the other endpoint, i.e. a stable triangle closes);
+/// every byline occurrence not covered by any SCR becomes a per-paper
+/// singleton vertex (bottom-up: presumed distinct until proven otherwise).
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "core/occurrence_index.h"
+#include "data/paper_database.h"
+#include "graph/collab_graph.h"
+#include "util/status.h"
+
+namespace iuad::core {
+
+/// Construction statistics (reported by benches and asserted in tests).
+struct ScnStats {
+  int64_t num_scrs = 0;              ///< Mined η-stable relations.
+  int num_vertices = 0;              ///< Alive vertices after stage 1.
+  int num_edges = 0;
+  int64_t covered_occurrences = 0;   ///< Byline occurrences on SCR edges.
+  int64_t singleton_occurrences = 0; ///< Occurrences made singleton vertices.
+  /// Same-occurrence conflicts resolved by merging (two SCRs attributing
+  /// one byline occurrence to two vertices prove those vertices identical —
+  /// an engineering completion of the paper's procedure; DESIGN.md §5).
+  int conflict_merges = 0;
+};
+
+/// Builds the SCN. Stateless apart from configuration.
+class ScnBuilder {
+ public:
+  explicit ScnBuilder(const IuadConfig& config) : config_(config) {}
+
+  /// Populates `graph` (must be empty) and `occurrences` from `db`.
+  iuad::Result<ScnStats> Build(const data::PaperDatabase& db,
+                               graph::CollabGraph* graph,
+                               OccurrenceIndex* occurrences) const;
+
+ private:
+  IuadConfig config_;
+};
+
+}  // namespace iuad::core
+
+#endif  // IUAD_CORE_SCN_BUILDER_H_

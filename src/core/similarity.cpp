@@ -1,0 +1,239 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/triangles.h"
+#include "text/tokenizer.h"
+
+namespace iuad::core {
+
+namespace {
+
+/// Minimum |a_i - b_j| over two sorted year lists (the min(b) of Eq. 7).
+int MinYearDiff(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0, j = 0;
+  int best = std::numeric_limits<int>::max();
+  while (i < a.size() && j < b.size()) {
+    best = std::min(best, std::abs(a[i] - b[j]));
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+/// Finite Adamic/Adar weight: 1 / log(1 + freq). freq >= 1 always.
+double AdamicAdar(int64_t freq) {
+  return 1.0 / std::log(1.0 + static_cast<double>(std::max<int64_t>(freq, 1)));
+}
+
+}  // namespace
+
+SimilarityComputer::SimilarityComputer(const data::PaperDatabase& db,
+                                       const graph::CollabGraph& graph,
+                                       const text::Word2Vec& embeddings,
+                                       const IuadConfig& config)
+    : db_(db),
+      graph_(graph),
+      embeddings_(embeddings),
+      config_(config),
+      wl_(graph, config.wl_iterations) {
+  ComputeEmbeddingCenter();
+}
+
+void SimilarityComputer::ComputeEmbeddingCenter() {
+  embedding_center_.assign(static_cast<size_t>(embeddings_.dim()), 0.0f);
+  if (!embeddings_.trained()) return;
+  const auto& vocab = embeddings_.vocabulary();
+  double total = 0.0;
+  text::Vec sum(static_cast<size_t>(embeddings_.dim()), 0.0f);
+  for (int id = 0; id < vocab.size(); ++id) {
+    const text::Vec* v = embeddings_.VectorOf(vocab.WordOf(id));
+    if (v == nullptr) continue;
+    const float w = static_cast<float>(vocab.CountOf(id));
+    for (size_t i = 0; i < sum.size(); ++i) sum[i] += w * (*v)[i];
+    total += w;
+  }
+  if (total > 0) {
+    text::ScaleInPlace(&sum, static_cast<float>(1.0 / total));
+    embedding_center_ = std::move(sum);
+  }
+}
+
+void SimilarityComputer::InvalidateProfile(graph::VertexId v) {
+  profiles_.erase(v);
+}
+
+SimilarityComputer::Profile SimilarityComputer::BuildProfileFromPapers(
+    const std::vector<int>& paper_ids) const {
+  Profile p;
+  p.num_papers = static_cast<int>(paper_ids.size());
+  text::Vec sum(static_cast<size_t>(embeddings_.dim()), 0.0f);
+  int embedded_words = 0;
+  for (int pid : paper_ids) {
+    const data::Paper& paper = db_.paper(pid);
+    ++p.venue_counts[paper.venue];
+    for (const auto& kw : db_.KeywordsOf(pid)) {
+      ++p.keyword_counts[kw];
+      p.keyword_years[kw].push_back(paper.year);
+      if (const text::Vec* v = embeddings_.VectorOf(kw)) {
+        text::AddInPlace(&sum, *v);
+        ++embedded_words;
+      }
+    }
+  }
+  for (auto& [kw, years] : p.keyword_years) {
+    std::sort(years.begin(), years.end());
+  }
+  if (embedded_words > 0) {
+    text::ScaleInPlace(&sum, 1.0f / static_cast<float>(embedded_words));
+    // Remove the corpus-wide common component (see ComputeEmbeddingCenter).
+    for (size_t i = 0; i < sum.size(); ++i) sum[i] -= embedding_center_[i];
+  }
+  p.mean_embedding = std::move(sum);
+  // Representative venue: most frequent, ties to the lexicographically
+  // smallest for determinism.
+  int best = -1;
+  for (const auto& [venue, cnt] : p.venue_counts) {
+    if (cnt > best || (cnt == best && venue < p.representative_venue)) {
+      best = cnt;
+      p.representative_venue = venue;
+    }
+  }
+  return p;
+}
+
+SimilarityComputer::Profile SimilarityComputer::BuildProfileFromSinglePaper(
+    const data::Paper& paper) const {
+  Profile p;
+  p.num_papers = 1;
+  ++p.venue_counts[paper.venue];
+  p.representative_venue = paper.venue;
+  text::Vec sum(static_cast<size_t>(embeddings_.dim()), 0.0f);
+  int embedded_words = 0;
+  for (const auto& kw : text::ExtractKeywords(paper.title)) {
+    ++p.keyword_counts[kw];
+    p.keyword_years[kw].push_back(paper.year);
+    if (const text::Vec* v = embeddings_.VectorOf(kw)) {
+      text::AddInPlace(&sum, *v);
+      ++embedded_words;
+    }
+  }
+  if (embedded_words > 0) {
+    text::ScaleInPlace(&sum, 1.0f / static_cast<float>(embedded_words));
+    for (size_t i = 0; i < sum.size(); ++i) sum[i] -= embedding_center_[i];
+  }
+  p.mean_embedding = std::move(sum);
+  return p;
+}
+
+const SimilarityComputer::Profile& SimilarityComputer::ProfileOf(
+    graph::VertexId v) const {
+  auto it = profiles_.find(v);
+  if (it != profiles_.end()) return it->second;
+  Profile p = BuildProfileFromPapers(graph_.vertex(v).papers);
+  // Incident triangles by co-author names (L(v) of Eq. 5).
+  for (const auto& [a, b] : graph::TrianglesOf(graph_, v)) {
+    std::string na = graph_.vertex(a).name;
+    std::string nb = graph_.vertex(b).name;
+    if (nb < na) std::swap(na, nb);
+    p.triangle_names.emplace_back(std::move(na), std::move(nb));
+  }
+  std::sort(p.triangle_names.begin(), p.triangle_names.end());
+  p.triangle_names.erase(
+      std::unique(p.triangle_names.begin(), p.triangle_names.end()),
+      p.triangle_names.end());
+  return profiles_.emplace(v, std::move(p)).first->second;
+}
+
+void SimilarityComputer::FillTextAndVenueFeatures(
+    const Profile& a, const Profile& b, SimilarityVector* gamma) const {
+  const double tau =
+      static_cast<double>(std::max(1, std::min(a.num_papers, b.num_papers)));
+  // Scale compression for the unbounded overlap features (see header).
+  auto squash = [](double x) { return std::log1p(x); };
+
+  // γ3 (Eq. 6): cosine of mean keyword embeddings.
+  (*gamma)[2] = text::Cosine(a.mean_embedding, b.mean_embedding);
+
+  // γ4 (Eq. 7): decay-weighted rare-keyword overlap. Iterate the smaller map.
+  const Profile& small = a.keyword_years.size() <= b.keyword_years.size() ? a : b;
+  const Profile& large = a.keyword_years.size() <= b.keyword_years.size() ? b : a;
+  double g4 = 0.0;
+  for (const auto& [word, years_s] : small.keyword_years) {
+    auto it = large.keyword_years.find(word);
+    if (it == large.keyword_years.end()) continue;
+    const int diff = MinYearDiff(years_s, it->second);
+    g4 += std::exp(-config_.time_decay_alpha * diff) *
+          AdamicAdar(db_.KeywordFrequency(word));
+  }
+  (*gamma)[3] = squash(g4 / tau);
+
+  // γ5 (Eq. 8): cross counts of the representative venues.
+  auto count_in = [](const Profile& p, const std::string& venue) {
+    auto it = p.venue_counts.find(venue);
+    return it == p.venue_counts.end() ? 0 : it->second;
+  };
+  (*gamma)[4] = squash((count_in(b, a.representative_venue) +
+                        count_in(a, b.representative_venue)) /
+                       tau);
+
+  // γ6 (Eq. 9): Adamic/Adar venue-multiset overlap (multiplicity = min).
+  const Profile& vs = a.venue_counts.size() <= b.venue_counts.size() ? a : b;
+  const Profile& vl = a.venue_counts.size() <= b.venue_counts.size() ? b : a;
+  double g6 = 0.0;
+  for (const auto& [venue, cnt_s] : vs.venue_counts) {
+    auto it = vl.venue_counts.find(venue);
+    if (it == vl.venue_counts.end()) continue;
+    g6 += std::min(cnt_s, it->second) * AdamicAdar(db_.VenueFrequency(venue));
+  }
+  (*gamma)[5] = squash(g6 / tau);
+}
+
+SimilarityVector SimilarityComputer::Compute(graph::VertexId u,
+                                             graph::VertexId v) const {
+  SimilarityVector gamma(kNumSimilarities, 0.0);
+  const Profile& pu = ProfileOf(u);
+  const Profile& pv = ProfileOf(v);
+  const double tau =
+      static_cast<double>(std::max(1, std::min(pu.num_papers, pv.num_papers)));
+
+  // γ1 (Eq. 3-4): normalized WL subtree kernel.
+  gamma[0] = wl_.NormalizedKernel(u, v);
+
+  // γ2 (Eq. 5): common co-author cliques (triangles, by name) over τ.
+  std::vector<std::pair<std::string, std::string>> common;
+  std::set_intersection(pu.triangle_names.begin(), pu.triangle_names.end(),
+                        pv.triangle_names.begin(), pv.triangle_names.end(),
+                        std::back_inserter(common));
+  gamma[1] = std::log1p(static_cast<double>(common.size()) / tau);
+
+  FillTextAndVenueFeatures(pu, pv, &gamma);
+  return gamma;
+}
+
+SimilarityVector SimilarityComputer::ComputeVsNewPaper(
+    graph::VertexId v, const data::Paper& paper,
+    const std::string& name) const {
+  SimilarityVector gamma(kNumSimilarities, 0.0);
+  const Profile& pv = ProfileOf(v);
+  const Profile pn = BuildProfileFromSinglePaper(paper);
+
+  // γ1: the new occurrence is a star whose neighbors are its byline
+  // co-authors; compare those names against v's WL ball.
+  std::vector<std::string> coauthors;
+  for (const auto& other : paper.author_names) {
+    if (other != name) coauthors.push_back(other);
+  }
+  gamma[0] = wl_.NormalizedKernelVsNameSet(v, coauthors);
+  // γ2: an unattached occurrence participates in no cliques yet.
+  gamma[1] = 0.0;
+  FillTextAndVenueFeatures(pv, pn, &gamma);
+  return gamma;
+}
+
+}  // namespace iuad::core

@@ -1,0 +1,340 @@
+#include "data/corpus_generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace iuad::data {
+
+namespace {
+
+/// Syllable inventory for pronounceable synthetic words. Chosen so that no
+/// generated word collides with the stop-word list (all generated words are
+/// >= 4 characters and synthetic).
+const char* const kOnsets[] = {"b",  "br", "ch", "d",  "dr", "f",  "g",
+                               "gr", "h",  "j",  "k",  "kl", "l",  "m",
+                               "n",  "p",  "pr", "qu", "r",  "s",  "sh",
+                               "st", "t",  "tr", "v",  "w",  "x",  "z"};
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"};
+const char* const kCodas[] = {"",  "n", "m", "l", "r", "s", "x",
+                              "th", "nd", "rk", "st", "ng"};
+
+std::string MakeSyllable(iuad::Rng* rng) {
+  std::string s;
+  s += kOnsets[rng->NextBounded(sizeof(kOnsets) / sizeof(kOnsets[0]))];
+  s += kNuclei[rng->NextBounded(sizeof(kNuclei) / sizeof(kNuclei[0]))];
+  s += kCodas[rng->NextBounded(sizeof(kCodas) / sizeof(kCodas[0]))];
+  return s;
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  return s;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config) : config_(config) {}
+
+std::string CorpusGenerator::MakeWord(iuad::Rng* rng, int min_syllables,
+                                      int max_syllables) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    int n = static_cast<int>(
+        rng->UniformInt(min_syllables, max_syllables));
+    std::string w;
+    for (int i = 0; i < n; ++i) w += MakeSyllable(rng);
+    if (w.size() < 4) continue;
+    if (!used_words_.try_emplace(w, true).second) continue;
+    return w;
+  }
+  IUAD_CHECK(false) << "word pool exhausted; enlarge syllable inventory";
+  return {};
+}
+
+std::string CorpusGenerator::MakeName(
+    iuad::Rng* rng, const iuad::ZipfSampler& given_z,
+    const iuad::ZipfSampler& sur_z, const std::vector<std::string>& givens,
+    const std::vector<std::string>& surnames) {
+  const auto& g = givens[static_cast<size_t>(given_z.Sample(rng))];
+  const auto& s = surnames[static_cast<size_t>(sur_z.Sample(rng))];
+  return g + " " + s;
+}
+
+Corpus CorpusGenerator::Generate() {
+  iuad::Rng rng(config_.seed);
+  Corpus corpus;
+
+  // --- Vocabulary pools ------------------------------------------------
+  std::vector<std::string> common_vocab;
+  common_vocab.reserve(static_cast<size_t>(config_.common_words));
+  for (int i = 0; i < config_.common_words; ++i) {
+    common_vocab.push_back(MakeWord(&rng, 2, 3));
+  }
+  std::vector<std::vector<std::string>> topic_vocab(
+      static_cast<size_t>(config_.num_communities));
+  for (auto& topic : topic_vocab) {
+    topic.reserve(static_cast<size_t>(config_.topic_words));
+    for (int i = 0; i < config_.topic_words; ++i) {
+      topic.push_back(MakeWord(&rng, 2, 4));
+    }
+  }
+
+  // --- Venue pools ------------------------------------------------------
+  std::vector<std::vector<std::string>> community_venues(
+      static_cast<size_t>(config_.num_communities));
+  for (int c = 0; c < config_.num_communities; ++c) {
+    for (int v = 0; v < config_.venues_per_community; ++v) {
+      community_venues[static_cast<size_t>(c)].push_back(
+          Capitalize(MakeWord(&rng, 2, 3)) + " Symposium");
+    }
+  }
+  std::vector<std::string> global_venues;
+  for (int v = 0; v < config_.global_venues; ++v) {
+    global_venues.push_back(Capitalize(MakeWord(&rng, 2, 3)) + " Journal");
+  }
+
+  // --- Name pools ---------------------------------------------------------
+  std::vector<std::string> givens, surnames;
+  for (int i = 0; i < config_.given_name_pool; ++i) {
+    givens.push_back(Capitalize(MakeWord(&rng, 1, 2)));
+  }
+  for (int i = 0; i < config_.surname_pool; ++i) {
+    surnames.push_back(Capitalize(MakeWord(&rng, 1, 2)));
+  }
+  iuad::ZipfSampler given_z(config_.given_name_pool, config_.name_zipf);
+  iuad::ZipfSampler sur_z(config_.surname_pool, config_.name_zipf);
+
+  // --- Authors --------------------------------------------------------
+  const int num_authors = config_.num_communities * config_.authors_per_community;
+  corpus.authors.reserve(static_cast<size_t>(num_authors));
+  // Per-author interests: indices into the community topic vocabulary, split
+  // into an early-career half and a late-career half to create drift.
+  std::vector<std::vector<int>> interests_early(static_cast<size_t>(num_authors));
+  std::vector<std::vector<int>> interests_late(static_cast<size_t>(num_authors));
+  // Per-author permutation of community venues: element 0 is the author's
+  // representative venue (most frequent; the γ5 signal).
+  std::vector<std::vector<int>> venue_pref(static_cast<size_t>(num_authors));
+  // Names are unique *within* a community: two homonymous authors in the
+  // same tight research community are vanishingly rare in DBLP (and are the
+  // regime the paper's Sec. IV-A independence argument assumes away), so a
+  // collision inside a community is resampled.
+  std::vector<std::unordered_set<std::string>> community_names(
+      static_cast<size_t>(config_.num_communities));
+  for (int a = 0; a < num_authors; ++a) {
+    AuthorProfile prof;
+    prof.id = a;
+    prof.community = a / config_.authors_per_community;
+    auto& taken = community_names[static_cast<size_t>(prof.community)];
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      prof.name = MakeName(&rng, given_z, sur_z, givens, surnames);
+      if (!taken.count(prof.name)) break;
+    }
+    taken.insert(prof.name);
+    prof.career_start = static_cast<int>(
+        rng.UniformInt(config_.min_year,
+                       std::max(config_.min_year, config_.max_year -
+                                                      config_.min_career_len)));
+    const int len = static_cast<int>(
+        rng.UniformInt(config_.min_career_len, config_.max_career_len));
+    prof.career_end = std::min(config_.max_year, prof.career_start + len);
+    // Interests: distinct picks from the community topic pool.
+    std::vector<int> picks(static_cast<size_t>(config_.topic_words));
+    std::iota(picks.begin(), picks.end(), 0);
+    rng.Shuffle(&picks);
+    const int k = std::min(config_.interests_per_author, config_.topic_words);
+    auto& early = interests_early[static_cast<size_t>(a)];
+    auto& late = interests_late[static_cast<size_t>(a)];
+    for (int i = 0; i < k; ++i) {
+      // Overlap the halves slightly: an author's field is stable even as
+      // their problems drift (the premise of γ4).
+      if (i < k / 2 + 2) early.push_back(picks[static_cast<size_t>(i)]);
+      if (i >= k / 2 - 2) late.push_back(picks[static_cast<size_t>(i)]);
+    }
+    auto& vp = venue_pref[static_cast<size_t>(a)];
+    vp.resize(static_cast<size_t>(config_.venues_per_community));
+    std::iota(vp.begin(), vp.end(), 0);
+    rng.Shuffle(&vp);
+    corpus.authors.push_back(std::move(prof));
+  }
+
+  // Productivity ranks: a random permutation feeds the Zipf sampler so the
+  // most productive author is a random author, not author 0.
+  std::vector<int> rank_to_author(static_cast<size_t>(num_authors));
+  std::iota(rank_to_author.begin(), rank_to_author.end(), 0);
+  rng.Shuffle(&rank_to_author);
+  iuad::ZipfSampler productivity(num_authors, config_.productivity_zipf);
+  iuad::ZipfSampler venue_pick(config_.venues_per_community, 1.4);
+  iuad::ZipfSampler global_venue_pick(config_.global_venues, 1.2);
+  iuad::ZipfSampler common_word_pick(config_.common_words, 1.1);
+
+  // Collaboration state: per author, accumulated co-publication counts.
+  std::vector<std::unordered_map<int, int>> collab(
+      static_cast<size_t>(num_authors));
+
+  // --- Papers -----------------------------------------------------------
+  for (int pidx = 0; pidx < config_.num_papers; ++pidx) {
+    const int lead =
+        rank_to_author[static_cast<size_t>(productivity.Sample(&rng))];
+    const AuthorProfile& lead_prof = corpus.authors[static_cast<size_t>(lead)];
+
+    // Byline assembly. No two byline authors may share a *name*: a real
+    // byline lists distinct strings, and ground-truth attribution of a name
+    // occurrence must be unambiguous.
+    std::vector<int> byline{lead};
+    std::unordered_set<std::string> byline_names{lead_prof.name};
+    int extra = rng.Poisson(config_.coauthors_mean);
+    extra = std::min(extra, config_.max_authors_per_paper - 1);
+    for (int slot = 0; slot < extra; ++slot) {
+      int candidate = -1;
+      const auto& partners = collab[static_cast<size_t>(lead)];
+      if (!partners.empty() &&
+          rng.Bernoulli(config_.repeat_collaborator_prob)) {
+        // Preferential attachment: weight by past joint papers.
+        int total = 0;
+        for (const auto& [other, cnt] : partners) total += cnt;
+        int64_t u = rng.UniformInt(1, total);
+        for (const auto& [other, cnt] : partners) {
+          u -= cnt;
+          if (u <= 0) {
+            candidate = other;
+            break;
+          }
+        }
+      } else if (rng.Bernoulli(config_.cross_community_rate)) {
+        candidate = static_cast<int>(rng.NextBounded(
+            static_cast<uint64_t>(num_authors)));
+      } else {
+        // New collaborator inside the lead's community, biased toward
+        // productive authors (hub formation).
+        const int base = lead_prof.community * config_.authors_per_community;
+        // Rejection-sample a community member via the productivity ranks.
+        for (int tries = 0; tries < 32; ++tries) {
+          int a = rank_to_author[static_cast<size_t>(productivity.Sample(&rng))];
+          if (a / config_.authors_per_community == lead_prof.community) {
+            candidate = a;
+            break;
+          }
+        }
+        if (candidate < 0) {
+          candidate = base + static_cast<int>(rng.NextBounded(
+                                 static_cast<uint64_t>(
+                                     config_.authors_per_community)));
+        }
+      }
+      if (candidate < 0 || candidate == lead) continue;
+      const auto& cand_name = corpus.authors[static_cast<size_t>(candidate)].name;
+      if (byline_names.count(cand_name)) continue;
+      if (std::find(byline.begin(), byline.end(), candidate) != byline.end()) {
+        continue;
+      }
+      byline.push_back(candidate);
+      byline_names.insert(cand_name);
+    }
+
+    // Update preferential-attachment state for every pair in the byline.
+    for (size_t i = 0; i < byline.size(); ++i) {
+      for (size_t j = i + 1; j < byline.size(); ++j) {
+        ++collab[static_cast<size_t>(byline[i])][byline[j]];
+        ++collab[static_cast<size_t>(byline[j])][byline[i]];
+      }
+    }
+
+    // Year within the lead's career.
+    const int year = static_cast<int>(
+        rng.UniformInt(lead_prof.career_start, lead_prof.career_end));
+    const double career_pos =
+        lead_prof.career_end > lead_prof.career_start
+            ? static_cast<double>(year - lead_prof.career_start) /
+                  (lead_prof.career_end - lead_prof.career_start)
+            : 0.5;
+
+    // Venue: lead's community venue by personal preference rank, or a
+    // global venue.
+    std::string venue;
+    if (rng.Bernoulli(config_.global_venue_rate)) {
+      venue = global_venues[static_cast<size_t>(global_venue_pick.Sample(&rng))];
+    } else {
+      const auto& vp = venue_pref[static_cast<size_t>(lead)];
+      venue = community_venues[static_cast<size_t>(lead_prof.community)]
+                              [static_cast<size_t>(
+                                  vp[static_cast<size_t>(venue_pick.Sample(&rng))])];
+    }
+
+    // Title: interest words (drifting early->late), community topic words,
+    // and common filler.
+    const auto& topic = topic_vocab[static_cast<size_t>(lead_prof.community)];
+    const auto& early = interests_early[static_cast<size_t>(lead)];
+    const auto& late = interests_late[static_cast<size_t>(lead)];
+    int title_len = std::max(3, rng.Poisson(config_.title_len_mean));
+    std::vector<std::string> words;
+    words.reserve(static_cast<size_t>(title_len));
+    for (int w = 0; w < title_len; ++w) {
+      const double u = rng.UniformDouble();
+      if (u < config_.title_topic_frac) {
+        // Personal interest, early or late subset by career position.
+        const auto& pool = rng.Bernoulli(career_pos) ? late : early;
+        words.push_back(
+            topic[static_cast<size_t>(pool[rng.NextBounded(pool.size())])]);
+      } else if (u < config_.title_topic_frac + config_.title_community_frac) {
+        words.push_back(topic[rng.NextBounded(topic.size())]);
+      } else {
+        words.push_back(
+            common_vocab[static_cast<size_t>(common_word_pick.Sample(&rng))]);
+      }
+    }
+    std::string title = Capitalize(words[0]);
+    for (size_t w = 1; w < words.size(); ++w) title += " " + words[w];
+
+    Paper paper;
+    paper.title = std::move(title);
+    paper.venue = std::move(venue);
+    paper.year = year;
+    for (int a : byline) {
+      paper.author_names.push_back(corpus.authors[static_cast<size_t>(a)].name);
+      paper.true_author_ids.push_back(a);
+      ++corpus.authors[static_cast<size_t>(a)].num_papers;
+    }
+    corpus.db.AddPaper(std::move(paper));
+  }
+  return corpus;
+}
+
+std::vector<std::string> Corpus::AmbiguousNames(int min_authors) const {
+  std::unordered_map<std::string, std::set<AuthorId>> by_name;
+  for (const auto& prof : authors) {
+    if (prof.num_papers > 0) by_name[prof.name].insert(prof.id);
+  }
+  std::vector<std::string> out;
+  for (const auto& [name, ids] : by_name) {
+    if (static_cast<int>(ids.size()) >= min_authors) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Corpus::TestNames(int min_authors,
+                                           int max_papers) const {
+  std::vector<std::string> out;
+  for (const auto& name : AmbiguousNames(min_authors)) {
+    if (static_cast<int>(db.PapersWithName(name).size()) <= max_papers) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<AuthorId, std::vector<int>> Corpus::TrueClustersOfName(
+    const std::string& name) const {
+  std::unordered_map<AuthorId, std::vector<int>> clusters;
+  for (int pid : db.PapersWithName(name)) {
+    AuthorId a = db.paper(pid).TrueAuthorOfName(name);
+    if (a != kUnknownAuthor) clusters[a].push_back(pid);
+  }
+  return clusters;
+}
+
+}  // namespace iuad::data

@@ -1,0 +1,52 @@
+#ifndef IUAD_DATA_PAPER_H_
+#define IUAD_DATA_PAPER_H_
+
+/// \file paper.h
+/// The bibliographic record model (Sec. III-A: each paper carries a
+/// co-author list, title, venue, and year).
+
+#include <string>
+#include <vector>
+
+namespace iuad::data {
+
+/// Ground-truth author identifier; kUnknownAuthor when unlabeled (real data).
+using AuthorId = int;
+constexpr AuthorId kUnknownAuthor = -1;
+
+/// One bibliographic record.
+struct Paper {
+  /// Dense id assigned by the owning PaperDatabase.
+  int id = -1;
+  std::string title;
+  std::string venue;
+  int year = 0;
+  /// Author names exactly as printed, in byline order.
+  std::vector<std::string> author_names;
+  /// Parallel to author_names: true author identity if known (synthetic data
+  /// or labeled test sets), kUnknownAuthor otherwise. Evaluation-only; the
+  /// disambiguation algorithms never read this.
+  std::vector<AuthorId> true_author_ids;
+
+  /// Byline position of `name`, or -1 if this paper has no such author.
+  int PositionOfName(const std::string& name) const {
+    for (size_t i = 0; i < author_names.size(); ++i) {
+      if (author_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Ground-truth author of byline occurrence of `name` (first match), or
+  /// kUnknownAuthor.
+  AuthorId TrueAuthorOfName(const std::string& name) const {
+    int pos = PositionOfName(name);
+    if (pos < 0 || pos >= static_cast<int>(true_author_ids.size())) {
+      return kUnknownAuthor;
+    }
+    return true_author_ids[static_cast<size_t>(pos)];
+  }
+};
+
+}  // namespace iuad::data
+
+#endif  // IUAD_DATA_PAPER_H_

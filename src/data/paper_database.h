@@ -1,0 +1,85 @@
+#ifndef IUAD_DATA_PAPER_DATABASE_H_
+#define IUAD_DATA_PAPER_DATABASE_H_
+
+/// \file paper_database.h
+/// Indexed in-memory paper store: the input D of Algorithm 1. Maintains the
+/// corpus-level statistics the similarity functions consume — venue
+/// frequencies F_H(h) (Eq. 9), title-keyword frequencies F_B(b) (Eq. 7), and
+/// the name → papers index that drives candidate-pair generation.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/paper.h"
+#include "util/status.h"
+
+namespace iuad::data {
+
+/// In-memory bibliographic database with derived indices. Indices are
+/// maintained incrementally on AddPaper, so the incremental disambiguation
+/// path (Sec. V-E) can ingest papers one at a time.
+class PaperDatabase {
+ public:
+  /// Adds a record; the paper's id is overwritten with a dense id, which is
+  /// returned. Keywords are extracted and indexed immediately.
+  int AddPaper(Paper paper);
+
+  int num_papers() const { return static_cast<int>(papers_.size()); }
+  const Paper& paper(int id) const { return papers_[static_cast<size_t>(id)]; }
+  const std::vector<Paper>& papers() const { return papers_; }
+
+  /// All distinct author names, in first-seen order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Ids of papers whose byline contains `name` (empty vector if unseen).
+  const std::vector<int>& PapersWithName(const std::string& name) const;
+
+  /// Number of papers published in `venue` (F_H of Eq. 9).
+  int64_t VenueFrequency(const std::string& venue) const;
+
+  /// Number of title occurrences of keyword `word` across the corpus
+  /// (F_B of Eq. 7).
+  int64_t KeywordFrequency(const std::string& word) const;
+
+  /// Extracted (stop-word-filtered) title keywords of a paper, cached.
+  const std::vector<std::string>& KeywordsOf(int paper_id) const;
+
+  /// Total author-paper pairs (the dataset-size statistic the paper reports:
+  /// 2,393,969 for their DBLP snapshot).
+  int64_t author_paper_pairs() const { return author_paper_pairs_; }
+
+  /// Largest year seen (0 if empty); used by the time-consistency feature.
+  int max_year() const { return max_year_; }
+
+  /// Returns a new database containing the first `fraction` of papers in
+  /// year order (stable within year): the data-scale protocol of Table V /
+  /// Fig. 5. `fraction` is clamped to [0, 1].
+  PaperDatabase PrefixByYearFraction(double fraction) const;
+
+  /// Splits off the `holdout` most recent papers (by year, ties broken by
+  /// id) as the "newly published" stream of Table VI. Returns {history,
+  /// stream-in-arrival-order}.
+  std::pair<PaperDatabase, std::vector<Paper>> HoldOutLatest(int holdout) const;
+
+  /// Serialization. Format (TSV, one paper per row):
+  ///   id <tab> year <tab> venue <tab> title <tab> name1|name2|... <tab> gt1|gt2|...
+  /// The ground-truth column may be "?" for unlabeled data.
+  iuad::Status SaveTsv(const std::string& path) const;
+  static iuad::Result<PaperDatabase> LoadTsv(const std::string& path);
+
+ private:
+  std::vector<Paper> papers_;
+  std::vector<std::vector<std::string>> keywords_;  // parallel to papers_
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::vector<int>> name_to_papers_;
+  std::unordered_map<std::string, int64_t> venue_freq_;
+  std::unordered_map<std::string, int64_t> keyword_freq_;
+  int64_t author_paper_pairs_ = 0;
+  int max_year_ = 0;
+};
+
+}  // namespace iuad::data
+
+#endif  // IUAD_DATA_PAPER_DATABASE_H_

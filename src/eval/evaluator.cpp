@@ -1,0 +1,52 @@
+#include "eval/evaluator.h"
+
+namespace iuad::eval {
+
+std::vector<int> TrueLabelsForName(const data::PaperDatabase& db,
+                                   const std::string& name) {
+  const auto& papers = db.PapersWithName(name);
+  std::vector<int> labels;
+  labels.reserve(papers.size());
+  for (int pid : papers) {
+    labels.push_back(db.paper(pid).TrueAuthorOfName(name));
+  }
+  return labels;
+}
+
+PairCounts CountsForName(const data::PaperDatabase& db,
+                         const core::OccurrenceIndex& occurrences,
+                         const std::string& name) {
+  const auto& papers = db.PapersWithName(name);
+  std::vector<int> pred;
+  pred.reserve(papers.size());
+  for (int pid : papers) {
+    pred.push_back(occurrences.Lookup(pid, name));
+  }
+  return PairwiseCounts(pred, TrueLabelsForName(db, name));
+}
+
+MicroMetrics EvaluateOccurrences(const data::PaperDatabase& db,
+                                 const core::OccurrenceIndex& occurrences,
+                                 const std::vector<std::string>& names,
+                                 PairCounts* total_out) {
+  PairCounts total;
+  for (const auto& name : names) {
+    total.Add(CountsForName(db, occurrences, name));
+  }
+  if (total_out) *total_out = total;
+  return ToMetrics(total);
+}
+
+MicroMetrics EvaluateClusterer(const data::PaperDatabase& db,
+                               const NameClusterer& clusterer,
+                               const std::vector<std::string>& names,
+                               PairCounts* total_out) {
+  PairCounts total;
+  for (const auto& name : names) {
+    total.Add(PairwiseCounts(clusterer(name), TrueLabelsForName(db, name)));
+  }
+  if (total_out) *total_out = total;
+  return ToMetrics(total);
+}
+
+}  // namespace iuad::eval

@@ -1,0 +1,49 @@
+#ifndef IUAD_EVAL_EVALUATOR_H_
+#define IUAD_EVAL_EVALUATOR_H_
+
+/// \file evaluator.h
+/// Bridges disambiguation outputs to the pairwise micro metrics. Two output
+/// shapes are supported: IUAD's OccurrenceIndex (paper+name -> vertex) and
+/// the baselines' per-name clusterings (papers of a name -> cluster label).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/occurrence_index.h"
+#include "data/paper_database.h"
+#include "eval/metrics.h"
+
+namespace iuad::eval {
+
+/// Ground-truth author labels for the papers of `name` (parallel to
+/// db.PapersWithName(name)); -1 for unlabeled occurrences.
+std::vector<int> TrueLabelsForName(const data::PaperDatabase& db,
+                                   const std::string& name);
+
+/// Pair confusion of IUAD's attribution for one name.
+PairCounts CountsForName(const data::PaperDatabase& db,
+                         const core::OccurrenceIndex& occurrences,
+                         const std::string& name);
+
+/// Micro-aggregated metrics over `names`; `total_out` optionally receives
+/// the accumulated counts.
+MicroMetrics EvaluateOccurrences(const data::PaperDatabase& db,
+                                 const core::OccurrenceIndex& occurrences,
+                                 const std::vector<std::string>& names,
+                                 PairCounts* total_out = nullptr);
+
+/// A per-name disambiguator: given a name, returns predicted cluster labels
+/// parallel to db.PapersWithName(name). The baseline adapter.
+using NameClusterer =
+    std::function<std::vector<int>(const std::string& name)>;
+
+/// Micro-aggregated metrics of a per-name clusterer over `names`.
+MicroMetrics EvaluateClusterer(const data::PaperDatabase& db,
+                               const NameClusterer& clusterer,
+                               const std::vector<std::string>& names,
+                               PairCounts* total_out = nullptr);
+
+}  // namespace iuad::eval
+
+#endif  // IUAD_EVAL_EVALUATOR_H_

@@ -1,0 +1,54 @@
+#include "eval/metrics.h"
+
+#include "util/strings.h"
+
+namespace iuad::eval {
+
+MicroMetrics ToMetrics(const PairCounts& c) {
+  MicroMetrics m;
+  const int64_t total = c.total();
+  m.accuracy = total > 0
+                   ? static_cast<double>(c.tp + c.tn) / static_cast<double>(total)
+                   : 1.0;
+  m.precision = (c.tp + c.fp) > 0
+                    ? static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fp)
+                    : 0.0;
+  m.recall = (c.tp + c.fn) > 0
+                 ? static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fn)
+                 : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+PairCounts PairwiseCounts(const std::vector<int>& pred,
+                          const std::vector<int>& truth) {
+  PairCounts c;
+  const size_t n = std::min(pred.size(), truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (truth[i] < 0) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (truth[j] < 0) continue;
+      const bool same_pred = pred[i] == pred[j];
+      const bool same_true = truth[i] == truth[j];
+      if (same_pred && same_true) {
+        ++c.tp;
+      } else if (same_pred && !same_true) {
+        ++c.fp;
+      } else if (!same_pred && same_true) {
+        ++c.fn;
+      } else {
+        ++c.tn;
+      }
+    }
+  }
+  return c;
+}
+
+std::string FormatMetrics(const MicroMetrics& m) {
+  return "A=" + FormatDouble(m.accuracy, 4) + " P=" + FormatDouble(m.precision, 4) +
+         " R=" + FormatDouble(m.recall, 4) + " F=" + FormatDouble(m.f1, 4);
+}
+
+}  // namespace iuad::eval

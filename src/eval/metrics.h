@@ -1,0 +1,55 @@
+#ifndef IUAD_EVAL_METRICS_H_
+#define IUAD_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// Pairwise micro metrics of Sec. VI-A2. For every pair of papers bearing a
+/// target name: TP = predicted same author & truly same; FP = predicted
+/// same, truly different; FN/TN symmetric. Counts are accumulated over all
+/// test names before the ratios are taken (micro-averaging), which is how
+/// the paper controls for per-name imbalance.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iuad::eval {
+
+/// Raw pair-confusion counts, accumulable across names.
+struct PairCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+
+  void Add(const PairCounts& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    tn += other.tn;
+  }
+  int64_t total() const { return tp + fp + fn + tn; }
+};
+
+/// MicroA / MicroP / MicroR / MicroF of Sec. VI-A2.
+struct MicroMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Ratios from counts; degenerate denominators yield 0 (and accuracy 1 for
+/// an empty pair set — nothing to get wrong).
+MicroMetrics ToMetrics(const PairCounts& counts);
+
+/// Pair confusion between two labelings of the same items. `pred` and
+/// `truth` are parallel; items with truth label < 0 (unknown) are skipped.
+PairCounts PairwiseCounts(const std::vector<int>& pred,
+                          const std::vector<int>& truth);
+
+/// One-line "A=0.8174 P=0.8608 R=0.8113 F=0.8353" formatting.
+std::string FormatMetrics(const MicroMetrics& m);
+
+}  // namespace iuad::eval
+
+#endif  // IUAD_EVAL_METRICS_H_

@@ -1,0 +1,57 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace iuad::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      line += " " +
+              PadRight(c < row.size() ? row[c] : std::string(), widths[c]) +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render(headers_) + sep;
+  for (const auto& row : rows_) {
+    out += row.empty() ? sep : render(row);
+  }
+  out += sep;
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace iuad::eval

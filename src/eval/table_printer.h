@@ -1,0 +1,35 @@
+#ifndef IUAD_EVAL_TABLE_PRINTER_H_
+#define IUAD_EVAL_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Fixed-width console tables so the repro benches print the same row/column
+/// layout as the paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace iuad::eval {
+
+/// Collects rows, then renders with per-column width = max cell width.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator row.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+  /// Writes ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace iuad::eval
+
+#endif  // IUAD_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,145 @@
+#include "graph/collab_graph.h"
+
+#include <algorithm>
+
+namespace iuad::graph {
+
+namespace {
+const std::vector<VertexId> kNoVertices;
+}  // namespace
+
+void CollabGraph::Deduplicate(std::vector<int>* papers) {
+  std::sort(papers->begin(), papers->end());
+  papers->erase(std::unique(papers->begin(), papers->end()), papers->end());
+}
+
+VertexId CollabGraph::AddVertex(std::string name, std::vector<int> papers) {
+  Deduplicate(&papers);
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  name_index_[name].push_back(id);
+  vertices_.push_back(Vertex{std::move(name), std::move(papers), true});
+  adj_.emplace_back();
+  ++num_alive_;
+  return id;
+}
+
+iuad::Status CollabGraph::AddEdgePapers(VertexId u, VertexId v,
+                                        const std::vector<int>& papers) {
+  if (u == v) {
+    return iuad::Status::InvalidArgument("self-loop rejected: vertex " +
+                                         std::to_string(u));
+  }
+  if (!alive(u) || !alive(v)) {
+    return iuad::Status::FailedPrecondition("edge endpoint is dead");
+  }
+  auto& fwd = adj_[static_cast<size_t>(u)][v];
+  if (fwd.empty()) ++num_edges_;
+  fwd.insert(fwd.end(), papers.begin(), papers.end());
+  Deduplicate(&fwd);
+  auto& bwd = adj_[static_cast<size_t>(v)][u];
+  bwd.insert(bwd.end(), papers.begin(), papers.end());
+  Deduplicate(&bwd);
+  return iuad::Status::OK();
+}
+
+void CollabGraph::AddVertexPapers(VertexId v, const std::vector<int>& papers) {
+  auto& ps = vertices_[static_cast<size_t>(v)].papers;
+  ps.insert(ps.end(), papers.begin(), papers.end());
+  Deduplicate(&ps);
+}
+
+void CollabGraph::SetVertexPapers(VertexId v, std::vector<int> papers) {
+  Deduplicate(&papers);
+  vertices_[static_cast<size_t>(v)].papers = std::move(papers);
+}
+
+iuad::Status CollabGraph::SetEdgePapers(VertexId u, VertexId v,
+                                        std::vector<int> papers) {
+  if (u == v) return iuad::Status::InvalidArgument("self-loop rejected");
+  if (!alive(u) || !alive(v)) {
+    return iuad::Status::FailedPrecondition("edge endpoint is dead");
+  }
+  auto& adj_u = adj_[static_cast<size_t>(u)];
+  auto& adj_v = adj_[static_cast<size_t>(v)];
+  const bool existed = adj_u.count(v) > 0;
+  if (papers.empty()) {
+    if (existed) {
+      adj_u.erase(v);
+      adj_v.erase(u);
+      --num_edges_;
+    }
+    return iuad::Status::OK();
+  }
+  Deduplicate(&papers);
+  if (!existed) ++num_edges_;
+  adj_u[v] = papers;
+  adj_v[u] = std::move(papers);
+  return iuad::Status::OK();
+}
+
+iuad::Status CollabGraph::MergeVertices(VertexId kept, VertexId absorbed) {
+  if (kept == absorbed) {
+    return iuad::Status::InvalidArgument("cannot merge a vertex with itself");
+  }
+  if (!alive(kept) || !alive(absorbed)) {
+    return iuad::Status::FailedPrecondition("merge endpoint is dead");
+  }
+  Vertex& k = vertices_[static_cast<size_t>(kept)];
+  Vertex& a = vertices_[static_cast<size_t>(absorbed)];
+
+  // Union paper sets.
+  k.papers.insert(k.papers.end(), a.papers.begin(), a.papers.end());
+  Deduplicate(&k.papers);
+
+  // Rewire edges of `absorbed`.
+  auto& a_adj = adj_[static_cast<size_t>(absorbed)];
+  for (auto& [nbr, papers] : a_adj) {
+    // Remove the reverse edge nbr -> absorbed first.
+    adj_[static_cast<size_t>(nbr)].erase(absorbed);
+    --num_edges_;
+    if (nbr == kept) continue;  // drop would-be self-loop
+    auto& fwd = adj_[static_cast<size_t>(kept)][nbr];
+    if (fwd.empty()) ++num_edges_;
+    fwd.insert(fwd.end(), papers.begin(), papers.end());
+    Deduplicate(&fwd);
+    auto& bwd = adj_[static_cast<size_t>(nbr)][kept];
+    bwd.insert(bwd.end(), papers.begin(), papers.end());
+    Deduplicate(&bwd);
+  }
+  a_adj.clear();
+
+  // Retire `absorbed` from the name index.
+  auto& ids = name_index_[a.name];
+  ids.erase(std::remove(ids.begin(), ids.end(), absorbed), ids.end());
+  a.alive = false;
+  a.papers.clear();
+  --num_alive_;
+  return iuad::Status::OK();
+}
+
+const std::vector<VertexId>& CollabGraph::VerticesWithName(
+    const std::string& name) const {
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? kNoVertices : it->second;
+}
+
+std::vector<std::string> CollabGraph::Names() const {
+  std::vector<std::string> names;
+  names.reserve(name_index_.size());
+  for (const auto& [name, ids] : name_index_) {
+    if (!ids.empty()) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<VertexId> CollabGraph::AliveVertices() const {
+  std::vector<VertexId> out;
+  out.reserve(static_cast<size_t>(num_alive_));
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (alive(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace iuad::graph

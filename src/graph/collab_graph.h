@@ -1,0 +1,98 @@
+#ifndef IUAD_GRAPH_COLLAB_GRAPH_H_
+#define IUAD_GRAPH_COLLAB_GRAPH_H_
+
+/// \file collab_graph.h
+/// The collaboration network G = (V, E, P) of Definition 1: vertices are
+/// *author candidates* (a name plus the set of papers attributed to that
+/// candidate), and each edge (u, v) carries the paper set P_uv co-authored
+/// by the two endpoints. Both the SCN and the GCN are instances of this
+/// structure; GCN construction mutates it through MergeVertices.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::graph {
+
+using VertexId = int;
+
+/// One author candidate.
+struct Vertex {
+  std::string name;
+  /// Papers attributed to this candidate (sorted, unique).
+  std::vector<int> papers;
+  /// False after this vertex is absorbed by a merge.
+  bool alive = true;
+};
+
+/// Undirected multigraph-with-paper-sets. Vertex ids are dense and stable;
+/// merged-away vertices stay allocated but dead (so ids held by callers
+/// never dangle).
+class CollabGraph {
+ public:
+  /// Adds a vertex for `name` holding `papers` (deduplicated, sorted).
+  VertexId AddVertex(std::string name, std::vector<int> papers);
+
+  /// Adds `papers` to the edge (u, v), creating it if absent. Self-loops are
+  /// rejected. Both endpoints must be alive.
+  iuad::Status AddEdgePapers(VertexId u, VertexId v, const std::vector<int>& papers);
+
+  /// Adds `papers` to vertex v's own paper set.
+  void AddVertexPapers(VertexId v, const std::vector<int>& papers);
+
+  /// Replaces vertex v's paper set (deduplicated). Used by the
+  /// vertex-splitting augmentation (Sec. V-F2).
+  void SetVertexPapers(VertexId v, std::vector<int> papers);
+
+  /// Replaces the paper set of edge (u, v); an empty set removes the edge.
+  /// Used by vertex-split surgery.
+  iuad::Status SetEdgePapers(VertexId u, VertexId v, std::vector<int> papers);
+
+  /// Merges `absorbed` into `kept`: paper sets union, edges rewire (parallel
+  /// edges union their paper sets; the edge between the two, if any, is
+  /// dropped as it becomes a self-loop). `absorbed` becomes dead.
+  iuad::Status MergeVertices(VertexId kept, VertexId absorbed);
+
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  int num_alive() const { return num_alive_; }
+  int num_edges() const { return num_edges_; }
+
+  const Vertex& vertex(VertexId v) const {
+    return vertices_[static_cast<size_t>(v)];
+  }
+  bool alive(VertexId v) const { return vertices_[static_cast<size_t>(v)].alive; }
+
+  /// Neighbor -> papers-on-edge map for an alive vertex.
+  const std::unordered_map<VertexId, std::vector<int>>& NeighborsOf(
+      VertexId v) const {
+    return adj_[static_cast<size_t>(v)];
+  }
+
+  int DegreeOf(VertexId v) const {
+    return static_cast<int>(adj_[static_cast<size_t>(v)].size());
+  }
+
+  /// Alive vertices currently bearing `name` (empty if none).
+  const std::vector<VertexId>& VerticesWithName(const std::string& name) const;
+
+  /// All names with at least one alive vertex.
+  std::vector<std::string> Names() const;
+
+  /// All alive vertex ids.
+  std::vector<VertexId> AliveVertices() const;
+
+ private:
+  void Deduplicate(std::vector<int>* papers);
+
+  std::vector<Vertex> vertices_;
+  std::vector<std::unordered_map<VertexId, std::vector<int>>> adj_;
+  std::unordered_map<std::string, std::vector<VertexId>> name_index_;
+  int num_alive_ = 0;
+  int num_edges_ = 0;
+};
+
+}  // namespace iuad::graph
+
+#endif  // IUAD_GRAPH_COLLAB_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "graph/components.h"
+
+#include <queue>
+
+namespace iuad::graph {
+
+std::vector<int> ConnectedComponents(const CollabGraph& graph,
+                                     int* num_components) {
+  const int n = graph.num_vertices();
+  std::vector<int> comp(static_cast<size_t>(n), -1);
+  int next = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (!graph.alive(s) || comp[static_cast<size_t>(s)] != -1) continue;
+    comp[static_cast<size_t>(s)] = next;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, papers] : graph.NeighborsOf(u)) {
+        if (comp[static_cast<size_t>(v)] == -1) {
+          comp[static_cast<size_t>(v)] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components) *num_components = next;
+  return comp;
+}
+
+std::vector<int64_t> DegreeSequence(const CollabGraph& graph) {
+  std::vector<int64_t> degrees;
+  degrees.reserve(static_cast<size_t>(graph.num_alive()));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.alive(v)) degrees.push_back(graph.DegreeOf(v));
+  }
+  return degrees;
+}
+
+}  // namespace iuad::graph

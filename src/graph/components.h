@@ -1,0 +1,25 @@
+#ifndef IUAD_GRAPH_COMPONENTS_H_
+#define IUAD_GRAPH_COMPONENTS_H_
+
+/// \file components.h
+/// Connected components and degree statistics over the alive subgraph.
+/// Used by the descriptive-analysis bench (Fig. 3) and in tests asserting
+/// SCN structural invariants.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/collab_graph.h"
+
+namespace iuad::graph {
+
+/// Component id per vertex (dead vertices get -1). Ids are dense from 0.
+std::vector<int> ConnectedComponents(const CollabGraph& graph,
+                                     int* num_components);
+
+/// Degrees of alive vertices (for power-law inspection).
+std::vector<int64_t> DegreeSequence(const CollabGraph& graph);
+
+}  // namespace iuad::graph
+
+#endif  // IUAD_GRAPH_COMPONENTS_H_

@@ -1,0 +1,87 @@
+#include "graph/graph_io.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace iuad::graph {
+
+namespace {
+
+std::string JoinPapers(const std::vector<int>& papers) {
+  std::vector<std::string> parts;
+  parts.reserve(papers.size());
+  for (int p : papers) parts.push_back(std::to_string(p));
+  return Join(parts, "|");
+}
+
+iuad::Result<std::vector<int>> ParsePapers(const std::string& field) {
+  std::vector<int> out;
+  if (field.empty()) return out;
+  for (const auto& part : Split(field, '|')) {
+    char* end = nullptr;
+    const long v = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0') {
+      return iuad::Status::InvalidArgument("bad paper id: " + part);
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+iuad::Status SaveGraphTsv(const CollabGraph& graph, const std::string& path) {
+  std::vector<TsvRow> rows;
+  // Dense re-numbering of alive vertices.
+  std::unordered_map<VertexId, int> dense;
+  for (VertexId v : graph.AliveVertices()) {
+    const int id = static_cast<int>(dense.size());
+    dense.emplace(v, id);
+    rows.push_back({"V", std::to_string(id), graph.vertex(v).name,
+                    JoinPapers(graph.vertex(v).papers)});
+  }
+  for (VertexId v : graph.AliveVertices()) {
+    for (const auto& [nbr, papers] : graph.NeighborsOf(v)) {
+      if (nbr < v) continue;  // each edge once
+      rows.push_back({"E", std::to_string(dense.at(v)),
+                      std::to_string(dense.at(nbr)), JoinPapers(papers)});
+    }
+  }
+  return WriteTsvFile(path, rows);
+}
+
+iuad::Result<CollabGraph> LoadGraphTsv(const std::string& path) {
+  auto rows = ReadTsvFile(path);
+  if (!rows.ok()) return rows.status();
+  CollabGraph graph;
+  for (const auto& row : *rows) {
+    if (row.size() != 4) {
+      return iuad::Status::InvalidArgument("graph TSV row needs 4 fields");
+    }
+    if (row[0] == "V") {
+      IUAD_ASSIGN_OR_RETURN(std::vector<int> papers, ParsePapers(row[3]));
+      const VertexId v = graph.AddVertex(row[2], std::move(papers));
+      if (v != std::atoi(row[1].c_str())) {
+        return iuad::Status::InvalidArgument(
+            "vertex ids must be dense and in order (got " + row[1] + ")");
+      }
+    } else if (row[0] == "E") {
+      const VertexId u = std::atoi(row[1].c_str());
+      const VertexId v = std::atoi(row[2].c_str());
+      if (u < 0 || v < 0 || u >= graph.num_vertices() ||
+          v >= graph.num_vertices()) {
+        return iuad::Status::InvalidArgument("edge references unknown vertex");
+      }
+      IUAD_ASSIGN_OR_RETURN(std::vector<int> papers, ParsePapers(row[3]));
+      IUAD_RETURN_NOT_OK(graph.AddEdgePapers(u, v, papers));
+    } else {
+      return iuad::Status::InvalidArgument("unknown row type: " + row[0]);
+    }
+  }
+  return graph;
+}
+
+}  // namespace iuad::graph

@@ -1,0 +1,135 @@
+#include "graph/wl_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <string>
+
+namespace iuad::graph {
+
+WlVertexKernel::WlVertexKernel(const CollabGraph& graph, int h)
+    : graph_(graph), h_(h) {
+  const int n = graph.num_vertices();
+  labels_.resize(static_cast<size_t>(h + 1),
+                 std::vector<int>(static_cast<size_t>(n), -1));
+  feature_cache_.resize(static_cast<size_t>(n));
+  feature_cached_.assign(static_cast<size_t>(n), false);
+
+  // Iteration 0: compress author names to dense label ids.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!graph.alive(v)) continue;
+    auto [it, inserted] = name_labels_.try_emplace(
+        graph.vertex(v).name, static_cast<int>(name_labels_.size()));
+    labels_[0][static_cast<size_t>(v)] = it->second;
+  }
+
+  // Iterations 1..h: label(v) <- compress(label(v), sorted labels of N(v)).
+  // Each iteration uses a fresh compression dictionary; label ids are made
+  // globally unique across iterations by an offset so ball histograms can
+  // mix iterations safely.
+  int next_global = 1 << 20;  // iteration-0 labels occupy [0, 2^20)
+  for (int iter = 1; iter <= h; ++iter) {
+    std::map<std::vector<int>, int> signature_label;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!graph.alive(v)) continue;
+      std::vector<int> sig;
+      sig.reserve(graph.NeighborsOf(v).size() + 1);
+      sig.push_back(labels_[static_cast<size_t>(iter - 1)][static_cast<size_t>(v)]);
+      std::vector<int> nbr_labels;
+      for (const auto& [u, papers] : graph.NeighborsOf(v)) {
+        nbr_labels.push_back(
+            labels_[static_cast<size_t>(iter - 1)][static_cast<size_t>(u)]);
+      }
+      std::sort(nbr_labels.begin(), nbr_labels.end());
+      sig.insert(sig.end(), nbr_labels.begin(), nbr_labels.end());
+      auto [it, inserted] = signature_label.try_emplace(std::move(sig), 0);
+      if (inserted) it->second = next_global++;
+      labels_[static_cast<size_t>(iter)][static_cast<size_t>(v)] = it->second;
+    }
+  }
+}
+
+const std::unordered_map<int, double>& WlVertexKernel::FeaturesOf(
+    VertexId v) const {
+  // Vertices created after Build() have no labels or cache slot.
+  static const std::unordered_map<int, double>* const kEmpty =
+      new std::unordered_map<int, double>();
+  if (v >= static_cast<VertexId>(labels_[0].size())) return *kEmpty;
+  auto& cache = feature_cache_[static_cast<size_t>(v)];
+  if (feature_cached_[static_cast<size_t>(v)]) return cache;
+  feature_cached_[static_cast<size_t>(v)] = true;
+  cache.clear();
+  if (!graph_.alive(v)) return cache;
+
+  // BFS ball of radius h around v.
+  std::vector<VertexId> ball{v};
+  std::unordered_map<VertexId, int> dist{{v, 0}};
+  std::queue<VertexId> q;
+  q.push(v);
+  const int built_n = static_cast<int>(labels_[0].size());
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    const int du = dist[u];
+    if (du >= h_) continue;
+    for (const auto& [w, papers] : graph_.NeighborsOf(u)) {
+      if (dist.try_emplace(w, du + 1).second) {
+        // Vertices added after Build() carry no labels; skip them (callers
+        // rebuild the kernel periodically during incremental ingestion).
+        if (w < built_n) ball.push_back(w);
+        q.push(w);
+      }
+    }
+  }
+  // Histogram of labels over all iterations for ball members, excluding the
+  // center itself (see the header: φ describes the collaboration
+  // neighborhood, not the vertex).
+  for (VertexId u : ball) {
+    if (u == v) continue;
+    for (int iter = 0; iter <= h_; ++iter) {
+      cache[labels_[static_cast<size_t>(iter)][static_cast<size_t>(u)]] += 1.0;
+    }
+  }
+  return cache;
+}
+
+double WlVertexKernel::NormalizedKernelVsNameSet(
+    VertexId v, const std::vector<std::string>& names) const {
+  if (!graph_.alive(v) || names.empty()) return 0.0;
+  if (v >= static_cast<VertexId>(labels_[0].size())) return 0.0;
+  const auto& fv = FeaturesOf(v);
+  if (fv.empty()) return 0.0;
+  double cross = 0.0;
+  for (const auto& name : names) {
+    auto it = name_labels_.find(name);
+    if (it == name_labels_.end()) continue;
+    auto fit = fv.find(it->second);
+    if (fit != fv.end()) cross += fit->second;
+  }
+  const double kvv = Kernel(v, v);
+  if (kvv <= 0.0) return 0.0;
+  return std::min(1.0, cross / std::sqrt(static_cast<double>(names.size()) * kvv));
+}
+
+double WlVertexKernel::Kernel(VertexId u, VertexId v) const {
+  const auto& fu = FeaturesOf(u);
+  const auto& fv = FeaturesOf(v);
+  const auto& small = fu.size() <= fv.size() ? fu : fv;
+  const auto& large = fu.size() <= fv.size() ? fv : fu;
+  double s = 0.0;
+  for (const auto& [label, count] : small) {
+    auto it = large.find(label);
+    if (it != large.end()) s += count * it->second;
+  }
+  return s;
+}
+
+double WlVertexKernel::NormalizedKernel(VertexId u, VertexId v) const {
+  const double kuu = Kernel(u, u);
+  const double kvv = Kernel(v, v);
+  if (kuu <= 0.0 || kvv <= 0.0) return 0.0;
+  return Kernel(u, v) / std::sqrt(kuu * kvv);
+}
+
+}  // namespace iuad::graph

@@ -1,0 +1,97 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace iuad::mining {
+
+namespace {
+
+/// True if `small` (sorted) is a subset of `big` (sorted).
+bool IsSubset(const std::vector<Item>& small, const std::vector<Item>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+iuad::Result<std::vector<FrequentItemset>> Apriori(
+    const std::vector<Transaction>& transactions, int64_t min_support,
+    int max_itemset_size) {
+  if (min_support < 1) {
+    return iuad::Status::InvalidArgument("min_support must be >= 1");
+  }
+
+  std::vector<Transaction> deduped;
+  deduped.reserve(transactions.size());
+  for (const auto& t : transactions) {
+    Transaction u = t;
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+    deduped.push_back(std::move(u));
+  }
+
+  std::vector<FrequentItemset> out;
+
+  // L1.
+  std::unordered_map<Item, int64_t> counts;
+  for (const auto& t : deduped) {
+    for (Item i : t) ++counts[i];
+  }
+  std::vector<std::vector<Item>> current;  // frequent k-itemsets, sorted
+  for (const auto& [item, c] : counts) {
+    if (c >= min_support) {
+      out.push_back({{item}, c});
+      current.push_back({item});
+    }
+  }
+  std::sort(current.begin(), current.end());
+
+  int k = 1;
+  while (!current.empty() &&
+         (max_itemset_size == 0 || k < max_itemset_size)) {
+    ++k;
+    // Candidate generation: join two (k-1)-itemsets sharing a (k-2) prefix.
+    std::vector<std::vector<Item>> candidates;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        const auto& a = current[i];
+        const auto& b = current[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) break;
+        std::vector<Item> cand = a;
+        cand.push_back(b.back());
+        // Prune: every (k-1)-subset must be frequent.
+        bool ok = true;
+        for (size_t drop = 0; ok && drop + 2 < cand.size(); ++drop) {
+          std::vector<Item> sub;
+          for (size_t x = 0; x < cand.size(); ++x) {
+            if (x != drop) sub.push_back(cand[x]);
+          }
+          ok = std::binary_search(current.begin(), current.end(), sub);
+        }
+        if (ok) candidates.push_back(std::move(cand));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Support counting.
+    std::map<std::vector<Item>, int64_t> cand_counts;
+    for (const auto& t : deduped) {
+      if (static_cast<int>(t.size()) < k) continue;
+      for (const auto& cand : candidates) {
+        if (IsSubset(cand, t)) ++cand_counts[cand];
+      }
+    }
+    current.clear();
+    for (const auto& [items, c] : cand_counts) {
+      if (c >= min_support) {
+        out.push_back({items, c});
+        current.push_back(items);
+      }
+    }
+    std::sort(current.begin(), current.end());
+  }
+  return out;
+}
+
+}  // namespace iuad::mining

@@ -1,0 +1,25 @@
+#ifndef IUAD_MINING_APRIORI_H_
+#define IUAD_MINING_APRIORI_H_
+
+/// \file apriori.h
+/// Classic Apriori (Agrawal & Srikant, VLDB 1994) levelwise miner. Kept as a
+/// simple, independently-implemented oracle against which FP-growth is
+/// property-tested (both must return identical itemset sets on random
+/// inputs), and as a readable reference implementation.
+
+#include <vector>
+
+#include "mining/itemset.h"
+#include "util/status.h"
+
+namespace iuad::mining {
+
+/// Mines all frequent itemsets with support >= min_support. Exponential in
+/// the worst case — intended for tests and small inputs.
+iuad::Result<std::vector<FrequentItemset>> Apriori(
+    const std::vector<Transaction>& transactions, int64_t min_support,
+    int max_itemset_size = 0);
+
+}  // namespace iuad::mining
+
+#endif  // IUAD_MINING_APRIORI_H_

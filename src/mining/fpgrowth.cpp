@@ -1,0 +1,205 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace iuad::mining {
+
+void SortItemsets(std::vector<FrequentItemset>* itemsets) {
+  std::sort(itemsets->begin(), itemsets->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+namespace {
+
+/// One FP-tree node. Children are kept in a hash map keyed by item; a
+/// node-link chains all nodes carrying the same item for header-table scans.
+struct FpNode {
+  Item item = -1;
+  int64_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next_same_item = nullptr;  // header-table chain
+  std::unordered_map<Item, std::unique_ptr<FpNode>> children;
+};
+
+/// FP-tree with its header table. Items in paths are ordered by descending
+/// global frequency (ties broken by item id) — the canonical FP-growth
+/// ordering that maximizes prefix sharing.
+class FpTree {
+ public:
+  explicit FpTree(std::unordered_map<Item, int64_t> item_counts)
+      : item_counts_(std::move(item_counts)) {}
+
+  /// Inserts a transaction (already filtered + sorted in tree order) with
+  /// multiplicity `count`.
+  void Insert(const std::vector<Item>& path, int64_t count) {
+    FpNode* node = &root_;
+    for (Item item : path) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        child->next_same_item = header_[item];
+        header_[item] = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      node = it->second.get();
+    }
+  }
+
+  /// Header-table chain for `item` (nullptr if absent).
+  FpNode* HeaderOf(Item item) const {
+    auto it = header_.find(item);
+    return it == header_.end() ? nullptr : it->second;
+  }
+
+  /// Items present in the tree, in *ascending* global-frequency order: the
+  /// bottom-up mining order of FP-growth.
+  std::vector<Item> ItemsBottomUp() const {
+    std::vector<Item> items;
+    items.reserve(header_.size());
+    for (const auto& [item, node] : header_) items.push_back(item);
+    std::sort(items.begin(), items.end(), [this](Item a, Item b) {
+      const int64_t ca = item_counts_.at(a), cb = item_counts_.at(b);
+      if (ca != cb) return ca < cb;
+      return a > b;
+    });
+    return items;
+  }
+
+  int64_t CountOf(Item item) const { return item_counts_.at(item); }
+  bool empty() const { return header_.empty(); }
+
+ private:
+  FpNode root_;
+  std::unordered_map<Item, FpNode*> header_;
+  std::unordered_map<Item, int64_t> item_counts_;
+};
+
+/// Comparator producing the canonical FP path order (descending frequency).
+struct TreeOrder {
+  const std::unordered_map<Item, int64_t>* counts;
+  bool operator()(Item a, Item b) const {
+    const int64_t ca = counts->at(a), cb = counts->at(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  }
+};
+
+void Mine(const FpTree& tree, int64_t min_support, int max_size,
+          std::vector<Item>* suffix, std::vector<FrequentItemset>* out) {
+  if (max_size > 0 && static_cast<int>(suffix->size()) >= max_size) return;
+  for (Item item : tree.ItemsBottomUp()) {
+    const int64_t support = tree.CountOf(item);
+    if (support < min_support) continue;
+
+    suffix->push_back(item);
+    FrequentItemset fi;
+    fi.items = *suffix;
+    std::sort(fi.items.begin(), fi.items.end());
+    fi.support = support;
+    out->push_back(std::move(fi));
+
+    if (max_size == 0 || static_cast<int>(suffix->size()) < max_size) {
+      // Build the conditional pattern base of `item`: prefix paths with the
+      // multiplicity of the item's node.
+      std::unordered_map<Item, int64_t> cond_counts;
+      std::vector<std::pair<std::vector<Item>, int64_t>> paths;
+      for (FpNode* node = tree.HeaderOf(item); node;
+           node = node->next_same_item) {
+        std::vector<Item> path;
+        for (FpNode* p = node->parent; p && p->item != -1; p = p->parent) {
+          path.push_back(p->item);
+        }
+        if (path.empty()) continue;
+        for (Item i : path) cond_counts[i] += node->count;
+        paths.emplace_back(std::move(path), node->count);
+      }
+      // Prune conditionally-infrequent items, then build conditional tree.
+      for (auto it = cond_counts.begin(); it != cond_counts.end();) {
+        if (it->second < min_support) {
+          it = cond_counts.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!cond_counts.empty()) {
+        FpTree cond_tree(cond_counts);
+        TreeOrder order{&cond_counts};
+        for (auto& [path, count] : paths) {
+          std::vector<Item> filtered;
+          for (Item i : path) {
+            if (cond_counts.count(i)) filtered.push_back(i);
+          }
+          if (filtered.empty()) continue;
+          std::sort(filtered.begin(), filtered.end(), order);
+          cond_tree.Insert(filtered, count);
+        }
+        Mine(cond_tree, min_support, max_size, suffix, out);
+      }
+    }
+    suffix->pop_back();
+  }
+}
+
+}  // namespace
+
+iuad::Result<std::vector<FrequentItemset>> FpGrowth(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options) {
+  if (options.min_support < 1) {
+    return iuad::Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (options.max_itemset_size < 0) {
+    return iuad::Status::InvalidArgument("max_itemset_size must be >= 0");
+  }
+
+  // Pass 1: global item counts (duplicates within a transaction collapse).
+  std::unordered_map<Item, int64_t> counts;
+  std::vector<Transaction> deduped;
+  deduped.reserve(transactions.size());
+  for (const auto& t : transactions) {
+    Transaction u = t;
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+    for (Item i : u) ++counts[i];
+    deduped.push_back(std::move(u));
+  }
+  for (auto it = counts.begin(); it != counts.end();) {
+    if (it->second < options.min_support) {
+      it = counts.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::vector<FrequentItemset> out;
+  if (counts.empty()) return out;
+
+  // Pass 2: build the global FP-tree.
+  FpTree tree(counts);
+  TreeOrder order{&counts};
+  for (auto& t : deduped) {
+    std::vector<Item> filtered;
+    for (Item i : t) {
+      if (counts.count(i)) filtered.push_back(i);
+    }
+    if (filtered.empty()) continue;
+    std::sort(filtered.begin(), filtered.end(), order);
+    tree.Insert(filtered, 1);
+  }
+
+  std::vector<Item> suffix;
+  Mine(tree, options.min_support, options.max_itemset_size, &suffix, &out);
+  return out;
+}
+
+}  // namespace iuad::mining

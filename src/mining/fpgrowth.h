@@ -1,0 +1,36 @@
+#ifndef IUAD_MINING_FPGROWTH_H_
+#define IUAD_MINING_FPGROWTH_H_
+
+/// \file fpgrowth.h
+/// FP-growth (Han, Pei & Yin, SIGMOD 2000): frequent-itemset mining without
+/// candidate generation, via recursive conditional FP-trees. This is the
+/// miner Algorithm 1 uses to find all η-SCRs; it is implemented in full
+/// (arbitrary itemset length) even though SCN construction only consumes
+/// 2-itemsets, because the stable-triangle inference (Sec. IV-C Step II) is
+/// validated against mined 3-itemsets in the tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/itemset.h"
+#include "util/status.h"
+
+namespace iuad::mining {
+
+/// Options for a mining run.
+struct FpGrowthOptions {
+  int64_t min_support = 2;  ///< η: minimum co-occurrence count.
+  int max_itemset_size = 0; ///< 0 = unbounded; 2 mines only pairs, etc.
+};
+
+/// Mines all frequent itemsets of `transactions` with the given options.
+/// Duplicate items inside one transaction are counted once (a name appears
+/// at most once per byline). Returns itemsets with items sorted ascending;
+/// result order is unspecified (use SortItemsets for canonical order).
+iuad::Result<std::vector<FrequentItemset>> FpGrowth(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options);
+
+}  // namespace iuad::mining
+
+#endif  // IUAD_MINING_FPGROWTH_H_

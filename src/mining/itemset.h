@@ -1,0 +1,62 @@
+#ifndef IUAD_MINING_ITEMSET_H_
+#define IUAD_MINING_ITEMSET_H_
+
+/// \file itemset.h
+/// Shared types for frequent-itemset mining over co-author lists (Sec. IV-C
+/// Step I mines all η-SCRs as frequent itemsets with support threshold η).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace iuad::mining {
+
+/// Items are dense non-negative integers (encoded names).
+using Item = int;
+using Transaction = std::vector<Item>;
+
+/// A frequent itemset and its support count.
+struct FrequentItemset {
+  std::vector<Item> items;  ///< Sorted ascending.
+  int64_t support = 0;
+
+  bool operator==(const FrequentItemset& other) const {
+    return support == other.support && items == other.items;
+  }
+};
+
+/// Bidirectional string <-> Item encoding, so miners work on ints while the
+/// SCN layer speaks author names.
+class ItemEncoder {
+ public:
+  /// Returns the id of `s`, creating one if unseen.
+  Item Encode(const std::string& s) {
+    auto [it, inserted] = index_.try_emplace(s, static_cast<Item>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+
+  /// Returns the id of `s` or -1 if unseen (const lookup).
+  Item Find(const std::string& s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  const std::string& Decode(Item item) const {
+    return strings_[static_cast<size_t>(item)];
+  }
+
+  int size() const { return static_cast<int>(strings_.size()); }
+
+ private:
+  std::unordered_map<std::string, Item> index_;
+  std::vector<std::string> strings_;
+};
+
+/// Canonical ordering for result comparison in tests.
+void SortItemsets(std::vector<FrequentItemset>* itemsets);
+
+}  // namespace iuad::mining
+
+#endif  // IUAD_MINING_ITEMSET_H_

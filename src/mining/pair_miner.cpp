@@ -1,0 +1,36 @@
+#include "mining/pair_miner.h"
+
+#include <algorithm>
+
+namespace iuad::mining {
+
+void PairCounter::AddTransaction(const Transaction& t) {
+  Transaction u = t;
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  for (size_t i = 0; i < u.size(); ++i) {
+    for (size_t j = i + 1; j < u.size(); ++j) {
+      ++counts_[PairKey(u[i], u[j])];
+    }
+  }
+}
+
+std::vector<FrequentItemset> PairCounter::FrequentPairs(
+    int64_t min_support) const {
+  std::vector<FrequentItemset> out;
+  for (const auto& [key, count] : counts_) {
+    if (count >= min_support) {
+      out.push_back({{PairFirst(key), PairSecond(key)}, count});
+    }
+  }
+  return out;
+}
+
+int64_t PairCounter::CountOf(Item a, Item b) const {
+  if (a == b) return 0;
+  if (a > b) std::swap(a, b);
+  auto it = counts_.find(PairKey(a, b));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace iuad::mining

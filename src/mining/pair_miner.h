@@ -1,0 +1,57 @@
+#ifndef IUAD_MINING_PAIR_MINER_H_
+#define IUAD_MINING_PAIR_MINER_H_
+
+/// \file pair_miner.h
+/// Specialized frequent-2-itemset counter. SCN construction only consumes
+/// pairs (the triangles are *inferred* from pairs, Sec. IV-C), and bylines
+/// are short, so direct pair counting is the fast path (Sec. V-F1 argues
+/// SCN construction efficiency). Also exposes the raw pair-frequency
+/// histogram behind Fig. 3b.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/itemset.h"
+
+namespace iuad::mining {
+
+/// Packs an ordered item pair (a < b) into one 64-bit key.
+inline uint64_t PairKey(Item a, Item b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+inline Item PairFirst(uint64_t key) { return static_cast<Item>(key >> 32); }
+inline Item PairSecond(uint64_t key) {
+  return static_cast<Item>(key & 0xffffffffULL);
+}
+
+/// Streaming pair counter: feed transactions one at a time (used by the
+/// incremental path) or in bulk.
+class PairCounter {
+ public:
+  /// Counts every unordered item pair of `t` once (duplicates collapsed).
+  void AddTransaction(const Transaction& t);
+
+  void AddAll(const std::vector<Transaction>& ts) {
+    for (const auto& t : ts) AddTransaction(t);
+  }
+
+  /// Pairs with count >= min_support, as FrequentItemsets (items sorted).
+  std::vector<FrequentItemset> FrequentPairs(int64_t min_support) const;
+
+  /// Raw counts (pair key -> co-occurrence count).
+  const std::unordered_map<uint64_t, int64_t>& counts() const {
+    return counts_;
+  }
+
+  /// Co-occurrence count of {a, b}; 0 if never seen together.
+  int64_t CountOf(Item a, Item b) const;
+
+ private:
+  std::unordered_map<uint64_t, int64_t> counts_;
+};
+
+}  // namespace iuad::mining
+
+#endif  // IUAD_MINING_PAIR_MINER_H_

@@ -1,0 +1,64 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iuad::ml {
+
+iuad::Status AdaBoost::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return iuad::Status::InvalidArgument("adaboost: empty or mismatched data");
+  }
+  const size_t n = x.size();
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  trees_.clear();
+  alphas_.clear();
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    DecisionTreeClassifier tree(config_.tree);
+    IUAD_RETURN_NOT_OK(tree.Fit(x, y, w));
+    // Weighted error.
+    double err = 0.0;
+    std::vector<int> pred(n);
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] = tree.Predict(x[i]);
+      if (pred[i] != y[i]) err += w[i];
+    }
+    err = std::clamp(err, 1e-10, 1.0 - 1e-10);
+    if (err >= 0.5) break;  // weak learner no better than chance: stop
+    const double alpha = 0.5 * std::log((1.0 - err) / err);
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+    // Re-weight and renormalize.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      w[i] *= std::exp(pred[i] == y[i] ? -alpha : alpha);
+      total += w[i];
+    }
+    for (double& wi : w) wi /= total;
+    if (err < 1e-9) break;  // perfect fit
+  }
+  if (trees_.empty()) {
+    // Degenerate data (weak learner can't beat chance): single fallback tree.
+    DecisionTreeClassifier tree(config_.tree);
+    IUAD_RETURN_NOT_OK(tree.Fit(x, y));
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(1.0);
+  }
+  return iuad::Status::OK();
+}
+
+double AdaBoost::Margin(const std::vector<float>& x) const {
+  double s = 0.0;
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    s += alphas_[t] * (trees_[t].Predict(x) == 1 ? 1.0 : -1.0);
+  }
+  return s;
+}
+
+double AdaBoost::PredictProba(const std::vector<float>& x) const {
+  const double m = Margin(x);
+  return 1.0 / (1.0 + std::exp(-2.0 * m));
+}
+
+}  // namespace iuad::ml

@@ -1,0 +1,43 @@
+#ifndef IUAD_ML_ADABOOST_H_
+#define IUAD_ML_ADABOOST_H_
+
+/// \file adaboost.h
+/// AdaBoost (Freund & Schapire) over shallow gini trees. The "AdaBoost"
+/// supervised baseline of Table III.
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace iuad::ml {
+
+struct AdaBoostConfig {
+  int num_rounds = 50;
+  TreeConfig tree{/*max_depth=*/2, /*min_samples_leaf=*/2, /*max_features=*/0};
+};
+
+class AdaBoost {
+ public:
+  explicit AdaBoost(AdaBoostConfig config = {}) : config_(config) {}
+
+  iuad::Status Fit(const Matrix& x, const std::vector<int>& y);
+
+  /// Sign-margin score mapped through a logistic for a [0, 1] output.
+  double PredictProba(const std::vector<float>& x) const;
+  int Predict(const std::vector<float>& x) const {
+    return Margin(x) >= 0.0 ? 1 : 0;
+  }
+  /// Weighted vote margin in R (positive = class 1).
+  double Margin(const std::vector<float>& x) const;
+
+  int num_rounds_used() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  AdaBoostConfig config_;
+  std::vector<DecisionTreeClassifier> trees_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace iuad::ml
+
+#endif  // IUAD_ML_ADABOOST_H_

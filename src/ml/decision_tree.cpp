@@ -1,0 +1,243 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace iuad::ml {
+
+namespace {
+
+/// Candidate features for a split: all, or a seeded random subset.
+std::vector<int> CandidateFeatures(int num_features, int max_features,
+                                   iuad::Rng* rng) {
+  std::vector<int> feats(static_cast<size_t>(num_features));
+  std::iota(feats.begin(), feats.end(), 0);
+  if (max_features > 0 && max_features < num_features && rng != nullptr) {
+    rng->Shuffle(&feats);
+    feats.resize(static_cast<size_t>(max_features));
+  }
+  return feats;
+}
+
+}  // namespace
+
+// --- DecisionTreeClassifier --------------------------------------------------
+
+iuad::Status DecisionTreeClassifier::Fit(const Matrix& x,
+                                         const std::vector<int>& y,
+                                         const std::vector<double>& weights,
+                                         iuad::Rng* rng) {
+  if (x.empty() || x.size() != y.size()) {
+    return iuad::Status::InvalidArgument("tree: empty or mismatched data");
+  }
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(x.size(), 1.0);
+  if (w.size() != x.size()) {
+    return iuad::Status::InvalidArgument("tree: weight size mismatch");
+  }
+  nodes_.clear();
+  std::vector<int> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  // Feature subsampling needs an RNG; fall back to a fixed-seed local one.
+  iuad::Rng local(0xdecaf);
+  BuildNode(x, y, w, idx, 0, static_cast<int>(idx.size()), 0,
+            rng ? rng : &local);
+  return iuad::Status::OK();
+}
+
+int DecisionTreeClassifier::BuildNode(const Matrix& x, const std::vector<int>& y,
+                                      const std::vector<double>& w,
+                                      std::vector<int>& idx, int lo, int hi,
+                                      int depth, iuad::Rng* rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double w_total = 0.0, w_pos = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    w_total += w[static_cast<size_t>(idx[static_cast<size_t>(i)])];
+    if (y[static_cast<size_t>(idx[static_cast<size_t>(i)])] == 1) {
+      w_pos += w[static_cast<size_t>(idx[static_cast<size_t>(i)])];
+    }
+  }
+  nodes_[static_cast<size_t>(node_id)].prob =
+      w_total > 0.0 ? w_pos / w_total : 0.5;
+
+  const bool pure = w_pos <= 1e-12 || w_pos >= w_total - 1e-12;
+  if (depth >= config_.max_depth || hi - lo < 2 * config_.min_samples_leaf ||
+      pure) {
+    return node_id;
+  }
+
+  // Best weighted-gini split over candidate features.
+  const int m = static_cast<int>(x[0].size());
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  const double parent_gini =
+      2.0 * (w_pos / w_total) * (1.0 - w_pos / w_total) * w_total;
+
+  std::vector<std::pair<float, int>> order;  // (feature value, sample idx)
+  for (int f : CandidateFeatures(m, config_.max_features, rng)) {
+    order.clear();
+    for (int i = lo; i < hi; ++i) {
+      const int s = idx[static_cast<size_t>(i)];
+      order.emplace_back(x[static_cast<size_t>(s)][static_cast<size_t>(f)], s);
+    }
+    std::sort(order.begin(), order.end());
+    double wl = 0.0, wl_pos = 0.0;
+    for (size_t k = 0; k + 1 < order.size(); ++k) {
+      const int s = order[k].second;
+      wl += w[static_cast<size_t>(s)];
+      if (y[static_cast<size_t>(s)] == 1) wl_pos += w[static_cast<size_t>(s)];
+      if (order[k].first == order[k + 1].first) continue;  // no cut here
+      if (static_cast<int>(k) + 1 < config_.min_samples_leaf ||
+          static_cast<int>(order.size() - k - 1) < config_.min_samples_leaf) {
+        continue;
+      }
+      const double wr = w_total - wl;
+      const double wr_pos = w_pos - wl_pos;
+      if (wl <= 0.0 || wr <= 0.0) continue;
+      const double gini_l = 2.0 * (wl_pos / wl) * (1.0 - wl_pos / wl) * wl;
+      const double gini_r = 2.0 * (wr_pos / wr) * (1.0 - wr_pos / wr) * wr;
+      const double gain = parent_gini - gini_l - gini_r;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (order[k].first + order[k + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition idx[lo, hi) in place.
+  const auto mid_it = std::stable_partition(
+      idx.begin() + lo, idx.begin() + hi, [&](int s) {
+        return x[static_cast<size_t>(s)][static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return node_id;  // degenerate (ties)
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int left = BuildNode(x, y, w, idx, lo, mid, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  const int right = BuildNode(x, y, w, idx, mid, hi, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTreeClassifier::PredictProba(const std::vector<float>& x) const {
+  if (nodes_.empty()) return 0.5;
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const auto& nd = nodes_[static_cast<size_t>(node)];
+    node = x[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                              : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].prob;
+}
+
+// --- GradientTree -------------------------------------------------------------
+
+iuad::Status GradientTree::Fit(const Matrix& x,
+                               const std::vector<double>& gradients,
+                               const std::vector<double>& hessians) {
+  if (x.empty() || x.size() != gradients.size() ||
+      x.size() != hessians.size()) {
+    return iuad::Status::InvalidArgument("gradient tree: data size mismatch");
+  }
+  nodes_.clear();
+  std::vector<int> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  BuildNode(x, gradients, hessians, idx, 0, static_cast<int>(idx.size()), 0);
+  return iuad::Status::OK();
+}
+
+int GradientTree::BuildNode(const Matrix& x, const std::vector<double>& g,
+                            const std::vector<double>& h,
+                            std::vector<int>& idx, int lo, int hi, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double gsum = 0.0, hsum = 0.0;
+  for (int i = lo; i < hi; ++i) {
+    gsum += g[static_cast<size_t>(idx[static_cast<size_t>(i)])];
+    hsum += h[static_cast<size_t>(idx[static_cast<size_t>(i)])];
+  }
+  nodes_[static_cast<size_t>(node_id)].value =
+      -gsum / (hsum + config_.lambda + 1e-12);
+
+  if (depth >= config_.max_depth || hi - lo < 2 * config_.min_samples_leaf) {
+    return node_id;
+  }
+
+  auto score = [this](double gs, double hs) {
+    return gs * gs / (hs + config_.lambda + 1e-12);
+  };
+  const double parent_score = score(gsum, hsum);
+  double best_gain = config_.gamma + 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  const int m = static_cast<int>(x[0].size());
+  std::vector<std::pair<float, int>> order;
+  for (int f = 0; f < m; ++f) {
+    order.clear();
+    for (int i = lo; i < hi; ++i) {
+      const int s = idx[static_cast<size_t>(i)];
+      order.emplace_back(x[static_cast<size_t>(s)][static_cast<size_t>(f)], s);
+    }
+    std::sort(order.begin(), order.end());
+    double gl = 0.0, hl = 0.0;
+    for (size_t k = 0; k + 1 < order.size(); ++k) {
+      const int s = order[k].second;
+      gl += g[static_cast<size_t>(s)];
+      hl += h[static_cast<size_t>(s)];
+      if (order[k].first == order[k + 1].first) continue;
+      if (static_cast<int>(k) + 1 < config_.min_samples_leaf ||
+          static_cast<int>(order.size() - k - 1) < config_.min_samples_leaf) {
+        continue;
+      }
+      const double gain =
+          0.5 * (score(gl, hl) + score(gsum - gl, hsum - hl) - parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (order[k].first + order[k + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  const auto mid_it = std::stable_partition(
+      idx.begin() + lo, idx.begin() + hi, [&](int s) {
+        return x[static_cast<size_t>(s)][static_cast<size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return node_id;
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int left = BuildNode(x, g, h, idx, lo, mid, depth + 1);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  const int right = BuildNode(x, g, h, idx, mid, hi, depth + 1);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double GradientTree::Predict(const std::vector<float>& x) const {
+  if (nodes_.empty()) return 0.0;
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const auto& nd = nodes_[static_cast<size_t>(node)];
+    node = x[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                              : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+}  // namespace iuad::ml

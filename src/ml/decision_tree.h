@@ -1,0 +1,104 @@
+#ifndef IUAD_ML_DECISION_TREE_H_
+#define IUAD_ML_DECISION_TREE_H_
+
+/// \file decision_tree.h
+/// CART trees, from scratch: a weighted gini classifier (the weak learner
+/// of AdaBoost and the base tree of RandomForest) and a second-order
+/// gradient tree (the base learner of GBDT / the XGBoost-style booster).
+/// These power the supervised baselines of Table III.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace iuad::ml {
+
+/// Row-major feature matrix.
+using Matrix = std::vector<std::vector<float>>;
+
+struct TreeConfig {
+  int max_depth = 6;
+  int min_samples_leaf = 2;
+  /// Features tried per split; 0 = all (RandomForest passes sqrt(m)).
+  int max_features = 0;
+};
+
+/// Binary classifier tree trained on weighted gini impurity.
+class DecisionTreeClassifier {
+ public:
+  explicit DecisionTreeClassifier(TreeConfig config = {}) : config_(config) {}
+
+  /// Labels in {0, 1}; `weights` optional (empty = uniform). `rng` drives
+  /// feature subsampling when config.max_features > 0.
+  iuad::Status Fit(const Matrix& x, const std::vector<int>& y,
+                   const std::vector<double>& weights = {},
+                   iuad::Rng* rng = nullptr);
+
+  /// P(y = 1 | x): the positive-weight fraction of the reached leaf.
+  double PredictProba(const std::vector<float>& x) const;
+  int Predict(const std::vector<float>& x) const {
+    return PredictProba(x) >= 0.5 ? 1 : 0;
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1: leaf
+    float threshold = 0.0f; // go left when x[feature] <= threshold
+    int left = -1, right = -1;
+    double prob = 0.5;      // leaf posterior
+  };
+  int BuildNode(const Matrix& x, const std::vector<int>& y,
+                const std::vector<double>& w, std::vector<int>& idx, int lo,
+                int hi, int depth, iuad::Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+/// Parameters of GradientTree (namespace scope so it can serve as a default
+/// argument without tripping GCC's nested-class NSDMI restriction).
+struct GradientTreeConfig {
+  int max_depth = 3;
+  int min_samples_leaf = 4;
+  double lambda = 0.0;  ///< L2 regularization on leaf values.
+  double gamma = 0.0;   ///< Minimum split gain.
+};
+
+/// Regression tree on (gradient, hessian) pairs, XGBoost-style: leaf value
+/// = -G / (H + lambda); split gain = 1/2 [GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)] − γ.
+/// Plain first-order GBDT uses hessian = 1 per sample and λ = γ = 0.
+class GradientTree {
+ public:
+  using Config = GradientTreeConfig;
+
+  explicit GradientTree(Config config = {}) : config_(config) {}
+
+  iuad::Status Fit(const Matrix& x, const std::vector<double>& gradients,
+                   const std::vector<double>& hessians);
+
+  double Predict(const std::vector<float>& x) const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    float threshold = 0.0f;
+    int left = -1, right = -1;
+    double value = 0.0;
+  };
+  int BuildNode(const Matrix& x, const std::vector<double>& g,
+                const std::vector<double>& h, std::vector<int>& idx, int lo,
+                int hi, int depth);
+
+  Config config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace iuad::ml
+
+#endif  // IUAD_ML_DECISION_TREE_H_

@@ -1,0 +1,57 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iuad::ml {
+
+namespace {
+double Sigmoid(double z) {
+  if (z > 30.0) return 1.0;
+  if (z < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+}  // namespace
+
+iuad::Status Gbdt::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return iuad::Status::InvalidArgument("gbdt: empty or mismatched data");
+  }
+  const size_t n = x.size();
+  double pos = 0.0;
+  for (int yi : y) pos += yi;
+  const double prior = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> raw(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(config_.num_trees));
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(raw[i]);
+      grad[i] = p - static_cast<double>(y[i]);  // dL/draw (logistic loss)
+      hess[i] = config_.second_order ? std::max(1e-6, p * (1.0 - p)) : 1.0;
+    }
+    GradientTree tree(config_.tree);
+    IUAD_RETURN_NOT_OK(tree.Fit(x, grad, hess));
+    for (size_t i = 0; i < n; ++i) {
+      raw[i] += config_.learning_rate * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return iuad::Status::OK();
+}
+
+double Gbdt::RawScore(const std::vector<float>& x) const {
+  double s = base_score_;
+  for (const auto& tree : trees_) s += config_.learning_rate * tree.Predict(x);
+  return s;
+}
+
+double Gbdt::PredictProba(const std::vector<float>& x) const {
+  return Sigmoid(RawScore(x));
+}
+
+}  // namespace iuad::ml

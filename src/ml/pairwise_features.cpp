@@ -1,0 +1,177 @@
+#include "ml/pairwise_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace iuad::ml {
+
+namespace {
+
+/// Set-overlap helpers over sorted vectors.
+template <typename T>
+int IntersectionSize(const std::vector<T>& a, const std::vector<T>& b) {
+  int n = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+template <typename T>
+float Jaccard(const std::vector<T>& a, const std::vector<T>& b, int common) {
+  const int uni = static_cast<int>(a.size() + b.size()) - common;
+  return uni > 0 ? static_cast<float>(common) / static_cast<float>(uni) : 0.0f;
+}
+
+std::vector<std::string> SortedCoauthors(const data::Paper& p,
+                                         const std::string& focal) {
+  std::vector<std::string> out;
+  for (const auto& n : p.author_names) {
+    if (n != focal) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> SortedKeywords(const data::PaperDatabase& db,
+                                        int pid) {
+  std::vector<std::string> kws = db.KeywordsOf(pid);
+  std::sort(kws.begin(), kws.end());
+  kws.erase(std::unique(kws.begin(), kws.end()), kws.end());
+  return kws;
+}
+
+}  // namespace
+
+std::vector<float> ExtractPairFeatures(const data::PaperDatabase& db,
+                                       int pid_a, int pid_b,
+                                       const std::string& name,
+                                       const text::Word2Vec* embeddings) {
+  const data::Paper& pa = db.paper(pid_a);
+  const data::Paper& pb = db.paper(pid_b);
+  std::vector<float> f(kNumPairFeatures, 0.0f);
+
+  // Co-author evidence.
+  const auto ca = SortedCoauthors(pa, name);
+  const auto cb = SortedCoauthors(pb, name);
+  const int common_coauthors = IntersectionSize(ca, cb);
+  f[0] = static_cast<float>(common_coauthors);
+  f[1] = Jaccard(ca, cb, common_coauthors);
+
+  // Title-term evidence.
+  const auto ka = SortedKeywords(db, pid_a);
+  const auto kb = SortedKeywords(db, pid_b);
+  const int common_kw = IntersectionSize(ka, kb);
+  f[2] = static_cast<float>(common_kw);
+  f[3] = Jaccard(ka, kb, common_kw);
+  // IDF-weighted keyword overlap.
+  {
+    float idf = 0.0f;
+    auto ia = ka.begin();
+    auto ib = kb.begin();
+    while (ia != ka.end() && ib != kb.end()) {
+      if (*ia < *ib) {
+        ++ia;
+      } else if (*ib < *ia) {
+        ++ib;
+      } else {
+        idf += static_cast<float>(
+            1.0 / std::log(2.0 + static_cast<double>(db.KeywordFrequency(*ia))));
+        ++ia;
+        ++ib;
+      }
+    }
+    f[4] = idf;
+  }
+
+  // Venue evidence.
+  const bool same_venue = pa.venue == pb.venue;
+  f[5] = same_venue ? 1.0f : 0.0f;
+  f[6] = same_venue ? static_cast<float>(
+                          1.0 / std::log(2.0 + static_cast<double>(
+                                                   db.VenueFrequency(pa.venue))))
+                    : 0.0f;
+
+  // Time evidence.
+  f[7] = static_cast<float>(std::abs(pa.year - pb.year));
+
+  // Byline shape.
+  f[8] = static_cast<float>(
+      std::abs(static_cast<int>(pa.author_names.size()) -
+               static_cast<int>(pb.author_names.size())));
+
+  // Semantic title similarity.
+  if (embeddings != nullptr && embeddings->trained()) {
+    f[9] = static_cast<float>(text::Cosine(embeddings->MeanOf(db.KeywordsOf(pid_a)),
+                                           embeddings->MeanOf(db.KeywordsOf(pid_b))));
+  }
+  return f;
+}
+
+PairwiseDataset BuildPairwiseDataset(const data::PaperDatabase& db,
+                                     const std::vector<std::string>& names,
+                                     const text::Word2Vec* embeddings,
+                                     int max_pairs_per_name, iuad::Rng* rng,
+                                     bool balance_classes) {
+  PairwiseDataset ds;
+  for (const auto& name : names) {
+    const auto& papers = db.PapersWithName(name);
+    std::vector<std::pair<int, int>> pairs;
+    for (size_t i = 0; i < papers.size(); ++i) {
+      for (size_t j = i + 1; j < papers.size(); ++j) {
+        pairs.emplace_back(papers[i], papers[j]);
+      }
+    }
+    if (static_cast<int>(pairs.size()) > max_pairs_per_name) {
+      rng->Shuffle(&pairs);
+      pairs.resize(static_cast<size_t>(max_pairs_per_name));
+    }
+    for (const auto& [a, b] : pairs) {
+      const data::AuthorId ta = db.paper(a).TrueAuthorOfName(name);
+      const data::AuthorId tb = db.paper(b).TrueAuthorOfName(name);
+      if (ta == data::kUnknownAuthor || tb == data::kUnknownAuthor) continue;
+      ds.x.push_back(ExtractPairFeatures(db, a, b, name, embeddings));
+      ds.y.push_back(ta == tb ? 1 : 0);
+    }
+  }
+  if (!balance_classes || ds.y.empty()) return ds;
+
+  // Subsample the majority class to a 1:1 ratio (deterministic via rng).
+  size_t pos = 0;
+  for (int label : ds.y) pos += static_cast<size_t>(label);
+  const size_t neg = ds.y.size() - pos;
+  const int majority_label = pos > neg ? 1 : 0;
+  const size_t keep = std::min(pos, neg);
+  if (keep == 0) return ds;  // single-class data: nothing sane to balance
+  std::vector<size_t> majority_idx;
+  PairwiseDataset out;
+  for (size_t i = 0; i < ds.y.size(); ++i) {
+    if (ds.y[i] == majority_label) {
+      majority_idx.push_back(i);
+    } else {
+      out.x.push_back(std::move(ds.x[i]));
+      out.y.push_back(ds.y[i]);
+    }
+  }
+  rng->Shuffle(&majority_idx);
+  majority_idx.resize(keep);
+  for (size_t i : majority_idx) {
+    out.x.push_back(std::move(ds.x[i]));
+    out.y.push_back(ds.y[i]);
+  }
+  return out;
+}
+
+}  // namespace iuad::ml

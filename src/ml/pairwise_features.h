@@ -1,0 +1,51 @@
+#ifndef IUAD_ML_PAIRWISE_FEATURES_H_
+#define IUAD_ML_PAIRWISE_FEATURES_H_
+
+/// \file pairwise_features.h
+/// Pairwise feature extraction for the supervised baselines, following
+/// Treeratpituk & Giles [17]: given two papers that both carry a target
+/// name, produce similarity features over co-authors, title terms, venues,
+/// and time. The supervised pipeline classifies pairs and then closes the
+/// prediction transitively.
+
+#include <string>
+#include <vector>
+
+#include "data/paper_database.h"
+#include "ml/decision_tree.h"
+#include "text/word2vec.h"
+#include "util/rng.h"
+
+namespace iuad::ml {
+
+/// Number of features produced by ExtractPairFeatures.
+constexpr int kNumPairFeatures = 10;
+
+/// Feature vector for papers `pid_a`, `pid_b` with focal `name`.
+/// `embeddings` may be null (the embedding-cosine feature becomes 0).
+std::vector<float> ExtractPairFeatures(const data::PaperDatabase& db,
+                                       int pid_a, int pid_b,
+                                       const std::string& name,
+                                       const text::Word2Vec* embeddings);
+
+/// Labeled pairwise dataset built from ground-truth names (training names
+/// must be disjoint from evaluation names — the caller guarantees that).
+/// At most `max_pairs_per_name` pairs are drawn per name; labels: 1 = same
+/// true author. When `balance_classes` is set (the default, and what the
+/// supervised baselines use) the majority class is subsampled to a 1:1
+/// ratio — pairwise author data is heavily imbalanced and an unbalanced fit
+/// degenerates to the prior.
+struct PairwiseDataset {
+  Matrix x;
+  std::vector<int> y;
+};
+
+PairwiseDataset BuildPairwiseDataset(const data::PaperDatabase& db,
+                                     const std::vector<std::string>& names,
+                                     const text::Word2Vec* embeddings,
+                                     int max_pairs_per_name, iuad::Rng* rng,
+                                     bool balance_classes = true);
+
+}  // namespace iuad::ml
+
+#endif  // IUAD_ML_PAIRWISE_FEATURES_H_

@@ -1,0 +1,45 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace iuad::ml {
+
+iuad::Status RandomForest::Fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return iuad::Status::InvalidArgument("forest: empty or mismatched data");
+  }
+  iuad::Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(config_.num_trees));
+  TreeConfig tc = config_.tree;
+  if (tc.max_features == 0) {
+    tc.max_features = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(static_cast<double>(x[0].size())))));
+  }
+  const size_t n = x.size();
+  for (int t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample.
+    Matrix bx;
+    std::vector<int> by;
+    bx.reserve(n);
+    by.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = rng.NextBounded(n);
+      bx.push_back(x[j]);
+      by.push_back(y[j]);
+    }
+    DecisionTreeClassifier tree(tc);
+    IUAD_RETURN_NOT_OK(tree.Fit(bx, by, {}, &rng));
+    trees_.push_back(std::move(tree));
+  }
+  return iuad::Status::OK();
+}
+
+double RandomForest::PredictProba(const std::vector<float>& x) const {
+  if (trees_.empty()) return 0.5;
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.PredictProba(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace iuad::ml

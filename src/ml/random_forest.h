@@ -1,0 +1,42 @@
+#ifndef IUAD_ML_RANDOM_FOREST_H_
+#define IUAD_ML_RANDOM_FOREST_H_
+
+/// \file random_forest.h
+/// Random forest classifier (Breiman 2001): bootstrap-resampled gini trees
+/// with sqrt-feature subsampling, probability-averaged. The "RF" supervised
+/// baseline of Table III (and the classifier family of Treeratpituk & Giles).
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace iuad::ml {
+
+struct RandomForestConfig {
+  int num_trees = 50;
+  TreeConfig tree;      ///< tree.max_features 0 => sqrt(m) is used.
+  uint64_t seed = 17;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(RandomForestConfig config = {}) : config_(config) {}
+
+  iuad::Status Fit(const Matrix& x, const std::vector<int>& y);
+
+  /// Mean of per-tree leaf posteriors.
+  double PredictProba(const std::vector<float>& x) const;
+  int Predict(const std::vector<float>& x) const {
+    return PredictProba(x) >= 0.5 ? 1 : 0;
+  }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTreeClassifier> trees_;
+};
+
+}  // namespace iuad::ml
+
+#endif  // IUAD_ML_RANDOM_FOREST_H_

@@ -1,0 +1,65 @@
+#ifndef IUAD_TEXT_EMBEDDING_H_
+#define IUAD_TEXT_EMBEDDING_H_
+
+/// \file embedding.h
+/// Dense float vector helpers shared by word2vec and the paper-embedding
+/// baselines (cosine similarity Eq. 6 and mean-of-keyword-vectors W(v)).
+
+#include <cmath>
+#include <vector>
+
+namespace iuad::text {
+
+using Vec = std::vector<float>;
+
+/// Dot product; vectors must have equal length.
+inline double Dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+/// L2 norm.
+inline double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is zero
+/// (an author with no keywords has no interest signal).
+inline double Cosine(const Vec& a, const Vec& b) {
+  const double na = Norm(a), nb = Norm(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+/// a += b.
+inline void AddInPlace(Vec* a, const Vec& b) {
+  for (size_t i = 0; i < a->size(); ++i) (*a)[i] += b[i];
+}
+
+/// a *= s.
+inline void ScaleInPlace(Vec* a, float s) {
+  for (float& x : *a) x *= s;
+}
+
+/// Mean of a set of vectors; `dim` gives the dimension used when the set is
+/// empty (an all-zero vector is returned in that case).
+inline Vec MeanVector(const std::vector<const Vec*>& vs, size_t dim) {
+  Vec m(dim, 0.0f);
+  if (vs.empty()) return m;
+  for (const Vec* v : vs) AddInPlace(&m, *v);
+  ScaleInPlace(&m, 1.0f / static_cast<float>(vs.size()));
+  return m;
+}
+
+/// Euclidean distance.
+inline double L2Distance(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace iuad::text
+
+#endif  // IUAD_TEXT_EMBEDDING_H_

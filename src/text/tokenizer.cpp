@@ -1,0 +1,56 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace iuad::text {
+
+std::vector<std::string> Tokenize(std::string_view title, int min_len) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char raw : title) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      if (static_cast<int>(cur.size()) >= min_len) tokens.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (static_cast<int>(cur.size()) >= min_len) tokens.push_back(cur);
+  return tokens;
+}
+
+const std::unordered_set<std::string>& StopWords() {
+  static const std::unordered_set<std::string>* kStopWords =
+      new std::unordered_set<std::string>{
+          // Function words.
+          "a", "an", "the", "and", "or", "of", "in", "on", "for", "with",
+          "to", "from", "by", "at", "as", "is", "are", "be", "its", "this",
+          "that", "these", "those", "we", "our", "it", "into", "via",
+          "under", "over", "between", "among", "through", "using", "use",
+          "towards", "toward", "about", "can", "do", "does", "how", "what",
+          "when", "where", "why", "which", "who", "whose", "not", "no",
+          "than", "then", "both", "all", "any", "some", "more", "most",
+          "other", "their", "there", "here", "also", "but", "if", "else",
+          // Scientific filler that appears in nearly every title.
+          "based", "approach", "method", "methods", "towards", "study",
+          "analysis", "new", "novel", "improved", "efficient", "effective",
+          "framework", "model", "models", "system", "systems", "problem",
+          "problems", "case", "applications", "application",
+      };
+  return *kStopWords;
+}
+
+bool IsStopWord(const std::string& word) {
+  return StopWords().count(word) > 0;
+}
+
+std::vector<std::string> ExtractKeywords(std::string_view title, int min_len) {
+  std::vector<std::string> out;
+  for (auto& tok : Tokenize(title, min_len)) {
+    if (!IsStopWord(tok)) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+}  // namespace iuad::text

@@ -1,0 +1,33 @@
+#ifndef IUAD_TEXT_TOKENIZER_H_
+#define IUAD_TEXT_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// Title tokenization and keyword extraction. The paper (Sec. V-B2) extracts
+/// title keywords by dropping stop words and overly frequent corpus words;
+/// we reproduce both filters.
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace iuad::text {
+
+/// Lower-cases, strips punctuation/digits, and splits a title into word
+/// tokens. Tokens shorter than `min_len` characters are dropped.
+std::vector<std::string> Tokenize(std::string_view title, int min_len = 2);
+
+/// The built-in English stop-word list (articles, prepositions, common
+/// scientific filler such as "based", "using", "approach").
+const std::unordered_set<std::string>& StopWords();
+
+/// True if `word` is a stop word.
+bool IsStopWord(const std::string& word);
+
+/// Tokenizes and removes stop words: the keyword stream of one title.
+std::vector<std::string> ExtractKeywords(std::string_view title,
+                                         int min_len = 2);
+
+}  // namespace iuad::text
+
+#endif  // IUAD_TEXT_TOKENIZER_H_

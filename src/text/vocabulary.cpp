@@ -1,0 +1,36 @@
+#include "text/vocabulary.h"
+
+namespace iuad::text {
+
+int Vocabulary::Add(const std::string& word) { return AddCount(word, 1); }
+
+int Vocabulary::AddCount(const std::string& word, int64_t n) {
+  auto [it, inserted] = index_.try_emplace(word, static_cast<int>(words_.size()));
+  if (inserted) {
+    words_.push_back(word);
+    counts_.push_back(0);
+  }
+  counts_[static_cast<size_t>(it->second)] += n;
+  total_ += n;
+  return it->second;
+}
+
+int Vocabulary::Lookup(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+int64_t Vocabulary::CountOf(const std::string& word) const {
+  int id = Lookup(word);
+  return id == kUnknown ? 0 : CountOf(id);
+}
+
+std::vector<int> Vocabulary::IdsWithMinCount(int64_t min_count) const {
+  std::vector<int> ids;
+  for (int i = 0; i < size(); ++i) {
+    if (counts_[static_cast<size_t>(i)] >= min_count) ids.push_back(i);
+  }
+  return ids;
+}
+
+}  // namespace iuad::text

@@ -1,0 +1,197 @@
+#include "text/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iuad::text {
+
+namespace {
+
+/// Numerically-safe logistic.
+inline double Sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+iuad::Status Word2Vec::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  if (sentences.empty()) {
+    return iuad::Status::InvalidArgument("word2vec: empty corpus");
+  }
+
+  // Pass 1: count words.
+  Vocabulary full;
+  for (const auto& sent : sentences) {
+    for (const auto& w : sent) full.Add(w);
+  }
+  // Keep only words above min_count; re-index densely.
+  vocab_ = Vocabulary();
+  for (int id = 0; id < full.size(); ++id) {
+    if (full.CountOf(id) >= config_.min_count) {
+      vocab_.AddCount(full.WordOf(id), full.CountOf(id));
+    }
+  }
+  if (vocab_.size() == 0) {
+    return iuad::Status::InvalidArgument(
+        "word2vec: no word meets min_count; lower min_count or enlarge corpus");
+  }
+
+  const int v = vocab_.size();
+  const size_t d = static_cast<size_t>(config_.dim);
+  iuad::Rng rng(config_.seed);
+  in_vectors_.assign(static_cast<size_t>(v), Vec(d));
+  out_vectors_.assign(static_cast<size_t>(v), Vec(d, 0.0f));
+  const float init_span = 0.5f / static_cast<float>(config_.dim);
+  for (auto& vec : in_vectors_) {
+    for (auto& x : vec) {
+      x = (static_cast<float>(rng.UniformDouble()) - 0.5f) * 2.0f * init_span;
+    }
+  }
+  BuildNegativeTable();
+
+  // Encode sentences as id sequences once.
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(sentences.size());
+  int64_t total_tokens = 0;
+  for (const auto& sent : sentences) {
+    std::vector<int> ids;
+    ids.reserve(sent.size());
+    for (const auto& w : sent) {
+      int id = vocab_.Lookup(w);
+      if (id != Vocabulary::kUnknown) ids.push_back(id);
+    }
+    total_tokens += static_cast<int64_t>(ids.size());
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) {
+    return iuad::Status::InvalidArgument(
+        "word2vec: no sentence has >= 2 in-vocabulary words");
+  }
+
+  const double total_steps =
+      static_cast<double>(config_.epochs) * static_cast<double>(total_tokens);
+  double steps_done = 0.0;
+  std::vector<float> grad_in(d);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const auto& sent : encoded) {
+      for (size_t pos = 0; pos < sent.size(); ++pos) {
+        steps_done += 1.0;
+        const int center = sent[pos];
+        // Frequent-word subsampling (Mikolov et al. 2013, Eq. 5 analogue).
+        if (config_.subsample > 0.0) {
+          double f = static_cast<double>(vocab_.CountOf(center)) /
+                     static_cast<double>(vocab_.total_count());
+          double keep = (std::sqrt(f / config_.subsample) + 1.0) *
+                        (config_.subsample / f);
+          if (keep < 1.0 && rng.UniformDouble() > keep) continue;
+        }
+        const double lr = std::max(
+            1e-4, config_.learning_rate * (1.0 - steps_done / total_steps));
+        // Dynamic window (uniform in [1, window]) as in the reference impl.
+        const int b =
+            1 + static_cast<int>(rng.NextBounded(
+                    static_cast<uint64_t>(config_.window)));
+        const int lo = std::max<int>(0, static_cast<int>(pos) - b);
+        const int hi = std::min<int>(static_cast<int>(sent.size()) - 1,
+                                     static_cast<int>(pos) + b);
+        for (int cpos = lo; cpos <= hi; ++cpos) {
+          if (cpos == static_cast<int>(pos)) continue;
+          const int context = sent[static_cast<size_t>(cpos)];
+          Vec& w_in = in_vectors_[static_cast<size_t>(center)];
+          std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+          // One positive + `negatives` negative updates.
+          for (int neg = 0; neg <= config_.negatives; ++neg) {
+            int target;
+            double label;
+            if (neg == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = SampleNegative(&rng);
+              if (target == context) continue;
+              label = 0.0;
+            }
+            Vec& w_out = out_vectors_[static_cast<size_t>(target)];
+            const double score = Sigmoid(Dot(w_in, w_out));
+            const float g = static_cast<float>(lr * (label - score));
+            for (size_t i = 0; i < d; ++i) {
+              grad_in[i] += g * w_out[i];
+              w_out[i] += g * w_in[i];
+            }
+          }
+          for (size_t i = 0; i < d; ++i) w_in[i] += grad_in[i];
+        }
+      }
+    }
+  }
+  trained_ = true;
+  return iuad::Status::OK();
+}
+
+void Word2Vec::BuildNegativeTable() {
+  // Unigram^0.75 table of fixed size; standard SGNS noise distribution.
+  constexpr int kTableSize = 1 << 18;
+  negative_table_.clear();
+  negative_table_.reserve(kTableSize);
+  double total = 0.0;
+  for (int id = 0; id < vocab_.size(); ++id) {
+    total += std::pow(static_cast<double>(vocab_.CountOf(id)), 0.75);
+  }
+  int id = 0;
+  double acc = std::pow(static_cast<double>(vocab_.CountOf(0)), 0.75) / total;
+  for (int i = 0; i < kTableSize; ++i) {
+    negative_table_.push_back(id);
+    if (static_cast<double>(i) / kTableSize > acc && id < vocab_.size() - 1) {
+      ++id;
+      acc += std::pow(static_cast<double>(vocab_.CountOf(id)), 0.75) / total;
+    }
+  }
+}
+
+int Word2Vec::SampleNegative(iuad::Rng* rng) const {
+  return negative_table_[static_cast<size_t>(
+      rng->NextBounded(negative_table_.size()))];
+}
+
+const Vec* Word2Vec::VectorOf(const std::string& word) const {
+  int id = vocab_.Lookup(word);
+  if (id == Vocabulary::kUnknown || !trained_) return nullptr;
+  return &in_vectors_[static_cast<size_t>(id)];
+}
+
+Vec Word2Vec::MeanOf(const std::vector<std::string>& words) const {
+  std::vector<const Vec*> vs;
+  for (const auto& w : words) {
+    if (const Vec* v = VectorOf(w)) vs.push_back(v);
+  }
+  return MeanVector(vs, static_cast<size_t>(config_.dim));
+}
+
+double Word2Vec::Similarity(const std::string& a, const std::string& b) const {
+  const Vec* va = VectorOf(a);
+  const Vec* vb = VectorOf(b);
+  if (!va || !vb) return 0.0;
+  return Cosine(*va, *vb);
+}
+
+std::vector<std::pair<std::string, double>> Word2Vec::MostSimilar(
+    const std::string& word, int k) const {
+  std::vector<std::pair<std::string, double>> out;
+  const Vec* v = VectorOf(word);
+  if (!v) return out;
+  for (int id = 0; id < vocab_.size(); ++id) {
+    const std::string& w = vocab_.WordOf(id);
+    if (w == word) continue;
+    out.emplace_back(w, Cosine(*v, in_vectors_[static_cast<size_t>(id)]));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (static_cast<int>(out.size()) > k) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+}  // namespace iuad::text

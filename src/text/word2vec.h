@@ -1,0 +1,75 @@
+#ifndef IUAD_TEXT_WORD2VEC_H_
+#define IUAD_TEXT_WORD2VEC_H_
+
+/// \file word2vec.h
+/// Skip-gram with negative sampling (SGNS), from scratch. Substitutes the
+/// paper's pretrained Word2Vec/GloVe vectors (unavailable offline): γ3 only
+/// needs keyword vectors whose cosine reflects topical relatedness, which
+/// SGNS trained on the corpus's own titles provides (see DESIGN.md §2).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/embedding.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace iuad::text {
+
+/// Training hyper-parameters. Defaults are scaled for title-length sentences
+/// (a few words each) rather than prose.
+struct Word2VecConfig {
+  int dim = 32;                ///< Embedding dimension.
+  int window = 4;              ///< Max context offset (titles are short).
+  int negatives = 5;           ///< Negative samples per positive pair.
+  int epochs = 3;              ///< Passes over the corpus.
+  double learning_rate = 0.025;///< Initial SGD step; decays linearly to 1e-4.
+  int min_count = 2;           ///< Words rarer than this are dropped.
+  double subsample = 1e-3;     ///< Frequent-word subsampling threshold (0 = off).
+  uint64_t seed = 42;          ///< Deterministic init + sampling.
+};
+
+/// SGNS trainer and embedding table.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecConfig config = {}) : config_(config) {}
+
+  /// Trains on tokenized sentences (keyword lists). Builds the vocabulary
+  /// internally. Returns InvalidArgument for an empty corpus.
+  iuad::Status Train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Returns the vector of `word`, or nullptr if out-of-vocabulary.
+  const Vec* VectorOf(const std::string& word) const;
+
+  /// Mean vector of the in-vocabulary subset of `words`; zero vector if none
+  /// are known. This is W(v) of Eq. 6.
+  Vec MeanOf(const std::vector<std::string>& words) const;
+
+  /// Cosine similarity between two words; 0 when either is OOV.
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// The `k` nearest in-vocabulary neighbours of `word` by cosine.
+  std::vector<std::pair<std::string, double>> MostSimilar(
+      const std::string& word, int k) const;
+
+  int dim() const { return config_.dim; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+  bool trained() const { return trained_; }
+
+ private:
+  void BuildNegativeTable();
+  int SampleNegative(iuad::Rng* rng) const;
+
+  Word2VecConfig config_;
+  Vocabulary vocab_;
+  std::vector<Vec> in_vectors_;   // word embeddings (the output of training)
+  std::vector<Vec> out_vectors_;  // context-side parameters
+  std::vector<int> negative_table_;
+  bool trained_ = false;
+};
+
+}  // namespace iuad::text
+
+#endif  // IUAD_TEXT_WORD2VEC_H_

@@ -1,0 +1,71 @@
+#ifndef IUAD_UTIL_LOGGING_H_
+#define IUAD_UTIL_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logger. Benches and examples use INFO; library internals
+/// log at DEBUG and stay silent by default.
+
+#include <sstream>
+#include <string>
+
+namespace iuad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+
+#define IUAD_LOG(level)                                                  \
+  if (::iuad::LogLevel::level < ::iuad::GetLogLevel()) {                 \
+  } else                                                                 \
+    ::iuad::internal::LogMessage(::iuad::LogLevel::level, __FILE__,      \
+                                 __LINE__)                               \
+        .stream()
+
+/// Fatal-on-false invariant check (active in all build types).
+#define IUAD_CHECK(cond)                                                  \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::iuad::internal::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+namespace internal {
+
+/// Prints the failed condition plus any streamed context, then aborts.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace iuad
+
+#endif  // IUAD_UTIL_LOGGING_H_

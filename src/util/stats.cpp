@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iuad {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double CoOccurrenceTailProbability(double na, double nb, double total_papers,
+                                   int x) {
+  // Under independence: per-paper co-occurrence probability p = na*nb/N^2,
+  // X ~ Binom(N, p), E[X] = N*p, Var[X] = N*p*(1-p). Eq. (1) applies the
+  // continuity correction (x - 0.5) before standardizing.
+  const double n = total_papers;
+  if (n <= 0.0) return 0.0;
+  double p = (na / n) * (nb / n);
+  p = std::clamp(p, 0.0, 1.0);
+  const double mean = n * p;
+  const double var = n * p * (1.0 - p);
+  if (var <= 0.0) return mean >= x ? 1.0 : 0.0;
+  const double z = ((static_cast<double>(x) - 0.5) - mean) / std::sqrt(var);
+  const double tail = 1.0 - NormalCdf(z);
+  return std::clamp(tail, 0.0, 1.0);
+}
+
+PowerLawFit FitPowerLaw(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  PowerLawFit fit;
+  std::vector<double> lx, ly;
+  for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log10(x[i]));
+      ly.push_back(std::log10(y[i]));
+    }
+  }
+  fit.used_points = static_cast<int>(lx.size());
+  if (lx.size() < 2) return fit;
+  const double mx = Mean(lx);
+  const double my = Mean(ly);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < lx.size(); ++i) {
+    sxy += (lx[i] - mx) * (ly[i] - my);
+    sxx += (lx[i] - mx) * (lx[i] - mx);
+    syy += (ly[i] - my) * (ly[i] - my);
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+std::map<int64_t, int64_t> FrequencyHistogram(
+    const std::vector<int64_t>& counts) {
+  std::map<int64_t, int64_t> hist;
+  for (int64_t c : counts) ++hist[c];
+  return hist;
+}
+
+PowerLawFit FitPowerLaw(const std::map<int64_t, int64_t>& histogram) {
+  std::vector<double> x, y;
+  x.reserve(histogram.size());
+  y.reserve(histogram.size());
+  for (const auto& [value, freq] : histogram) {
+    x.push_back(static_cast<double>(value));
+    y.push_back(static_cast<double>(freq));
+  }
+  return FitPowerLaw(x, y);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace iuad

@@ -1,0 +1,161 @@
+#ifndef IUAD_UTIL_STATUS_H_
+#define IUAD_UTIL_STATUS_H_
+
+/// \file status.h
+/// Arrow/RocksDB-style error model. Library code never throws across the
+/// public API boundary; fallible operations return `Status` or `Result<T>`.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace iuad {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Success-or-error outcome of an operation. Cheap to copy in the OK case
+/// (no allocation); error case carries a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error. Holds either a `T` or a non-OK `Status`.
+///
+/// Usage:
+/// \code
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure. OK statuses are invalid here.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a non-OK Status to the caller.
+#define IUAD_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::iuad::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define IUAD_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto IUAD_CONCAT_(_res_, __LINE__) = (expr);                  \
+  if (!IUAD_CONCAT_(_res_, __LINE__).ok())                      \
+    return IUAD_CONCAT_(_res_, __LINE__).status();              \
+  lhs = std::move(IUAD_CONCAT_(_res_, __LINE__)).value()
+
+#define IUAD_CONCAT_INNER_(a, b) a##b
+#define IUAD_CONCAT_(a, b) IUAD_CONCAT_INNER_(a, b)
+
+}  // namespace iuad
+
+#endif  // IUAD_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef IUAD_UTIL_STOPWATCH_H_
+#define IUAD_UTIL_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock timing for the scalability and incremental experiments
+/// (Table V, Table VI report seconds / milliseconds per item).
+
+#include <chrono>
+
+namespace iuad {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace iuad
+
+#endif  // IUAD_UTIL_STOPWATCH_H_

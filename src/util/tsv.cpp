@@ -1,0 +1,62 @@
+#include "util/tsv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace iuad {
+
+namespace {
+
+void ParseInto(const std::string& content, std::vector<TsvRow>* rows) {
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string_view line(content.data() + start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#') {
+      rows->push_back(Split(line, '\t'));
+    }
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<TsvRow>> ReadTsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTsv(buf.str());
+}
+
+std::vector<TsvRow> ParseTsv(const std::string& content) {
+  std::vector<TsvRow> rows;
+  ParseInto(content, &rows);
+  return rows;
+}
+
+Status WriteTsvFile(const std::string& path, const std::vector<TsvRow>& rows) {
+  for (const auto& row : rows) {
+    for (const auto& field : row) {
+      if (field.find('\t') != std::string::npos ||
+          field.find('\n') != std::string::npos) {
+        return Status::InvalidArgument("TSV field contains tab/newline: " +
+                                       field);
+      }
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const auto& row : rows) {
+    out << Join(row, "\t") << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace iuad

@@ -1,0 +1,34 @@
+#ifndef IUAD_UTIL_TSV_H_
+#define IUAD_UTIL_TSV_H_
+
+/// \file tsv.h
+/// Line-oriented TSV reading/writing: the on-disk interchange format for
+/// paper records ("awkward text/record handling" is rebuilt here rather than
+/// pulled from a parsing library). Fields never contain tabs or newlines by
+/// construction; writers assert this.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad {
+
+/// One parsed TSV row.
+using TsvRow = std::vector<std::string>;
+
+/// Reads all rows of a TSV file. Empty lines and lines starting with '#'
+/// are skipped. Returns IoError if the file cannot be opened.
+Result<std::vector<TsvRow>> ReadTsvFile(const std::string& path);
+
+/// Parses TSV content already in memory (same skipping rules).
+std::vector<TsvRow> ParseTsv(const std::string& content);
+
+/// Writes rows to `path`. Returns InvalidArgument if any field contains a
+/// tab or newline, IoError on filesystem failure.
+Status WriteTsvFile(const std::string& path,
+                    const std::vector<TsvRow>& rows);
+
+}  // namespace iuad
+
+#endif  // IUAD_UTIL_TSV_H_

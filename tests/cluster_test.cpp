@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/affinity_propagation.h"
+#include "cluster/dbscan.h"
+#include "cluster/hac.h"
+#include "util/rng.h"
+
+namespace iuad::cluster {
+namespace {
+
+/// Distance matrix for 1-D points.
+std::vector<std::vector<double>> DistanceMatrix1D(
+    const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i][j] = std::abs(xs[i] - xs[j]);
+  }
+  return d;
+}
+
+/// Similarity = negative distance (AP convention).
+std::vector<std::vector<double>> SimilarityMatrix1D(
+    const std::vector<double>& xs) {
+  auto d = DistanceMatrix1D(xs);
+  for (auto& row : d) {
+    for (auto& v : row) v = -v;
+  }
+  return d;
+}
+
+int NumClusters(const std::vector<int>& labels) {
+  return static_cast<int>(std::set<int>(labels.begin(), labels.end()).size());
+}
+
+bool SameCluster(const std::vector<int>& labels, size_t i, size_t j) {
+  return labels[i] == labels[j];
+}
+
+// Two well-separated 1-D blobs plus the empty / degenerate cases.
+const std::vector<double> kTwoBlobs{0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+
+// --------------------------- HAC ---------------------------------------------
+
+TEST(HacTest, RejectsNonSquare) {
+  EXPECT_FALSE(Hac({{0.0, 1.0}}, HacConfig{}).ok());
+}
+
+TEST(HacTest, EmptyInput) {
+  auto r = Hac({}, HacConfig{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(HacTest, SingleItem) {
+  auto r = Hac({{0.0}}, HacConfig{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<int>{0}));
+}
+
+TEST(HacTest, SeparatesTwoBlobs) {
+  HacConfig cfg;
+  cfg.distance_threshold = 1.0;
+  auto r = Hac(DistanceMatrix1D(kTwoBlobs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NumClusters(*r), 2);
+  EXPECT_TRUE(SameCluster(*r, 0, 2));
+  EXPECT_TRUE(SameCluster(*r, 3, 5));
+  EXPECT_FALSE(SameCluster(*r, 0, 3));
+}
+
+TEST(HacTest, ThresholdZeroKeepsSingletons) {
+  HacConfig cfg;
+  cfg.distance_threshold = -1.0;  // nothing merges
+  auto r = Hac(DistanceMatrix1D(kTwoBlobs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NumClusters(*r), 6);
+}
+
+TEST(HacTest, HugeThresholdMergesAll) {
+  HacConfig cfg;
+  cfg.distance_threshold = 100.0;
+  auto r = Hac(DistanceMatrix1D(kTwoBlobs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NumClusters(*r), 1);
+}
+
+class HacLinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(HacLinkageTest, AllLinkagesSeparateCleanBlobs) {
+  HacConfig cfg;
+  cfg.linkage = GetParam();
+  cfg.distance_threshold = 1.0;
+  auto r = Hac(DistanceMatrix1D(kTwoBlobs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NumClusters(*r), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, HacLinkageTest,
+                         ::testing::Values(Linkage::kSingle, Linkage::kComplete,
+                                           Linkage::kAverage));
+
+TEST(HacTest, SingleLinkageChains) {
+  // Chain 0-1-2-...-5 with unit gaps: single linkage merges the whole chain
+  // at threshold 1.5, complete linkage does not.
+  std::vector<double> chain{0, 1, 2, 3, 4, 5};
+  HacConfig single;
+  single.linkage = Linkage::kSingle;
+  single.distance_threshold = 1.5;
+  auto rs = Hac(DistanceMatrix1D(chain), single);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(NumClusters(*rs), 1);
+
+  HacConfig complete;
+  complete.linkage = Linkage::kComplete;
+  complete.distance_threshold = 1.5;
+  auto rc = Hac(DistanceMatrix1D(chain), complete);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_GT(NumClusters(*rc), 1);
+}
+
+// --------------------------- Affinity Propagation ---------------------------
+
+TEST(ApTest, RejectsNonSquare) {
+  EXPECT_FALSE(AffinityPropagation({{0.0, 1.0}}, ApConfig{}).ok());
+}
+
+TEST(ApTest, TrivialInputs) {
+  auto r0 = AffinityPropagation({}, ApConfig{});
+  ASSERT_TRUE(r0.ok());
+  EXPECT_TRUE(r0->empty());
+  auto r1 = AffinityPropagation({{0.0}}, ApConfig{});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, (std::vector<int>{0}));
+}
+
+TEST(ApTest, SeparatesTwoBlobs) {
+  auto r = AffinityPropagation(SimilarityMatrix1D(kTwoBlobs), ApConfig{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SameCluster(*r, 0, 1));
+  EXPECT_TRUE(SameCluster(*r, 0, 2));
+  EXPECT_TRUE(SameCluster(*r, 3, 4));
+  EXPECT_FALSE(SameCluster(*r, 0, 3));
+}
+
+TEST(ApTest, LowPreferenceYieldsFewerClusters) {
+  auto sims = SimilarityMatrix1D(kTwoBlobs);
+  ApConfig few;
+  few.preference = -200.0;
+  auto r_few = AffinityPropagation(sims, few);
+  ApConfig many;
+  many.preference = 0.0;
+  auto r_many = AffinityPropagation(sims, many);
+  ASSERT_TRUE(r_few.ok());
+  ASSERT_TRUE(r_many.ok());
+  EXPECT_LE(NumClusters(*r_few), NumClusters(*r_many));
+}
+
+TEST(ApTest, LabelsAreDense) {
+  auto r = AffinityPropagation(SimilarityMatrix1D(kTwoBlobs), ApConfig{});
+  ASSERT_TRUE(r.ok());
+  const int k = NumClusters(*r);
+  for (int label : *r) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, k);
+  }
+}
+
+// --------------------------- DBSCAN -----------------------------------------
+
+TEST(DbscanTest, RejectsNonSquare) {
+  EXPECT_FALSE(Dbscan({{0.0, 1.0}}, DbscanConfig{}).ok());
+}
+
+TEST(DbscanTest, SeparatesTwoBlobsWithNoise) {
+  std::vector<double> xs = kTwoBlobs;
+  xs.push_back(5.0);  // lone noise point between the blobs
+  DbscanConfig cfg;
+  cfg.eps = 0.5;
+  cfg.min_points = 2;
+  auto r = Dbscan(DistanceMatrix1D(xs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SameCluster(*r, 0, 2));
+  EXPECT_TRUE(SameCluster(*r, 3, 5));
+  EXPECT_FALSE(SameCluster(*r, 0, 3));
+  // Noise became its own singleton cluster.
+  EXPECT_FALSE(SameCluster(*r, 6, 0));
+  EXPECT_FALSE(SameCluster(*r, 6, 3));
+}
+
+TEST(DbscanTest, ChainsThroughDensity) {
+  // Points 0..9 with gap 0.4 < eps: one chained cluster.
+  std::vector<double> xs;
+  for (int i = 0; i < 10; ++i) xs.push_back(0.4 * i);
+  DbscanConfig cfg;
+  cfg.eps = 0.5;
+  cfg.min_points = 2;
+  auto r = Dbscan(DistanceMatrix1D(xs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NumClusters(*r), 1);
+}
+
+TEST(DbscanTest, HighMinPointsMakesEverythingNoise) {
+  DbscanConfig cfg;
+  cfg.eps = 0.5;
+  cfg.min_points = 10;
+  auto r = Dbscan(DistanceMatrix1D(kTwoBlobs), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NumClusters(*r), 6);  // all noise -> all singletons
+}
+
+TEST(DbscanTest, EmptyInput) {
+  auto r = Dbscan({}, DbscanConfig{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace iuad::cluster

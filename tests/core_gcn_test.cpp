@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/gcn_builder.h"
+#include "core/pipeline.h"
+#include "eval/evaluator.h"
+#include "testing_utils.h"
+#include "util/rng.h"
+
+namespace iuad::core {
+namespace {
+
+using graph::CollabGraph;
+using graph::VertexId;
+
+// --------------------------- Vertex splitting -------------------------------
+
+TEST(SplitVertexTest, SplitsPapersAndEdges) {
+  CollabGraph g;
+  const VertexId v = g.AddVertex("X", {0, 1, 2, 3});
+  const VertexId n1 = g.AddVertex("N1", {0, 1});
+  const VertexId n2 = g.AddVertex("N2", {2, 3});
+  ASSERT_TRUE(g.AddEdgePapers(v, n1, {0, 1}).ok());
+  ASSERT_TRUE(g.AddEdgePapers(v, n2, {2, 3}).ok());
+
+  iuad::Rng rng(4);
+  auto v2 = SplitVertexForAugmentation(&g, v, &rng);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(g.alive(*v2));
+  EXPECT_EQ(g.vertex(*v2).name, "X");
+  // Paper sets partition the original.
+  std::vector<int> all = g.vertex(v).papers;
+  all.insert(all.end(), g.vertex(*v2).papers.begin(),
+             g.vertex(*v2).papers.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(g.vertex(v).papers.size(), 2u);
+  EXPECT_EQ(g.vertex(*v2).papers.size(), 2u);
+  // Every edge paper lives on the half owning that paper.
+  for (VertexId host : {v, *v2}) {
+    const auto& papers = g.vertex(host).papers;
+    for (const auto& [nbr, eps] : g.NeighborsOf(host)) {
+      for (int pid : eps) {
+        EXPECT_TRUE(std::binary_search(papers.begin(), papers.end(), pid));
+      }
+    }
+  }
+}
+
+TEST(SplitVertexTest, UnsplitRestoresPapers) {
+  CollabGraph g;
+  const VertexId v = g.AddVertex("X", {0, 1, 2, 3, 4, 5});
+  const VertexId n = g.AddVertex("N", {0, 3});
+  ASSERT_TRUE(g.AddEdgePapers(v, n, {0, 3}).ok());
+  iuad::Rng rng(5);
+  auto v2 = SplitVertexForAugmentation(&g, v, &rng);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(g.MergeVertices(v, *v2).ok());
+  EXPECT_EQ(g.vertex(v).papers, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(g.NeighborsOf(v).at(n), (std::vector<int>{0, 3}));
+  EXPECT_EQ(g.num_alive(), 2);
+}
+
+TEST(SplitVertexTest, RejectsTooFewPapers) {
+  CollabGraph g;
+  const VertexId v = g.AddVertex("X", {0});
+  iuad::Rng rng(6);
+  EXPECT_FALSE(SplitVertexForAugmentation(&g, v, &rng).ok());
+}
+
+// --------------------------- Full pipeline ----------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new data::Corpus(iuad::testing::SmallCorpus());
+    IuadConfig cfg = FastConfig();
+    IuadPipeline pipeline(cfg);
+    auto result = pipeline.Run(corpus_->db);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    result_ = new DisambiguationResult(std::move(*result));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete corpus_;
+    result_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static IuadConfig FastConfig() {
+    IuadConfig cfg;
+    cfg.word2vec.dim = 16;
+    cfg.word2vec.epochs = 2;
+    cfg.max_split_vertices = 50;
+    return cfg;
+  }
+
+  static data::Corpus* corpus_;
+  static DisambiguationResult* result_;
+};
+data::Corpus* PipelineTest::corpus_ = nullptr;
+DisambiguationResult* PipelineTest::result_ = nullptr;
+
+TEST_F(PipelineTest, ProducesFittedModelAndStats) {
+  EXPECT_NE(result_->model, nullptr);
+  EXPECT_TRUE(result_->model->fitted());
+  EXPECT_GT(result_->gcn_stats.candidate_pairs, 0);
+  EXPECT_GT(result_->gcn_stats.training_pairs, 0);
+  EXPECT_GT(result_->gcn_stats.augmented_pairs, 0);
+  EXPECT_GT(result_->scn_stats.num_scrs, 0);
+  EXPECT_GT(result_->gcn_stats.recovered_edges, 0);
+}
+
+TEST_F(PipelineTest, EveryOccurrenceRemainsAttributed) {
+  for (const auto& p : corpus_->db.papers()) {
+    for (const auto& name : p.author_names) {
+      const VertexId v = result_->occurrences.Lookup(p.id, name);
+      ASSERT_GE(v, 0);
+      ASSERT_TRUE(result_->graph.alive(v));
+      EXPECT_EQ(result_->graph.vertex(v).name, name);
+    }
+  }
+}
+
+TEST_F(PipelineTest, GcnMergedSomeVertices) {
+  EXPECT_GT(result_->gcn_stats.merges, 0);
+}
+
+TEST_F(PipelineTest, RecoveredRelationsMakeBylinesAdjacent) {
+  // Line 16: after recovery every co-author pair of every paper is an edge.
+  for (int pid = 0; pid < corpus_->db.num_papers(); pid += 37) {
+    const auto& p = corpus_->db.paper(pid);
+    for (size_t i = 0; i < p.author_names.size(); ++i) {
+      const VertexId vi = result_->occurrences.Lookup(pid, p.author_names[i]);
+      for (size_t j = i + 1; j < p.author_names.size(); ++j) {
+        const VertexId vj =
+            result_->occurrences.Lookup(pid, p.author_names[j]);
+        if (vi == vj) continue;
+        EXPECT_TRUE(result_->graph.NeighborsOf(vi).count(vj) > 0)
+            << "paper " << pid;
+      }
+    }
+  }
+}
+
+TEST_F(PipelineTest, GcnImprovesRecallAtHighPrecision) {
+  // The Table IV claim: stage 2 lifts recall sharply while precision barely
+  // moves. Asserted as ordering, not absolute numbers.
+  IuadPipeline pipeline(FastConfig());
+  auto scn_only = pipeline.RunScnOnly(corpus_->db);
+  ASSERT_TRUE(scn_only.ok());
+
+  const auto names = corpus_->TestNames(2);
+  ASSERT_GT(names.size(), 3u);
+  const auto scn_metrics =
+      eval::EvaluateOccurrences(corpus_->db, scn_only->occurrences, names);
+  const auto gcn_metrics =
+      eval::EvaluateOccurrences(corpus_->db, result_->occurrences, names);
+
+  EXPECT_GT(scn_metrics.precision, 0.9);            // stage-1 guarantee
+  EXPECT_GT(gcn_metrics.recall, scn_metrics.recall + 0.05);
+  EXPECT_GT(gcn_metrics.f1, scn_metrics.f1);
+  EXPECT_GT(gcn_metrics.precision, 0.6);            // no precision collapse
+}
+
+TEST_F(PipelineTest, DeterministicAcrossRuns) {
+  IuadPipeline pipeline(FastConfig());
+  auto again = pipeline.Run(corpus_->db);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->gcn_stats.merges, result_->gcn_stats.merges);
+  EXPECT_EQ(again->gcn_stats.candidate_pairs,
+            result_->gcn_stats.candidate_pairs);
+  EXPECT_EQ(again->graph.num_alive(), result_->graph.num_alive());
+}
+
+TEST_F(PipelineTest, DeltaControlsMergeAggressiveness) {
+  IuadConfig strict = FastConfig();
+  strict.delta = 50.0;  // essentially never merge
+  auto r_strict = IuadPipeline(strict).Run(corpus_->db);
+  ASSERT_TRUE(r_strict.ok());
+  EXPECT_LT(r_strict->gcn_stats.merges, result_->gcn_stats.merges);
+
+  IuadConfig lax = FastConfig();
+  lax.delta = -50.0;  // merge almost everything scored
+  auto r_lax = IuadPipeline(lax).Run(corpus_->db);
+  ASSERT_TRUE(r_lax.ok());
+  EXPECT_GT(r_lax->gcn_stats.merges, result_->gcn_stats.merges);
+}
+
+TEST(GcnBuilderTest, NoCandidatePairsLeavesGraphUnchanged) {
+  // A corpus where every name is unique: GCN has nothing to merge and no
+  // model to fit, but relation recovery must still run.
+  data::PaperDatabase db;
+  db.AddPaper(iuad::testing::MakePaper({"A", "B"}));
+  db.AddPaper(iuad::testing::MakePaper({"A", "B"}));
+  db.AddPaper(iuad::testing::MakePaper({"C", "D"}));
+  IuadConfig cfg;
+  cfg.vertex_splitting = false;  // would otherwise synthesize same-name pairs
+  IuadPipeline pipeline(cfg);
+  auto r = pipeline.Run(db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->model, nullptr);
+  EXPECT_EQ(r->gcn_stats.merges, 0);
+  // C-D edge recovered even though (C,D) is not an SCR.
+  const VertexId c = r->occurrences.Lookup(2, "C");
+  const VertexId d = r->occurrences.Lookup(2, "D");
+  ASSERT_GE(c, 0);
+  ASSERT_GE(d, 0);
+  EXPECT_TRUE(r->graph.NeighborsOf(c).count(d) > 0);
+}
+
+TEST(GcnBuilderTest, SamplingRateSweepStillMerges) {
+  auto corpus = iuad::testing::SmallCorpus(21);
+  for (double rate : {0.05, 0.5, 1.0}) {
+    IuadConfig cfg;
+    cfg.word2vec.dim = 8;
+    cfg.word2vec.epochs = 1;
+    cfg.sample_rate = rate;
+    cfg.max_split_vertices = 30;
+    auto r = IuadPipeline(cfg).Run(corpus.db);
+    ASSERT_TRUE(r.ok()) << "rate=" << rate;
+    EXPECT_GT(r->gcn_stats.merges, 0) << "rate=" << rate;
+  }
+}
+
+TEST(GcnBuilderTest, VertexSplittingOffStillWorks) {
+  auto corpus = iuad::testing::SmallCorpus(22);
+  IuadConfig cfg;
+  cfg.word2vec.dim = 8;
+  cfg.word2vec.epochs = 1;
+  cfg.vertex_splitting = false;
+  auto r = IuadPipeline(cfg).Run(corpus.db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->gcn_stats.augmented_pairs, 0);
+  EXPECT_NE(r->model, nullptr);
+}
+
+
+TEST(GcnBuilderTest, SemiSupervisedOracleSeedsEm) {
+  // The paper's Sec. VII future work: a label oracle seeds the EM initial
+  // responsibilities. Mechanism check: an all-unmatched oracle must starve
+  // the matched component (smaller fitted prior, no more merges than the
+  // unsupervised fit), and an abstaining oracle must change nothing.
+  auto corpus = iuad::testing::SmallCorpus(51);
+  IuadConfig cfg;
+  cfg.word2vec.dim = 8;
+  cfg.word2vec.epochs = 1;
+  auto unsupervised = IuadPipeline(cfg).Run(corpus.db);
+  ASSERT_TRUE(unsupervised.ok());
+  ASSERT_NE(unsupervised->model, nullptr);
+
+  IuadConfig all_unmatched = cfg;
+  all_unmatched.pair_label_oracle = [](const CollabGraph&, VertexId,
+                                       VertexId) { return 0; };
+  auto pessimist = IuadPipeline(all_unmatched).Run(corpus.db);
+  ASSERT_TRUE(pessimist.ok());
+  ASSERT_NE(pessimist->model, nullptr);
+  EXPECT_LT(pessimist->model->prior_matched(),
+            unsupervised->model->prior_matched());
+  EXPECT_LE(pessimist->gcn_stats.merges, unsupervised->gcn_stats.merges);
+
+  IuadConfig abstaining = cfg;
+  abstaining.pair_label_oracle = [](const CollabGraph&, VertexId, VertexId) {
+    return -1;
+  };
+  auto neutral = IuadPipeline(abstaining).Run(corpus.db);
+  ASSERT_TRUE(neutral.ok());
+  EXPECT_EQ(neutral->gcn_stats.merges, unsupervised->gcn_stats.merges);
+  EXPECT_DOUBLE_EQ(neutral->model->prior_matched(),
+                   unsupervised->model->prior_matched());
+}
+
+}  // namespace
+}  // namespace iuad::core

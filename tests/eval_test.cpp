@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/occurrence_index.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "testing_utils.h"
+#include "util/rng.h"
+
+namespace iuad::eval {
+namespace {
+
+// --------------------------- PairwiseCounts ---------------------------------
+
+TEST(PairwiseCountsTest, HandComputedExample) {
+  // truth: {0,1} same author A, {2} author B.
+  // pred: all three together.
+  PairCounts c = PairwiseCounts({9, 9, 9}, {0, 0, 1});
+  EXPECT_EQ(c.tp, 1);  // (0,1)
+  EXPECT_EQ(c.fp, 2);  // (0,2), (1,2)
+  EXPECT_EQ(c.fn, 0);
+  EXPECT_EQ(c.tn, 0);
+}
+
+TEST(PairwiseCountsTest, PerfectPrediction) {
+  PairCounts c = PairwiseCounts({5, 5, 8, 8}, {0, 0, 1, 1});
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 0);
+  EXPECT_EQ(c.fn, 0);
+  EXPECT_EQ(c.tn, 4);
+  auto m = ToMetrics(c);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(PairwiseCountsTest, AllSingletonsHaveZeroRecall) {
+  PairCounts c = PairwiseCounts({0, 1, 2}, {7, 7, 7});
+  EXPECT_EQ(c.tp, 0);
+  EXPECT_EQ(c.fn, 3);
+  auto m = ToMetrics(c);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);  // no positive predictions
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(PairwiseCountsTest, UnknownTruthSkipped) {
+  PairCounts c = PairwiseCounts({1, 1, 1}, {0, -1, 0});
+  // Only the (0,2) pair is counted.
+  EXPECT_EQ(c.total(), 1);
+  EXPECT_EQ(c.tp, 1);
+}
+
+TEST(PairwiseCountsTest, TotalIsChooseTwo) {
+  iuad::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(30));
+    std::vector<int> pred(static_cast<size_t>(n)), truth(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pred[static_cast<size_t>(i)] = static_cast<int>(rng.NextBounded(4));
+      truth[static_cast<size_t>(i)] = static_cast<int>(rng.NextBounded(4));
+    }
+    PairCounts c = PairwiseCounts(pred, truth);
+    EXPECT_EQ(c.total(), static_cast<int64_t>(n) * (n - 1) / 2);
+  }
+}
+
+TEST(PairwiseCountsTest, EmptyAndSingleItem) {
+  EXPECT_EQ(PairwiseCounts({}, {}).total(), 0);
+  EXPECT_EQ(PairwiseCounts({1}, {1}).total(), 0);
+  auto m = ToMetrics(PairwiseCounts({}, {}));
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);  // nothing to get wrong
+}
+
+TEST(PairCountsTest, AddAccumulates) {
+  PairCounts a{1, 2, 3, 4};
+  PairCounts b{10, 20, 30, 40};
+  a.Add(b);
+  EXPECT_EQ(a.tp, 11);
+  EXPECT_EQ(a.fp, 22);
+  EXPECT_EQ(a.fn, 33);
+  EXPECT_EQ(a.tn, 44);
+  EXPECT_EQ(a.total(), 110);
+}
+
+TEST(MetricsTest, MicroAggregationDiffersFromMacro) {
+  // Name 1: tiny but perfect; name 2: large and bad. Micro is dominated by
+  // name 2 — the very point of the paper's micro protocol.
+  PairCounts small = PairwiseCounts({1, 1}, {0, 0});        // 1 TP
+  PairCounts large = PairwiseCounts({2, 2, 2, 2, 3}, {0, 0, 1, 1, 1});
+  PairCounts total = small;
+  total.Add(large);
+  auto micro = ToMetrics(total);
+  EXPECT_LT(micro.precision, 1.0);
+  EXPECT_GT(micro.precision, 0.0);
+}
+
+TEST(MetricsTest, FormatMetrics) {
+  MicroMetrics m{0.8174, 0.8608, 0.8113, 0.8353};
+  EXPECT_EQ(FormatMetrics(m), "A=0.8174 P=0.8608 R=0.8113 F=0.8353");
+}
+
+// --------------------------- Evaluator --------------------------------------
+
+TEST(EvaluatorTest, TrueLabelsForName) {
+  auto db = iuad::testing::Fig2Database();
+  // Unlabeled corpus: all -1.
+  auto labels = TrueLabelsForName(db, "b");
+  ASSERT_EQ(labels.size(), db.PapersWithName("b").size());
+  for (int l : labels) EXPECT_EQ(l, -1);
+
+  data::PaperDatabase labeled;
+  labeled.AddPaper(iuad::testing::MakePaper({"x", "y"}, "t", "v", 2000, {1, 5}));
+  labeled.AddPaper(iuad::testing::MakePaper({"x"}, "t", "v", 2001, {2}));
+  auto lx = TrueLabelsForName(labeled, "x");
+  EXPECT_EQ(lx, (std::vector<int>{1, 2}));
+}
+
+TEST(EvaluatorTest, CountsForNameUsesOccurrenceIndex) {
+  data::PaperDatabase db;
+  db.AddPaper(iuad::testing::MakePaper({"x"}, "t", "v", 2000, {1}));
+  db.AddPaper(iuad::testing::MakePaper({"x"}, "t", "v", 2001, {1}));
+  db.AddPaper(iuad::testing::MakePaper({"x"}, "t", "v", 2002, {2}));
+  core::OccurrenceIndex occ;
+  occ.AssignIfAbsent(0, "x", 100);
+  occ.AssignIfAbsent(1, "x", 100);
+  occ.AssignIfAbsent(2, "x", 200);
+  PairCounts c = CountsForName(db, occ, "x");
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.tn, 2);
+  EXPECT_EQ(c.fp, 0);
+  EXPECT_EQ(c.fn, 0);
+  auto metrics = EvaluateOccurrences(db, occ, {"x"});
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 1.0);
+}
+
+TEST(EvaluatorTest, EvaluateClustererAdapter) {
+  data::PaperDatabase db;
+  db.AddPaper(iuad::testing::MakePaper({"x"}, "t", "v", 2000, {1}));
+  db.AddPaper(iuad::testing::MakePaper({"x"}, "t", "v", 2001, {2}));
+  PairCounts total;
+  auto metrics = EvaluateClusterer(
+      db, [](const std::string&) { return std::vector<int>{0, 0}; }, {"x"},
+      &total);
+  EXPECT_EQ(total.fp, 1);
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 0.0);
+}
+
+// --------------------------- TablePrinter -----------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Algorithm", "MicroF"});
+  t.AddRow({"IUAD", "0.8353"});
+  t.AddRow({"A-very-long-name", "0.1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Algorithm "), std::string::npos);
+  EXPECT_NE(s.find("| IUAD "), std::string::npos);
+  EXPECT_NE(s.find("A-very-long-name"), std::string::npos);
+  // All lines equally wide.
+  size_t width = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find('\n', pos);
+    if (end == std::string::npos) break;
+    if (width == 0) width = end - pos;
+    EXPECT_EQ(end - pos, width);
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2", "3", "4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| 2 | 3 | 4 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iuad::eval

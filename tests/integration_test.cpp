@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "baselines/unsupervised.h"
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "eval/evaluator.h"
+#include "testing_utils.h"
+
+namespace iuad {
+namespace {
+
+/// End-to-end: IUAD and the strongest baselines on one synthetic corpus,
+/// checking the *shape* of the paper's headline results (Table III/IV) at
+/// test scale.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::CorpusConfig cc;
+    cc.num_communities = 16;
+    cc.authors_per_community = 60;
+    cc.num_papers = 5000;
+    cc.given_name_pool = 180;
+    cc.surname_pool = 140;
+    cc.name_zipf = 0.7;
+    cc.seed = 77;
+    corpus_ = new data::Corpus(data::CorpusGenerator(cc).Generate());
+
+    core::IuadConfig cfg;
+    cfg.word2vec.dim = 16;
+    cfg.word2vec.epochs = 2;
+    core::IuadPipeline pipeline(cfg);
+    auto result = pipeline.Run(corpus_->db);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    result_ = new core::DisambiguationResult(std::move(*result));
+    names_ = new std::vector<std::string>(corpus_->TestNames(2));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete corpus_;
+    delete names_;
+    result_ = nullptr;
+    corpus_ = nullptr;
+    names_ = nullptr;
+  }
+
+  static data::Corpus* corpus_;
+  static core::DisambiguationResult* result_;
+  static std::vector<std::string>* names_;
+};
+data::Corpus* EndToEndTest::corpus_ = nullptr;
+core::DisambiguationResult* EndToEndTest::result_ = nullptr;
+std::vector<std::string>* EndToEndTest::names_ = nullptr;
+
+TEST_F(EndToEndTest, IuadReachesStrongAbsoluteMetrics) {
+  auto m = eval::EvaluateOccurrences(corpus_->db, result_->occurrences,
+                                     *names_);
+  // Paper reports A/P/R/F = .82/.86/.81/.84 on DBLP; on the synthetic
+  // corpus we only require the same regime, not the same numbers.
+  EXPECT_GT(m.precision, 0.75);
+  EXPECT_GT(m.recall, 0.5);
+  EXPECT_GT(m.f1, 0.6);
+  EXPECT_GT(m.accuracy, 0.7);
+}
+
+TEST_F(EndToEndTest, IuadBeatsEveryUnsupervisedBaselineOnF1) {
+  auto iuad_m = eval::EvaluateOccurrences(corpus_->db, result_->occurrences,
+                                          *names_);
+  // Give baselines the same trained embeddings IUAD used.
+  std::vector<std::unique_ptr<baselines::UnsupervisedBaseline>> competitors;
+  competitors.push_back(std::make_unique<baselines::AnonBaseline>(
+      corpus_->db, &result_->embeddings));
+  competitors.push_back(std::make_unique<baselines::NetEBaseline>(
+      corpus_->db, &result_->embeddings));
+  competitors.push_back(std::make_unique<baselines::AminerBaseline>(
+      corpus_->db, &result_->embeddings));
+  competitors.push_back(
+      std::make_unique<baselines::GhostBaseline>(corpus_->db));
+  for (const auto& baseline : competitors) {
+    auto m = eval::EvaluateClusterer(
+        corpus_->db,
+        [&](const std::string& n) { return baseline->Disambiguate(n); },
+        *names_);
+    EXPECT_GT(iuad_m.f1, m.f1) << "IUAD should beat " << baseline->Name();
+  }
+}
+
+TEST_F(EndToEndTest, DataScaleImprovesRecall) {
+  // Fig. 5's shape: recall grows substantially with data scale.
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 16;
+  cfg.word2vec.epochs = 2;
+  core::IuadPipeline pipeline(cfg);
+  auto small_db = corpus_->db.PrefixByYearFraction(0.3);
+  auto small = pipeline.Run(small_db);
+  ASSERT_TRUE(small.ok());
+  auto small_m =
+      eval::EvaluateOccurrences(small_db, small->occurrences, *names_);
+  auto full_m = eval::EvaluateOccurrences(corpus_->db, result_->occurrences,
+                                          *names_);
+  EXPECT_GT(full_m.recall, small_m.recall);
+}
+
+TEST_F(EndToEndTest, SaveLoadRoundTripPreservesResults) {
+  // The corpus can be persisted and reloaded without changing IUAD output.
+  const std::string path = "/tmp/iuad_integration_corpus.tsv";
+  ASSERT_TRUE(corpus_->db.SaveTsv(path).ok());
+  auto reloaded = data::PaperDatabase::LoadTsv(path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->num_papers(), corpus_->db.num_papers());
+
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 16;
+  cfg.word2vec.epochs = 2;
+  auto rerun = core::IuadPipeline(cfg).Run(*reloaded);
+  ASSERT_TRUE(rerun.ok());
+  auto m1 = eval::EvaluateOccurrences(corpus_->db, result_->occurrences,
+                                      *names_);
+  auto m2 = eval::EvaluateOccurrences(*reloaded, rerun->occurrences, *names_);
+  EXPECT_DOUBLE_EQ(m1.f1, m2.f1);
+  std::remove(path.c_str());
+}
+
+TEST_F(EndToEndTest, IncrementalIngestionEndToEnd) {
+  auto [history, stream] = corpus_->db.HoldOutLatest(100);
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 16;
+  cfg.word2vec.epochs = 2;
+  auto built = core::IuadPipeline(cfg).Run(history);
+  ASSERT_TRUE(built.ok());
+  auto before = eval::EvaluateOccurrences(history, built->occurrences,
+                                          *names_);
+  core::IncrementalDisambiguator inc(&history, &*built, cfg);
+  for (const auto& p : stream) {
+    ASSERT_TRUE(inc.AddPaper(p).ok());
+  }
+  auto after = eval::EvaluateOccurrences(history, built->occurrences,
+                                         *names_);
+  // Table VI's shape: quality moves only slightly after ingesting a stream.
+  EXPECT_GT(after.f1, before.f1 - 0.15);
+}
+
+}  // namespace
+}  // namespace iuad

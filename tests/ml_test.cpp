@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "data/paper_database.h"
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/pairwise_features.h"
+#include "ml/random_forest.h"
+#include "testing_utils.h"
+#include "util/rng.h"
+
+namespace iuad::ml {
+namespace {
+
+/// y = 1 iff x0 > 0.5 XOR x1 > 0.5 — needs depth >= 2 trees.
+void XorData(int n, uint64_t seed, Matrix* x, std::vector<int>* y) {
+  iuad::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.UniformDouble());
+    const float b = static_cast<float>(rng.UniformDouble());
+    x->push_back({a, b});
+    y->push_back(((a > 0.5f) != (b > 0.5f)) ? 1 : 0);
+  }
+}
+
+double Accuracy(const std::function<int(const std::vector<float>&)>& predict,
+                const Matrix& x, const std::vector<int>& y) {
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (predict(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.size());
+}
+
+// --------------------------- DecisionTreeClassifier -------------------------
+
+TEST(DecisionTreeTest, RejectsBadInput) {
+  DecisionTreeClassifier t;
+  EXPECT_FALSE(t.Fit({}, {}).ok());
+  EXPECT_FALSE(t.Fit({{1.0f}}, {1, 0}).ok());
+  EXPECT_FALSE(t.Fit({{1.0f}}, {1}, {1.0, 2.0}).ok());
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    const float v = static_cast<float>(i) / 100.0f;
+    x.push_back({v});
+    y.push_back(v > 0.35f ? 1 : 0);
+  }
+  DecisionTreeClassifier t;
+  ASSERT_TRUE(t.Fit(x, y).ok());
+  EXPECT_EQ(t.Predict({0.1f}), 0);
+  EXPECT_EQ(t.Predict({0.9f}), 1);
+  EXPECT_GT(t.num_nodes(), 1);
+}
+
+TEST(DecisionTreeTest, LearnsConjunctionWithDepthTwo) {
+  // y = x0 > 0.5 AND x1 > 0.5: greedy CART learns this exactly at depth 2.
+  // (Pure XOR has zero first-split gini gain and is a known pathological
+  // case for a single greedy tree — the ensemble tests cover XOR.)
+  iuad::Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 600; ++i) {
+    const float a = static_cast<float>(rng.UniformDouble());
+    const float b = static_cast<float>(rng.UniformDouble());
+    x.push_back({a, b});
+    y.push_back((a > 0.5f && b > 0.5f) ? 1 : 0);
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTreeClassifier t(cfg);
+  ASSERT_TRUE(t.Fit(x, y).ok());
+  EXPECT_GT(Accuracy([&](const auto& v) { return t.Predict(v); }, x, y), 0.97);
+}
+
+TEST(DecisionTreeTest, DepthZeroIsMajorityVote) {
+  TreeConfig cfg;
+  cfg.max_depth = 0;
+  DecisionTreeClassifier t(cfg);
+  ASSERT_TRUE(t.Fit({{0.0f}, {1.0f}, {2.0f}}, {1, 1, 0}).ok());
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_NEAR(t.PredictProba({5.0f}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, SampleWeightsShiftDecision) {
+  // Same data, but the single positive carries overwhelming weight.
+  Matrix x{{0.0f}, {0.0f}, {0.0f}};
+  std::vector<int> y{0, 0, 1};
+  TreeConfig cfg;
+  cfg.max_depth = 0;
+  DecisionTreeClassifier t(cfg);
+  ASSERT_TRUE(t.Fit(x, y, {1.0, 1.0, 10.0}).ok());
+  EXPECT_GT(t.PredictProba({0.0f}), 0.5);
+}
+
+TEST(DecisionTreeTest, PureNodeStopsEarly) {
+  DecisionTreeClassifier t;
+  ASSERT_TRUE(t.Fit({{0.0f}, {1.0f}}, {1, 1}).ok());
+  EXPECT_EQ(t.num_nodes(), 1);
+}
+
+// --------------------------- GradientTree -----------------------------------
+
+TEST(GradientTreeTest, LeafValueIsNegGOverH) {
+  GradientTree t;
+  // One leaf (no split possible): value = -G/(H+0).
+  ASSERT_TRUE(t.Fit({{0.0f}, {0.0f}}, {1.0, 3.0}, {1.0, 1.0}).ok());
+  EXPECT_NEAR(t.Predict({0.0f}), -2.0, 1e-9);
+}
+
+TEST(GradientTreeTest, LambdaShrinksLeaves) {
+  GradientTree::Config cfg;
+  cfg.lambda = 2.0;
+  GradientTree t(cfg);
+  ASSERT_TRUE(t.Fit({{0.0f}, {0.0f}}, {1.0, 3.0}, {1.0, 1.0}).ok());
+  EXPECT_NEAR(t.Predict({0.0f}), -4.0 / (2.0 + 2.0), 1e-6);
+}
+
+TEST(GradientTreeTest, SplitsOnInformativeFeature) {
+  GradientTree::Config cfg;
+  cfg.max_depth = 2;
+  cfg.min_samples_leaf = 1;
+  GradientTree t(cfg);
+  Matrix x;
+  std::vector<double> g, h;
+  for (int i = 0; i < 40; ++i) {
+    const float v = i < 20 ? 0.0f : 1.0f;
+    x.push_back({v});
+    g.push_back(i < 20 ? 2.0 : -2.0);
+    h.push_back(1.0);
+  }
+  ASSERT_TRUE(t.Fit(x, g, h).ok());
+  EXPECT_LT(t.Predict({0.0f}), -1.5);
+  EXPECT_GT(t.Predict({1.0f}), 1.5);
+}
+
+TEST(GradientTreeTest, GammaBlocksWeakSplits) {
+  GradientTree::Config strict;
+  strict.gamma = 1e9;  // no split can clear this bar
+  GradientTree t(strict);
+  Matrix x{{0.0f}, {1.0f}, {0.0f}, {1.0f}, {0.0f}, {1.0f}, {0.0f}, {1.0f}};
+  std::vector<double> g{1, -1, 1, -1, 1, -1, 1, -1};
+  std::vector<double> h(8, 1.0);
+  ASSERT_TRUE(t.Fit(x, g, h).ok());
+  EXPECT_EQ(t.num_nodes(), 1);
+}
+
+// --------------------------- Ensembles --------------------------------------
+
+TEST(RandomForestTest, LearnsXor) {
+  Matrix x, xt;
+  std::vector<int> y, yt;
+  XorData(800, 2, &x, &y);
+  XorData(300, 3, &xt, &yt);
+  RandomForestConfig cfg;
+  cfg.num_trees = 30;
+  RandomForest rf(cfg);
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  EXPECT_EQ(rf.num_trees(), 30);
+  EXPECT_GT(Accuracy([&](const auto& v) { return rf.Predict(v); }, xt, yt),
+            0.9);
+}
+
+TEST(RandomForestTest, RejectsEmpty) {
+  RandomForest rf;
+  EXPECT_FALSE(rf.Fit({}, {}).ok());
+}
+
+TEST(AdaBoostTest, LearnsXor) {
+  Matrix x, xt;
+  std::vector<int> y, yt;
+  XorData(800, 4, &x, &y);
+  XorData(300, 5, &xt, &yt);
+  AdaBoost ab;
+  ASSERT_TRUE(ab.Fit(x, y).ok());
+  EXPECT_GT(ab.num_rounds_used(), 1);
+  EXPECT_GT(Accuracy([&](const auto& v) { return ab.Predict(v); }, xt, yt),
+            0.9);
+}
+
+TEST(AdaBoostTest, ProbaMonotoneInMargin) {
+  Matrix x;
+  std::vector<int> y;
+  XorData(400, 6, &x, &y);
+  AdaBoost ab;
+  ASSERT_TRUE(ab.Fit(x, y).ok());
+  for (int i = 0; i < 30; ++i) {
+    const double p = ab.PredictProba(x[static_cast<size_t>(i)]);
+    const double m = ab.Margin(x[static_cast<size_t>(i)]);
+    EXPECT_EQ(p >= 0.5, m >= 0.0);
+  }
+}
+
+TEST(GbdtTest, LearnsXorFirstOrder) {
+  Matrix x, xt;
+  std::vector<int> y, yt;
+  XorData(800, 7, &x, &y);
+  XorData(300, 8, &xt, &yt);
+  Gbdt g;
+  ASSERT_TRUE(g.Fit(x, y).ok());
+  EXPECT_GT(Accuracy([&](const auto& v) { return g.Predict(v); }, xt, yt),
+            0.9);
+}
+
+TEST(GbdtTest, XgboostStyleLearnsXor) {
+  Matrix x, xt;
+  std::vector<int> y, yt;
+  XorData(800, 9, &x, &y);
+  XorData(300, 10, &xt, &yt);
+  Gbdt g(XgboostStyleConfig());
+  ASSERT_TRUE(g.Fit(x, y).ok());
+  EXPECT_GT(Accuracy([&](const auto& v) { return g.Predict(v); }, xt, yt),
+            0.9);
+}
+
+TEST(GbdtTest, BaseScoreMatchesPrior) {
+  // Without trees (0 rounds) the probability must equal the class prior.
+  GbdtConfig cfg;
+  cfg.num_trees = 0;
+  Gbdt g(cfg);
+  Matrix x{{0.0f}, {0.0f}, {0.0f}, {0.0f}};
+  std::vector<int> y{1, 0, 0, 0};
+  ASSERT_TRUE(g.Fit(x, y).ok());
+  EXPECT_NEAR(g.PredictProba({0.0f}), 0.25, 1e-9);
+}
+
+// --------------------------- Pairwise features ------------------------------
+
+TEST(PairwiseFeaturesTest, SharedEvidenceIncreasesFeatures) {
+  data::PaperDatabase db;
+  const int p0 = db.AddPaper(iuad::testing::MakePaper(
+      {"X", "Alice", "Bob"}, "graph kernels rock", "ICDE", 2018));
+  const int p1 = db.AddPaper(iuad::testing::MakePaper(
+      {"X", "Alice", "Carol"}, "graph kernels again", "ICDE", 2019));
+  const int p2 = db.AddPaper(iuad::testing::MakePaper(
+      {"X", "Dave"}, "enzyme pathways", "BioConf", 2005));
+
+  auto close = ExtractPairFeatures(db, p0, p1, "X", nullptr);
+  auto far = ExtractPairFeatures(db, p0, p2, "X", nullptr);
+  ASSERT_EQ(close.size(), static_cast<size_t>(kNumPairFeatures));
+  EXPECT_GT(close[0], far[0]);  // shared coauthors
+  EXPECT_GT(close[2], far[2]);  // shared keywords
+  EXPECT_EQ(close[5], 1.0f);    // same venue
+  EXPECT_EQ(far[5], 0.0f);
+  EXPECT_LT(close[7], far[7]);  // year gap
+}
+
+TEST(PairwiseFeaturesTest, FocalNameExcludedFromCoauthors) {
+  data::PaperDatabase db;
+  const int p0 = db.AddPaper(iuad::testing::MakePaper({"X"}, "t1"));
+  const int p1 = db.AddPaper(iuad::testing::MakePaper({"X"}, "t2"));
+  auto f = ExtractPairFeatures(db, p0, p1, "X", nullptr);
+  EXPECT_EQ(f[0], 0.0f);  // no coauthors at all
+  EXPECT_EQ(f[1], 0.0f);
+}
+
+TEST(PairwiseFeaturesTest, DatasetLabelsFromGroundTruth) {
+  data::PaperDatabase db;
+  db.AddPaper(iuad::testing::MakePaper({"X", "A"}, "t u v", "V1", 2000, {1, 10}));
+  db.AddPaper(iuad::testing::MakePaper({"X", "B"}, "t w", "V1", 2001, {1, 11}));
+  db.AddPaper(iuad::testing::MakePaper({"X", "C"}, "z q", "V2", 2010, {2, 12}));
+  iuad::Rng rng(1);
+  auto ds = BuildPairwiseDataset(db, {"X"}, nullptr, 100, &rng,
+                                 /*balance_classes=*/false);
+  ASSERT_EQ(ds.x.size(), 3u);  // C(3,2) pairs
+  int positives = 0;
+  for (int label : ds.y) positives += label;
+  EXPECT_EQ(positives, 1);  // only papers 0-1 share author 1
+
+  // Balanced mode subsamples the majority (negative) class to 1:1.
+  iuad::Rng rng2(1);
+  auto balanced = BuildPairwiseDataset(db, {"X"}, nullptr, 100, &rng2,
+                                       /*balance_classes=*/true);
+  ASSERT_EQ(balanced.x.size(), 2u);
+  int bal_pos = 0;
+  for (int label : balanced.y) bal_pos += label;
+  EXPECT_EQ(bal_pos, 1);
+}
+
+TEST(PairwiseFeaturesTest, UnlabeledPairsSkipped) {
+  data::PaperDatabase db;
+  db.AddPaper(iuad::testing::MakePaper({"X"}, "a b"));
+  db.AddPaper(iuad::testing::MakePaper({"X"}, "c d"));
+  iuad::Rng rng(1);
+  auto ds = BuildPairwiseDataset(db, {"X"}, nullptr, 100, &rng);
+  EXPECT_TRUE(ds.x.empty());
+}
+
+TEST(PairwiseFeaturesTest, MaxPairsCapRespected) {
+  data::PaperDatabase db;
+  for (int i = 0; i < 12; ++i) {
+    db.AddPaper(iuad::testing::MakePaper({"X"}, "w" + std::to_string(i), "V",
+                                         2000 + i, {i % 3}));
+  }
+  iuad::Rng rng(1);
+  auto ds = BuildPairwiseDataset(db, {"X"}, nullptr, 10, &rng,
+                                 /*balance_classes=*/false);
+  EXPECT_EQ(ds.x.size(), 10u);
+}
+
+}  // namespace
+}  // namespace iuad::ml

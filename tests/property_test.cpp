@@ -1,0 +1,314 @@
+/// Cross-module property suites: invariants that must hold for *every* seed,
+/// swept with TEST_P. These complement the example-based unit tests — each
+/// case here asserts a structural law of the system rather than a specific
+/// value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "cluster/hac.h"
+#include "core/pipeline.h"
+#include "core/scn_builder.h"
+#include "data/corpus_generator.h"
+#include "eval/metrics.h"
+#include "graph/graph_io.h"
+#include "graph/wl_kernel.h"
+#include "testing_utils.h"
+#include "util/rng.h"
+#include "util/tsv.h"
+
+namespace iuad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SCN invariants over random corpora.
+// ---------------------------------------------------------------------------
+
+class ScnInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScnInvariantTest, CoverageNameConsistencyAndEtaMonotonicity) {
+  data::CorpusConfig cc;
+  cc.num_communities = 6;
+  cc.authors_per_community = 30;
+  cc.num_papers = 900;
+  cc.seed = static_cast<uint64_t>(GetParam());
+  auto corpus = data::CorpusGenerator(cc).Generate();
+
+  core::IuadConfig cfg;
+  int64_t prev_scrs = -1;
+  for (int64_t eta : {2, 3, 5}) {
+    cfg.eta = eta;
+    graph::CollabGraph g;
+    core::OccurrenceIndex occ;
+    auto stats = core::ScnBuilder(cfg).Build(corpus.db, &g, &occ);
+    ASSERT_TRUE(stats.ok());
+    // 1. Every byline occurrence is attributed to an alive vertex of the
+    //    right name, and that vertex's paper set contains the paper.
+    for (const auto& p : corpus.db.papers()) {
+      for (const auto& name : p.author_names) {
+        const graph::VertexId v = occ.Lookup(p.id, name);
+        ASSERT_GE(v, 0);
+        ASSERT_TRUE(g.alive(v));
+        ASSERT_EQ(g.vertex(v).name, name);
+        const auto& papers = g.vertex(v).papers;
+        ASSERT_TRUE(std::binary_search(papers.begin(), papers.end(), p.id));
+      }
+    }
+    // 2. Edge paper sets are subsets of both endpoints' paper sets.
+    for (graph::VertexId v : g.AliveVertices()) {
+      const auto& vp = g.vertex(v).papers;
+      for (const auto& [nbr, eps] : g.NeighborsOf(v)) {
+        for (int pid : eps) {
+          ASSERT_TRUE(std::binary_search(vp.begin(), vp.end(), pid));
+        }
+      }
+    }
+    // 3. Raising η can only shrink the SCR set.
+    if (prev_scrs >= 0) EXPECT_LE(stats->num_scrs, prev_scrs);
+    prev_scrs = stats->num_scrs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScnInvariantTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// WL kernel laws over random graphs.
+// ---------------------------------------------------------------------------
+
+class WlPropertyTest : public ::testing::TestWithParam<int> {};
+
+graph::CollabGraph RandomGraph(uint64_t seed, int n, double p) {
+  iuad::Rng rng(seed);
+  graph::CollabGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex("n" + std::to_string(static_cast<int>(rng.NextBounded(8))),
+                {i});
+  }
+  int paper = 1000;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) {
+        EXPECT_TRUE(g.AddEdgePapers(i, j, {paper++}).ok());
+      }
+    }
+  }
+  return g;
+}
+
+TEST_P(WlPropertyTest, KernelIsSymmetricBoundedAndSelfMaximal) {
+  auto g = RandomGraph(static_cast<uint64_t>(GetParam()), 24, 0.15);
+  graph::WlVertexKernel wl(g, 2);
+  for (graph::VertexId u = 0; u < g.num_vertices(); u += 3) {
+    for (graph::VertexId v = 0; v < g.num_vertices(); v += 3) {
+      const double kuv = wl.NormalizedKernel(u, v);
+      EXPECT_NEAR(kuv, wl.NormalizedKernel(v, u), 1e-12);
+      EXPECT_GE(kuv, 0.0);
+      EXPECT_LE(kuv, 1.0 + 1e-9);
+    }
+    if (g.DegreeOf(u) > 0) {
+      EXPECT_NEAR(wl.NormalizedKernel(u, u), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST_P(WlPropertyTest, DisjointIsomorphicCopyScoresOne) {
+  // Append an exact disjoint copy (same names, same shape) of the graph and
+  // check each vertex scores 1.0 against its twin.
+  auto g = RandomGraph(static_cast<uint64_t>(GetParam()) + 100, 14, 0.2);
+  const int n = g.num_vertices();
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex(g.vertex(i).name, {5000 + i});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [j, eps] : g.NeighborsOf(i)) {
+      if (j > i || j >= n) continue;
+      EXPECT_TRUE(g.AddEdgePapers(i + n, j + n, {9000 + i * n + j}).ok());
+    }
+  }
+  graph::WlVertexKernel wl(g, 2);
+  for (int i = 0; i < n; ++i) {
+    if (g.DegreeOf(i) == 0) continue;
+    EXPECT_NEAR(wl.NormalizedKernel(i, i + n), 1.0, 1e-9) << "vertex " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WlPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// HAC threshold monotonicity over random data.
+// ---------------------------------------------------------------------------
+
+class HacPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HacPropertyTest, ClusterCountIsMonotoneInThreshold) {
+  iuad::Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 40;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.UniformDouble(0, 10);
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i][j] = std::abs(xs[i] - xs[j]);
+  }
+  int prev = static_cast<int>(n) + 1;
+  for (double threshold : {0.05, 0.2, 0.5, 1.0, 3.0, 20.0}) {
+    cluster::HacConfig cfg;
+    cfg.distance_threshold = threshold;
+    auto labels = cluster::Hac(d, cfg);
+    ASSERT_TRUE(labels.ok());
+    const int k = static_cast<int>(
+        std::set<int>(labels->begin(), labels->end()).size());
+    EXPECT_LE(k, prev) << "threshold " << threshold;
+    prev = k;
+  }
+  EXPECT_EQ(prev, 1);  // everything merges at a huge threshold
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HacPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Metrics identities vs a brute-force oracle.
+// ---------------------------------------------------------------------------
+
+class MetricsOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsOracleTest, MatchesBruteForce) {
+  iuad::Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 3 + static_cast<int>(rng.NextBounded(25));
+  std::vector<int> pred(static_cast<size_t>(n)), truth(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pred[static_cast<size_t>(i)] = static_cast<int>(rng.NextBounded(5));
+    truth[static_cast<size_t>(i)] =
+        rng.Bernoulli(0.1) ? -1 : static_cast<int>(rng.NextBounded(5));
+  }
+  eval::PairCounts oracle;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (truth[static_cast<size_t>(i)] < 0 ||
+          truth[static_cast<size_t>(j)] < 0) {
+        continue;
+      }
+      const bool sp = pred[static_cast<size_t>(i)] == pred[static_cast<size_t>(j)];
+      const bool st =
+          truth[static_cast<size_t>(i)] == truth[static_cast<size_t>(j)];
+      if (sp && st) ++oracle.tp;
+      if (sp && !st) ++oracle.fp;
+      if (!sp && st) ++oracle.fn;
+      if (!sp && !st) ++oracle.tn;
+    }
+  }
+  const eval::PairCounts fast = eval::PairwiseCounts(pred, truth);
+  EXPECT_EQ(fast.tp, oracle.tp);
+  EXPECT_EQ(fast.fp, oracle.fp);
+  EXPECT_EQ(fast.fn, oracle.fn);
+  EXPECT_EQ(fast.tn, oracle.tn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsOracleTest,
+                         ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Graph serialization round trips.
+// ---------------------------------------------------------------------------
+
+class GraphIoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphIoTest, SaveLoadRoundTripsAliveSubgraph) {
+  auto g = RandomGraph(static_cast<uint64_t>(GetParam()) + 50, 20, 0.2);
+  // Kill a couple of vertices via merges so the dense re-numbering path is
+  // exercised.
+  ASSERT_TRUE(g.MergeVertices(0, 1).ok());
+  ASSERT_TRUE(g.MergeVertices(2, 3).ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("iuad_graph_io_" + std::to_string(GetParam()) + ".tsv"))
+          .string();
+  ASSERT_TRUE(graph::SaveGraphTsv(g, path).ok());
+  auto loaded = graph::LoadGraphTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded->num_alive(), g.num_alive());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  // Same multiset of (name, papers) vertex signatures.
+  auto signature = [](const graph::CollabGraph& gr) {
+    std::multiset<std::pair<std::string, std::vector<int>>> sig;
+    for (graph::VertexId v : gr.AliveVertices()) {
+      sig.emplace(gr.vertex(v).name, gr.vertex(v).papers);
+    }
+    return sig;
+  };
+  EXPECT_EQ(signature(g), signature(*loaded));
+  // Same total edge-paper mass.
+  auto edge_mass = [](const graph::CollabGraph& gr) {
+    size_t total = 0;
+    for (graph::VertexId v : gr.AliveVertices()) {
+      for (const auto& [nbr, eps] : gr.NeighborsOf(v)) total += eps.size();
+    }
+    return total;
+  };
+  EXPECT_EQ(edge_mass(g), edge_mass(*loaded));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphIoTest, ::testing::Values(1, 2, 3));
+
+TEST(GraphIoTest2, LoadRejectsMalformedInput) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string bad = (dir / "iuad_bad_graph.tsv").string();
+  ASSERT_TRUE(WriteTsvFile(bad, {{"V", "0", "x", "1|2"},
+                                 {"E", "0", "7", "1"}})
+                  .ok());  // edge to unknown vertex
+  EXPECT_FALSE(graph::LoadGraphTsv(bad).ok());
+  ASSERT_TRUE(WriteTsvFile(bad, {{"Q", "0", "x", "1"}}).ok());
+  EXPECT_FALSE(graph::LoadGraphTsv(bad).ok());
+  ASSERT_TRUE(WriteTsvFile(bad, {{"V", "5", "x", "1"}}).ok());  // non-dense id
+  EXPECT_FALSE(graph::LoadGraphTsv(bad).ok());
+  std::remove(bad.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline invariants over seeds (beyond the fixed-seed tests).
+// ---------------------------------------------------------------------------
+
+class PipelinePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelinePropertyTest, OccurrencePartitionSurvivesBothStages) {
+  data::CorpusConfig cc;
+  cc.num_communities = 5;
+  cc.authors_per_community = 30;
+  cc.num_papers = 800;
+  cc.seed = static_cast<uint64_t>(GetParam()) * 101;
+  auto corpus = data::CorpusGenerator(cc).Generate();
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 8;
+  cfg.word2vec.epochs = 1;
+  auto result = core::IuadPipeline(cfg).Run(corpus.db);
+  ASSERT_TRUE(result.ok());
+  // Every occurrence attributed; each name's papers form a partition (each
+  // paper in exactly one cluster of that name).
+  for (const auto& name : corpus.db.names()) {
+    const auto& papers = corpus.db.PapersWithName(name);
+    auto clusters = result->occurrences.ClustersOfName(name, papers);
+    size_t total = 0;
+    std::set<int> seen;
+    for (const auto& [v, ps] : clusters) {
+      ASSERT_TRUE(result->graph.alive(v));
+      for (int pid : ps) {
+        EXPECT_TRUE(seen.insert(pid).second) << "paper in two clusters";
+      }
+      total += ps.size();
+    }
+    EXPECT_EQ(total, papers.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace iuad

@@ -1,0 +1,63 @@
+#ifndef IUAD_TESTS_TESTING_UTILS_H_
+#define IUAD_TESTS_TESTING_UTILS_H_
+
+/// Shared fixtures: tiny hand-built corpora (including the paper's running
+/// example of Fig. 2/4) and small synthetic corpora sized for fast tests.
+
+#include <string>
+#include <vector>
+
+#include "data/corpus_generator.h"
+#include "data/paper_database.h"
+
+namespace iuad::testing {
+
+/// One paper from byline names only (title/venue/year defaulted but valid).
+inline data::Paper MakePaper(std::vector<std::string> names,
+                             std::string title = "untitled work",
+                             std::string venue = "VenueX", int year = 2010,
+                             std::vector<data::AuthorId> truth = {}) {
+  data::Paper p;
+  p.author_names = std::move(names);
+  p.title = std::move(title);
+  p.venue = std::move(venue);
+  p.year = year;
+  p.true_author_ids = std::move(truth);
+  return p;
+}
+
+/// The running example of Fig. 2 / Fig. 4:
+///   p1:[a,b,c,d] p2:[a,c,d] p3:[a,b,c] p4:[a,b,c]
+///   p5:[b,e]     p6:[b,e]   p7:[b,f]   p8:[b,g]
+/// With η = 2 the 2-SCRs are exactly {a,b},{a,c},{a,d},{b,c},{b,e},{c,d}.
+inline data::PaperDatabase Fig2Database() {
+  data::PaperDatabase db;
+  db.AddPaper(MakePaper({"a", "b", "c", "d"}, "alpha beta gamma"));
+  db.AddPaper(MakePaper({"a", "c", "d"}, "alpha gamma delta"));
+  db.AddPaper(MakePaper({"a", "b", "c"}, "alpha beta"));
+  db.AddPaper(MakePaper({"a", "b", "c"}, "beta gamma"));
+  db.AddPaper(MakePaper({"b", "e"}, "epsilon work"));
+  db.AddPaper(MakePaper({"b", "e"}, "epsilon revisited"));
+  db.AddPaper(MakePaper({"b", "f"}, "phi study"));
+  db.AddPaper(MakePaper({"b", "g"}, "gamma omega"));
+  return db;
+}
+
+/// Small, fast synthetic corpus (fixed seed) for pipeline tests. Name pools
+/// are sized for DBLP-like collision rates: most names unique, a Zipf head
+/// of names shared by several authors (see DESIGN.md §2).
+inline data::Corpus SmallCorpus(uint64_t seed = 11) {
+  data::CorpusConfig cfg;
+  cfg.num_communities = 12;
+  cfg.authors_per_community = 50;
+  cfg.num_papers = 2500;
+  cfg.given_name_pool = 140;
+  cfg.surname_pool = 110;
+  cfg.name_zipf = 0.6;
+  cfg.seed = seed;
+  return data::CorpusGenerator(cfg).Generate();
+}
+
+}  // namespace iuad::testing
+
+#endif  // IUAD_TESTS_TESTING_UTILS_H_

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace iuad {
+namespace {
+
+// --------------------------- Status / Result --------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad eta");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad eta");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> HalfIfEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UsesMacros(int x, int* out) {
+  IUAD_ASSIGN_OR_RETURN(int half, HalfIfEven(x));
+  IUAD_RETURN_NOT_OK(Status::OK());
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(UsesMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UsesMacros(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------- Strings ----------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a\t\tb", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsRuns) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "|"), "x|y|z");
+  EXPECT_EQ(Join({}, "|"), "");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ToLowerAscii) { EXPECT_EQ(ToLower("MiXeD-42"), "mixed-42"); }
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringsTest, FormatAndPad) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(PadLeft("7", 3), "  7");
+  EXPECT_EQ(PadRight("7", 3), "7  ");
+  EXPECT_EQ(PadLeft("long", 2), "long");
+}
+
+// --------------------------- RNG --------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.UniformInt(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Gaussian(2.0, 3.0);
+  EXPECT_NEAR(Mean(xs), 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(Variance(xs)), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(6);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.Exponential(4.0);
+  EXPECT_NEAR(Mean(xs), 0.25, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(RngTest, WeightedIndexDegenerate) {
+  Rng rng(12);
+  std::vector<double> all_zero{0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(all_zero), -1);
+  EXPECT_EQ(rng.WeightedIndex({}), -1);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostFrequent) {
+  Rng rng(13);
+  ZipfSampler z(50, 1.2);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[static_cast<size_t>(z.Sample(&rng))];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[40]);
+}
+
+TEST(ZipfSamplerTest, MatchesInversionSampler) {
+  Rng r1(14), r2(14);
+  ZipfSampler z(20, 1.5);
+  // Distributional check: mean rank should agree with Rng::Zipf (1-based).
+  double m1 = 0.0, m2 = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) m1 += z.Sample(&r1) + 1;
+  for (int i = 0; i < n; ++i) m2 += r2.Zipf(20, 1.5);
+  EXPECT_NEAR(m1 / n, m2 / n, 0.25);
+}
+
+// --------------------------- Stats ------------------------------------------
+
+TEST(StatsTest, MeanVariance) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(StatsTest, PaperTailProbabilityExample) {
+  // Sec. IV-A worked example: na = nb = 5e2, N = 5e5, x = 3
+  // => Pr(X >= 3) = 2.3389e-3.
+  const double p = CoOccurrenceTailProbability(5e2, 5e2, 5e5, 3);
+  EXPECT_NEAR(p, 2.3389e-3, 2e-4);
+}
+
+TEST(StatsTest, TailProbabilityShrinksWithRarerNames) {
+  const double common = CoOccurrenceTailProbability(500, 500, 5e5, 3);
+  const double rare = CoOccurrenceTailProbability(50, 50, 5e5, 3);
+  EXPECT_LT(rare, common);
+  EXPECT_GE(rare, 0.0);
+}
+
+TEST(StatsTest, TailProbabilityEdgeCases) {
+  EXPECT_DOUBLE_EQ(CoOccurrenceTailProbability(0, 10, 100, 1), 0.0);
+  EXPECT_DOUBLE_EQ(CoOccurrenceTailProbability(10, 10, 0, 1), 0.0);
+  const double p = CoOccurrenceTailProbability(100, 100, 100, 1);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(StatsTest, PowerLawFitRecoversExponent) {
+  // y = 1000 * x^-2.5 exactly.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 60; ++i) {
+    x.push_back(i);
+    y.push_back(1000.0 * std::pow(i, -2.5));
+  }
+  auto fit = FitPowerLaw(x, y);
+  EXPECT_NEAR(fit.slope, -2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.used_points, 60);
+}
+
+TEST(StatsTest, PowerLawFitIgnoresNonPositivePoints) {
+  std::vector<double> x{0, 1, 2, -3, 4};
+  std::vector<double> y{5, 10, 5, 2, 2.5};
+  auto fit = FitPowerLaw(x, y);
+  EXPECT_EQ(fit.used_points, 3);
+}
+
+TEST(StatsTest, PowerLawFitDegenerate) {
+  auto fit = FitPowerLaw(std::vector<double>{1.0}, std::vector<double>{2.0});
+  EXPECT_EQ(fit.used_points, 1);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(StatsTest, FrequencyHistogram) {
+  auto h = FrequencyHistogram({1, 1, 2, 5, 5, 5});
+  EXPECT_EQ(h[1], 2);
+  EXPECT_EQ(h[2], 1);
+  EXPECT_EQ(h[5], 3);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {1, 1, 1, 1}), 0.0);
+}
+
+// --------------------------- Stopwatch --------------------------------------
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+// --------------------------- TSV --------------------------------------------
+
+TEST(TsvTest, ParseSkipsCommentsAndEmpties) {
+  auto rows = ParseTsv("# header\na\tb\n\nc\td\te\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (TsvRow{"c", "d", "e"}));
+}
+
+TEST(TsvTest, ParseHandlesCrLf) {
+  auto rows = ParseTsv("a\tb\r\nc\td\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (TsvRow{"c", "d"}));
+}
+
+TEST(TsvTest, RoundTripThroughFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iuad_tsv_test.tsv").string();
+  std::vector<TsvRow> rows{{"1", "x y", "z"}, {"2", "", "w"}};
+  ASSERT_TRUE(WriteTsvFile(path, rows).ok());
+  auto read = ReadTsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, WriteRejectsTabsInFields) {
+  auto s = WriteTsvFile("/tmp/iuad_tsv_bad.tsv", {{"a\tb"}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsvTest, ReadMissingFileIsIoError) {
+  auto r = ReadTsvFile("/nonexistent/dir/definitely_missing.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace iuad
