@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (library, tests, bench,
+# examples, CLI), run the full test suite. This is the merge gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)"

@@ -42,9 +42,12 @@ void Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  iuad generate <out.tsv> [--papers N] [--seed S]\n"
-               "  iuad run <papers.tsv> [--eta N] [--delta X]\n"
+               "  iuad run <papers.tsv> [--eta N] [--delta X] [--threads T]\n"
                "           [--graph out_graph.tsv] [--clusters out.tsv]\n"
-               "  iuad evaluate <papers.tsv> [--eta N] [--delta X]\n");
+               "  iuad evaluate <papers.tsv> [--eta N] [--delta X]"
+               " [--threads T]\n"
+               "(--threads 0 = all hardware threads; output is identical at"
+               " any T)\n");
 }
 
 /// Tiny flag parser: --key value pairs after the positional arguments.
@@ -95,6 +98,9 @@ core::IuadConfig ConfigFromFlags(
   }
   if (auto it = flags.find("delta"); it != flags.end()) {
     cfg.delta = std::atof(it->second.c_str());
+  }
+  if (auto it = flags.find("threads"); it != flags.end()) {
+    cfg.num_threads = std::atoi(it->second.c_str());
   }
   return cfg;
 }

@@ -79,6 +79,15 @@ struct IuadConfig {
                     graph::VertexId)>
       pair_label_oracle;
 
+  // --- Execution ---------------------------------------------------------
+  /// Worker threads for the pairwise-similarity hot path (the γ1..γ6
+  /// batches of GCN construction, Sec. V-B). 0 = auto (hardware
+  /// concurrency). Output is identical at every setting: per-vertex
+  /// profiles and WL features are prewarmed before the parallel region and
+  /// scores are applied in fixed candidate-pair order regardless of
+  /// completion order. CLI flag: --threads.
+  int num_threads = 0;
+
   // --- Incremental mode (Sec. V-E) ---------------------------------------
   /// Rebuild the WL kernel / similarity caches after this many ingested
   /// papers (stale structure in between is tolerated by design — the paper

@@ -5,6 +5,7 @@
 #include "core/similarity.h"
 #include "graph/union_find.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace iuad::core {
 
@@ -91,6 +92,7 @@ iuad::Result<GcnStats> GcnBuilder::Build(
   GcnStats stats;
   model_out->reset();
   iuad::Rng rng(config_.seed ^ 0x9cda1f);
+  util::ThreadPool pool(util::ResolveNumThreads(config_.num_threads));
 
   // ---- Vertex-splitting augmentation (Sec. V-F2). ------------------------
   std::vector<std::pair<VertexId, VertexId>> augmented;
@@ -141,7 +143,8 @@ iuad::Result<GcnStats> GcnBuilder::Build(
         sampled.push_back(pr);
       }
     }
-    // Similarity vectors + which rows are planted matches.
+    // Similarity vectors (computed across the thread pool, returned in
+    // sampled-pair order) + which rows are planted matches.
     std::vector<bool> is_planted(sampled.size(), false);
     std::sort(augmented.begin(), augmented.end());
     for (size_t k = 0; k < sampled.size(); ++k) {
@@ -149,8 +152,8 @@ iuad::Result<GcnStats> GcnBuilder::Build(
                                std::max(sampled[k].first, sampled[k].second));
       is_planted[k] = std::binary_search(augmented.begin(), augmented.end(), pr);
       if (is_planted[k]) ++n_aug_in_train;
-      train_gammas.push_back(sim.Compute(sampled[k].first, sampled[k].second));
     }
+    train_gammas = sim.ComputeBatch(sampled, &pool);
     stats.training_pairs = static_cast<int64_t>(train_gammas.size());
 
     if (!train_gammas.empty()) {
@@ -196,9 +199,24 @@ iuad::Result<GcnStats> GcnBuilder::Build(
     stats.candidate_pairs = static_cast<int64_t>(pairs.size());
     graph::UnionFind uf(graph->num_vertices());
     const em::MixtureModel& model = **model_out;
-    for (const auto& [u, v] : pairs) {
-      const double score = model.MatchScore(sim.Compute(u, v));
-      if (score >= config_.delta) uf.Union(u, v);
+    // γ vectors across the thread pool, in bounded-memory chunks (a full
+    // materialization would hold one heap-allocated vector per candidate
+    // pair — GBs at DBLP scale). Merge decisions are applied in
+    // candidate-pair order within and across chunks, so the union-find
+    // (and thus which vertex survives each merge set) is independent of
+    // thread scheduling.
+    constexpr size_t kScoreChunk = 1 << 16;
+    std::vector<std::pair<VertexId, VertexId>> chunk;
+    for (size_t base = 0; base < pairs.size(); base += kScoreChunk) {
+      const size_t n = std::min(kScoreChunk, pairs.size() - base);
+      chunk.assign(pairs.begin() + static_cast<long>(base),
+                   pairs.begin() + static_cast<long>(base + n));
+      const std::vector<SimilarityVector> gammas =
+          sim.ComputeBatch(chunk, &pool);
+      for (size_t k = 0; k < n; ++k) {
+        const double score = model.MatchScore(gammas[k]);
+        if (score >= config_.delta) uf.Union(chunk[k].first, chunk[k].second);
+      }
     }
     // Apply merges: within each set, absorb everything into the lowest id.
     std::unordered_map<int, VertexId> keeper;

@@ -135,6 +135,11 @@ const SimilarityComputer::Profile& SimilarityComputer::ProfileOf(
     graph::VertexId v) const {
   auto it = profiles_.find(v);
   if (it != profiles_.end()) return it->second;
+  return profiles_.emplace(v, BuildFullProfile(v)).first->second;
+}
+
+SimilarityComputer::Profile SimilarityComputer::BuildFullProfile(
+    graph::VertexId v) const {
   Profile p = BuildProfileFromPapers(graph_.vertex(v).papers);
   // Incident triangles by co-author names (L(v) of Eq. 5).
   for (const auto& [a, b] : graph::TrianglesOf(graph_, v)) {
@@ -147,7 +152,56 @@ const SimilarityComputer::Profile& SimilarityComputer::ProfileOf(
   p.triangle_names.erase(
       std::unique(p.triangle_names.begin(), p.triangle_names.end()),
       p.triangle_names.end());
-  return profiles_.emplace(v, std::move(p)).first->second;
+  return p;
+}
+
+void SimilarityComputer::PrewarmProfiles(
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+    util::ThreadPool* pool) const {
+  std::vector<graph::VertexId> vertices;
+  vertices.reserve(pairs.size() * 2);
+  for (const auto& [u, v] : pairs) {
+    vertices.push_back(u);
+    vertices.push_back(v);
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  wl_.PrewarmFeatures(vertices, pool);
+
+  std::vector<graph::VertexId> missing;
+  for (graph::VertexId v : vertices) {
+    if (profiles_.find(v) == profiles_.end()) missing.push_back(v);
+  }
+  if (missing.empty()) return;
+  std::vector<Profile> built(missing.size());
+  util::ForIndices(pool, missing.size(),
+                   [&](size_t i) { built[i] = BuildFullProfile(missing[i]); });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    profiles_.emplace(missing[i], std::move(built[i]));
+  }
+}
+
+std::vector<SimilarityVector> SimilarityComputer::ComputeBatch(
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+    int num_threads) const {
+  if (num_threads <= 0) num_threads = config_.num_threads;
+  util::ThreadPool pool(util::ResolveNumThreads(num_threads));
+  return ComputeBatch(pairs, &pool);
+}
+
+std::vector<SimilarityVector> SimilarityComputer::ComputeBatch(
+    const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+    util::ThreadPool* pool) const {
+  std::vector<SimilarityVector> gammas(pairs.size());
+  if (pairs.empty()) return gammas;
+  PrewarmProfiles(pairs, pool);
+  // Read-only from here: every profile and WL feature map is cached, so
+  // concurrent Compute calls never touch the mutable caches.
+  util::ForIndices(pool, pairs.size(), [&](size_t i) {
+    gammas[i] = Compute(pairs[i].first, pairs[i].second);
+  });
+  return gammas;
 }
 
 void SimilarityComputer::FillTextAndVenueFeatures(

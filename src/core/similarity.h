@@ -36,6 +36,7 @@
 #include "graph/collab_graph.h"
 #include "graph/wl_kernel.h"
 #include "text/word2vec.h"
+#include "util/thread_pool.h"
 
 namespace iuad::core {
 
@@ -55,6 +56,31 @@ class SimilarityComputer {
   /// γ1..γ6 between two alive vertices (callers pair same-name vertices;
   /// the math does not require it).
   SimilarityVector Compute(graph::VertexId u, graph::VertexId v) const;
+
+  /// γ vectors for every pair, in input order, computed across
+  /// `num_threads` workers (<= 0: config.num_threads, itself 0 = hardware
+  /// concurrency). Equivalent to calling Compute per pair: the lazily-built
+  /// per-vertex profiles and WL features are populated in a prepass
+  /// (PrewarmProfiles), after which the parallel region is read-only, and
+  /// results land in slots indexed by pair position — identical output at
+  /// any thread count.
+  std::vector<SimilarityVector> ComputeBatch(
+      const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+      int num_threads = -1) const;
+
+  /// Same, on a caller-owned pool (lets callers score in bounded-memory
+  /// chunks without respawning workers per chunk).
+  std::vector<SimilarityVector> ComputeBatch(
+      const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+      util::ThreadPool* pool) const;
+
+  /// Builds (and caches) profiles + WL features of every vertex appearing
+  /// in `pairs`, concurrently on `pool` when given. Subsequent Compute
+  /// calls touching only these vertices are const in the deep sense and
+  /// thread-safe.
+  void PrewarmProfiles(
+      const std::vector<std::pair<graph::VertexId, graph::VertexId>>& pairs,
+      util::ThreadPool* pool = nullptr) const;
 
   /// γ1..γ6 between vertex `v` and the *new occurrence* of `name` in
   /// `paper` — the isolated-vertex comparison of the incremental path
@@ -84,6 +110,9 @@ class SimilarityComputer {
   };
 
   const Profile& ProfileOf(graph::VertexId v) const;
+  /// The cache-free computation behind ProfileOf (papers + triangles);
+  /// safe to run concurrently for distinct vertices.
+  Profile BuildFullProfile(graph::VertexId v) const;
   Profile BuildProfileFromPapers(const std::vector<int>& paper_ids) const;
   Profile BuildProfileFromSinglePaper(const data::Paper& paper) const;
   void FillTextAndVenueFeatures(const Profile& a, const Profile& b,

@@ -58,9 +58,38 @@ const std::unordered_map<int, double>& WlVertexKernel::FeaturesOf(
   if (v >= static_cast<VertexId>(labels_[0].size())) return *kEmpty;
   auto& cache = feature_cache_[static_cast<size_t>(v)];
   if (feature_cached_[static_cast<size_t>(v)]) return cache;
+  cache = ComputeFeatures(v);
   feature_cached_[static_cast<size_t>(v)] = true;
-  cache.clear();
-  if (!graph_.alive(v)) return cache;
+  return cache;
+}
+
+void WlVertexKernel::PrewarmFeatures(const std::vector<VertexId>& vs,
+                                     util::ThreadPool* pool) const {
+  std::vector<VertexId> missing;
+  for (VertexId v : vs) {
+    if (v >= 0 && v < static_cast<VertexId>(labels_[0].size()) &&
+        !feature_cached_[static_cast<size_t>(v)]) {
+      missing.push_back(v);
+    }
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  if (missing.empty()) return;
+  std::vector<std::unordered_map<int, double>> built(missing.size());
+  util::ForIndices(pool, missing.size(),
+                   [&](size_t i) { built[i] = ComputeFeatures(missing[i]); });
+  // Commit sequentially: feature_cached_ is a vector<bool>, whose packed
+  // bits make even distinct-index writes race.
+  for (size_t i = 0; i < missing.size(); ++i) {
+    feature_cache_[static_cast<size_t>(missing[i])] = std::move(built[i]);
+    feature_cached_[static_cast<size_t>(missing[i])] = true;
+  }
+}
+
+std::unordered_map<int, double> WlVertexKernel::ComputeFeatures(
+    VertexId v) const {
+  std::unordered_map<int, double> features;
+  if (!graph_.alive(v)) return features;
 
   // BFS ball of radius h around v.
   std::vector<VertexId> ball{v};
@@ -88,10 +117,11 @@ const std::unordered_map<int, double>& WlVertexKernel::FeaturesOf(
   for (VertexId u : ball) {
     if (u == v) continue;
     for (int iter = 0; iter <= h_; ++iter) {
-      cache[labels_[static_cast<size_t>(iter)][static_cast<size_t>(u)]] += 1.0;
+      features[labels_[static_cast<size_t>(iter)][static_cast<size_t>(u)]] +=
+          1.0;
     }
   }
-  return cache;
+  return features;
 }
 
 double WlVertexKernel::NormalizedKernelVsNameSet(

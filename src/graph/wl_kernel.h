@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "graph/collab_graph.h"
+#include "util/thread_pool.h"
 
 namespace iuad::graph {
 
@@ -55,6 +56,14 @@ class WlVertexKernel {
   double NormalizedKernelVsNameSet(VertexId v,
                                    const std::vector<std::string>& names) const;
 
+  /// Populates the lazy per-vertex feature cache for every vertex in `vs`
+  /// (balls are computed concurrently on `pool` when given, committed to
+  /// the cache sequentially). After the call, Kernel/NormalizedKernel over
+  /// prewarmed vertices are pure reads and safe to invoke from many
+  /// threads. Unknown / post-build vertex ids are ignored.
+  void PrewarmFeatures(const std::vector<VertexId>& vs,
+                       util::ThreadPool* pool = nullptr) const;
+
   /// The compressed WL label of vertex v at iteration `iter` (testing hook:
   /// two structurally-equivalent vertices share labels at every iteration).
   int LabelAt(VertexId v, int iter) const {
@@ -66,6 +75,9 @@ class WlVertexKernel {
  private:
   /// Sparse feature map of the h-hop ball of v (label -> count), cached.
   const std::unordered_map<int, double>& FeaturesOf(VertexId v) const;
+  /// The cache-free computation behind FeaturesOf (safe to run in
+  /// parallel for distinct vertices: reads graph_ / labels_ only).
+  std::unordered_map<int, double> ComputeFeatures(VertexId v) const;
 
   const CollabGraph& graph_;
   int h_;

@@ -1,0 +1,145 @@
+#ifndef IUAD_UTIL_THREAD_POOL_H_
+#define IUAD_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A fixed-size worker pool plus the `ParallelFor` helper the pairwise-
+/// similarity hot path runs on. Design constraints, in order:
+///
+///   1. Determinism. ParallelFor uses *static contiguous chunking* — worker
+///      t always receives [t*n/T, (t+1)*n/T) — and callers write results
+///      into pre-sized slots indexed by item position, so output is
+///      byte-identical at any thread count (including 1).
+///   2. Zero overhead in the serial case: a pool of size 1 runs everything
+///      inline on the calling thread, no worker is spawned, no locking.
+///   3. No exception tunneling: worker tasks must be noexcept in spirit —
+///      the IUAD codebase reports errors through Status, not throws.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace iuad::util {
+
+/// Maps a config-level thread count to an actual one: values <= 0 mean
+/// "auto" (hardware concurrency, at least 1).
+inline int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// ParallelFor as worker 0). `num_threads <= 1` spawns nothing.
+  explicit ThreadPool(int num_threads)
+      : num_threads_(num_threads < 1 ? 1 : num_threads) {
+    workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+    for (int t = 1; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues one task for a worker thread. Fire-and-forget; pair with
+  /// ParallelFor (which waits) for structured use.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Runs fn(i) for every i in [0, n), statically chunked across the pool.
+  /// Blocks until every index has been processed. The calling thread works
+  /// on chunk 0, so a 1-thread pool degenerates to a plain loop. fn must be
+  /// safe to invoke concurrently for distinct i and must not submit more
+  /// work to this pool.
+  template <typename Fn>
+  void ParallelFor(size_t n, const Fn& fn) {
+    if (n == 0) return;
+    const size_t chunks =
+        std::min(static_cast<size_t>(num_threads_), n);
+    if (chunks <= 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t done = 0;
+    auto run_chunk = [&, n, chunks](size_t t) {
+      const size_t begin = n * t / chunks;
+      const size_t end = n * (t + 1) / chunks;
+      for (size_t i = begin; i < end; ++i) fn(i);
+      // Notify under the lock: done_cv lives on the caller's stack, and an
+      // unlocked notify could land after the caller has woken (e.g. via a
+      // spurious wakeup or another chunk's notify), seen done == chunks,
+      // and destroyed the condition variable.
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+      done_cv.notify_one();
+    };
+    for (size_t t = 1; t < chunks; ++t) {
+      Submit([&run_chunk, t] { run_chunk(t); });
+    }
+    run_chunk(0);
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == chunks; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ with a drained queue
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on `pool`, or inline when pool is null —
+/// the shared dispatch for APIs whose pool parameter is optional.
+template <typename Fn>
+inline void ForIndices(ThreadPool* pool, size_t n, const Fn& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace iuad::util
+
+#endif  // IUAD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,136 @@
+/// Determinism regression tests for the parallel pairwise-similarity path:
+/// the full pipeline must produce byte-identical occurrence attributions
+/// run-to-run on the same seed, and at 1 vs. N worker threads (results are
+/// applied in fixed candidate-pair order regardless of completion order).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/similarity.h"
+#include "tests/testing_utils.h"
+#include "util/thread_pool.h"
+
+namespace iuad {
+namespace {
+
+core::IuadConfig TestConfig(int num_threads) {
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 16;
+  cfg.num_threads = num_threads;
+  return cfg;
+}
+
+/// Flattened (paper, name) -> vertex attribution in a canonical scan order.
+std::vector<std::pair<std::string, graph::VertexId>> Attributions(
+    const data::PaperDatabase& db, const core::DisambiguationResult& result) {
+  std::vector<std::pair<std::string, graph::VertexId>> out;
+  for (const auto& p : db.papers()) {
+    for (const auto& name : p.author_names) {
+      out.emplace_back(std::to_string(p.id) + "/" + name,
+                       result.occurrences.Lookup(p.id, name));
+    }
+  }
+  return out;
+}
+
+TEST(DeterminismTest, SameSeedSamePipelineResultTwice) {
+  const data::Corpus corpus = testing::SmallCorpus(/*seed=*/23);
+  core::IuadPipeline pipeline(TestConfig(/*num_threads=*/2));
+
+  auto r1 = pipeline.Run(corpus.db);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = pipeline.Run(corpus.db);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  EXPECT_EQ(r1->gcn_stats.candidate_pairs, r2->gcn_stats.candidate_pairs);
+  EXPECT_EQ(r1->gcn_stats.merges, r2->gcn_stats.merges);
+  EXPECT_EQ(r1->graph.num_alive(), r2->graph.num_alive());
+  EXPECT_EQ(Attributions(corpus.db, *r1), Attributions(corpus.db, *r2));
+}
+
+TEST(DeterminismTest, OneVsFourThreadsIdenticalAttributions) {
+  const data::Corpus corpus = testing::SmallCorpus(/*seed=*/23);
+
+  auto serial = core::IuadPipeline(TestConfig(1)).Run(corpus.db);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = core::IuadPipeline(TestConfig(4)).Run(corpus.db);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(serial->gcn_stats.candidate_pairs,
+            parallel->gcn_stats.candidate_pairs);
+  EXPECT_EQ(serial->gcn_stats.merges, parallel->gcn_stats.merges);
+  EXPECT_EQ(serial->gcn_stats.em_iterations, parallel->gcn_stats.em_iterations);
+  EXPECT_DOUBLE_EQ(serial->gcn_stats.em_log_likelihood,
+                   parallel->gcn_stats.em_log_likelihood);
+  EXPECT_EQ(serial->graph.num_alive(), parallel->graph.num_alive());
+  EXPECT_EQ(serial->graph.num_edges(), parallel->graph.num_edges());
+  EXPECT_EQ(Attributions(corpus.db, *serial),
+            Attributions(corpus.db, *parallel));
+}
+
+TEST(DeterminismTest, ComputeBatchMatchesSerialCompute) {
+  const data::Corpus corpus = testing::SmallCorpus(/*seed=*/29);
+  core::IuadConfig cfg = TestConfig(/*num_threads=*/4);
+  core::IuadPipeline pipeline(cfg);
+  auto result = pipeline.Run(corpus.db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Candidate-style pairs: same-name alive vertices of the final graph.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> pairs;
+  for (const auto& name : result->graph.Names()) {
+    const auto& verts = result->graph.VerticesWithName(name);
+    for (size_t i = 0; i < verts.size(); ++i) {
+      for (size_t j = i + 1; j < verts.size(); ++j) {
+        pairs.emplace_back(verts[i], verts[j]);
+      }
+    }
+  }
+  ASSERT_GT(pairs.size(), 0u);
+
+  core::SimilarityComputer sim(corpus.db, result->graph, result->embeddings,
+                               cfg);
+  const auto batched = sim.ComputeBatch(pairs, /*num_threads=*/4);
+  ASSERT_EQ(batched.size(), pairs.size());
+  core::SimilarityComputer fresh(corpus.db, result->graph, result->embeddings,
+                                 cfg);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const auto serial = fresh.Compute(pairs[k].first, pairs[k].second);
+    ASSERT_EQ(batched[k].size(), serial.size());
+    for (size_t f = 0; f < serial.size(); ++f) {
+      EXPECT_DOUBLE_EQ(batched[k][f], serial[f])
+          << "pair " << k << " gamma" << (f + 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kN = 10007;
+  std::vector<int> hits(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ResolveNumThreads) {
+  EXPECT_EQ(util::ResolveNumThreads(3), 3);
+  EXPECT_GE(util::ResolveNumThreads(0), 1);
+  EXPECT_GE(util::ResolveNumThreads(-2), 1);
+}
+
+}  // namespace
+}  // namespace iuad
