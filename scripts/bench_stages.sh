@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Per-stage wall-clock trajectory (ROADMAP: accumulate BENCH_*.json).
+# Runs repro_table4_stages' timing harness — the full pipeline at 1 and
+# BENCH_THREADS worker threads — and writes BENCH_stages.json with per-stage
+# seconds (embed / scn / gcn) and speedups. Output of the pipeline is
+# identical at both thread counts; only wall-clock differs.
+#
+# Env knobs:
+#   BENCH_THREADS  parallel thread count (default: nproc)
+#   BENCH_OUT      output path (default: BENCH_stages.json in repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${BENCH_THREADS:-$(nproc)}"
+OUT="${BENCH_OUT:-BENCH_stages.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build --target bench_repro_table4_stages -j "$(nproc)" >/dev/null
+./build/bench_repro_table4_stages --threads "$THREADS" --json "$OUT"

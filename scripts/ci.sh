@@ -6,4 +6,10 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+# Optional stage-timing bench (BENCH_stages.json). Off by default to keep CI
+# time bounded; set IUAD_RUN_BENCH=1 to record the trajectory.
+if [[ "${IUAD_RUN_BENCH:-0}" == "1" ]]; then
+  scripts/bench_stages.sh
+fi

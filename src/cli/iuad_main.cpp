@@ -43,11 +43,17 @@ void Usage() {
                "usage:\n"
                "  iuad generate <out.tsv> [--papers N] [--seed S]\n"
                "  iuad run <papers.tsv> [--eta N] [--delta X] [--threads T]\n"
-               "           [--graph out_graph.tsv] [--clusters out.tsv]\n"
+               "           [--shards S] [--graph out_graph.tsv]"
+               " [--clusters out.tsv]\n"
                "  iuad evaluate <papers.tsv> [--eta N] [--delta X]"
-               " [--threads T]\n"
+               " [--threads T] [--shards S]\n"
                "(--threads 0 = all hardware threads; output is identical at"
-               " any T)\n");
+               " any T.\n"
+               " --shards: word2vec training shards, 0 = auto by corpus"
+               " size — part of\n"
+               " the training schedule, so changing it changes embeddings;"
+               " changing\n"
+               " --threads never does)\n");
 }
 
 /// Tiny flag parser: --key value pairs after the positional arguments.
@@ -101,6 +107,9 @@ core::IuadConfig ConfigFromFlags(
   }
   if (auto it = flags.find("threads"); it != flags.end()) {
     cfg.num_threads = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("shards"); it != flags.end()) {
+    cfg.word2vec.num_shards = std::atoi(it->second.c_str());
   }
   return cfg;
 }

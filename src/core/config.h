@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "em/mixture_model.h"
 #include "graph/collab_graph.h"
 #include "text/word2vec.h"
+#include "util/status.h"
 
 namespace iuad::core {
 
@@ -96,6 +98,44 @@ struct IuadConfig {
 
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
+
+  /// Rejects misconfigurations before any work happens, so the pipeline
+  /// returns InvalidArgument instead of hitting UB deep inside training
+  /// (e.g. a zero-dimension embedding table or a division by sample_rate).
+  /// Negative num_threads is NOT an error: ResolveNumThreads maps <= 0 to
+  /// hardware concurrency. Called at the top of IuadPipeline::Run /
+  /// RunScnOnly; standalone users of the builders may call it themselves.
+  iuad::Status Validate() const {
+    auto bad = [](const std::string& msg) {
+      return iuad::Status::InvalidArgument("config: " + msg);
+    };
+    if (eta < 1) return bad("eta must be >= 1");
+    if (wl_iterations < 0) return bad("wl_iterations must be >= 0");
+    if (time_decay_alpha < 0.0) return bad("time_decay_alpha must be >= 0");
+    if (word2vec.dim <= 0) return bad("word2vec.dim must be positive");
+    if (word2vec.window <= 0) return bad("word2vec.window must be positive");
+    if (word2vec.epochs <= 0) return bad("word2vec.epochs must be positive");
+    if (word2vec.negatives < 0) return bad("word2vec.negatives must be >= 0");
+    if (word2vec.learning_rate <= 0.0) {
+      return bad("word2vec.learning_rate must be positive");
+    }
+    if (word2vec.min_count < 1) return bad("word2vec.min_count must be >= 1");
+    if (word2vec.subsample < 0.0) return bad("word2vec.subsample must be >= 0");
+    if (word2vec.num_shards < 0) return bad("word2vec.num_shards must be >= 0");
+    if (!(sample_rate > 0.0 && sample_rate <= 1.0)) {
+      return bad("sample_rate must be in (0, 1]");
+    }
+    if (split_min_papers < 2) return bad("split_min_papers must be >= 2");
+    if (max_split_vertices < 0) return bad("max_split_vertices must be >= 0");
+    if (max_pairs_per_name < 1) return bad("max_pairs_per_name must be >= 1");
+    if (static_cast<int>(families.size()) != kNumSimilarities) {
+      return bad("families must list exactly one family per similarity");
+    }
+    if (incremental_refresh_interval < 1) {
+      return bad("incremental_refresh_interval must be >= 1");
+    }
+    return iuad::Status::OK();
+  }
 };
 
 }  // namespace iuad::core

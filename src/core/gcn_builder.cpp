@@ -50,38 +50,57 @@ iuad::Result<VertexId> SplitVertexForAugmentation(graph::CollabGraph* graph,
 }
 
 std::vector<std::pair<VertexId, VertexId>> GcnBuilder::CandidatePairs(
-    const graph::CollabGraph& graph, iuad::Rng* rng,
+    const graph::CollabGraph& graph, util::ThreadPool* pool,
     int64_t* names_with_candidates) const {
-  std::vector<std::pair<VertexId, VertexId>> pairs;
-  int64_t names = 0;
+  // Name blocks in sorted-name order (Names() is sorted); only names shared
+  // by >= 2 alive vertices produce pairs.
+  std::vector<const std::vector<VertexId>*> blocks;
   for (const auto& name : graph.Names()) {
     const auto& verts = graph.VerticesWithName(name);
-    if (verts.size() < 2) continue;
-    ++names;
-    const int64_t all =
-        static_cast<int64_t>(verts.size()) * (static_cast<int64_t>(verts.size()) - 1) / 2;
+    if (verts.size() >= 2) blocks.push_back(&verts);
+  }
+  // Each block is generated independently with an RNG derived from
+  // (seed, block index), then blocks are concatenated in block order —
+  // output is a pure function of (graph, config), not of thread count.
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> block_pairs(
+      blocks.size());
+  util::ForIndices(pool, blocks.size(), [&](size_t b) {
+    const auto& verts = *blocks[b];
+    auto& out = block_pairs[b];
+    const int64_t all = static_cast<int64_t>(verts.size()) *
+                        (static_cast<int64_t>(verts.size()) - 1) / 2;
     if (all <= config_.max_pairs_per_name) {
+      out.reserve(static_cast<size_t>(all));
       for (size_t i = 0; i < verts.size(); ++i) {
         for (size_t j = i + 1; j < verts.size(); ++j) {
-          pairs.emplace_back(verts[i], verts[j]);
+          out.emplace_back(verts[i], verts[j]);
         }
       }
     } else {
       // Deterministic subsample: random index pairs without enumeration.
+      iuad::Rng rng(iuad::DeriveStreamSeed(config_.seed ^ 0xb10cf00dULL, b));
+      out.reserve(static_cast<size_t>(config_.max_pairs_per_name));
       for (int64_t k = 0; k < config_.max_pairs_per_name; ++k) {
-        const size_t i = rng->NextBounded(verts.size());
-        size_t j = rng->NextBounded(verts.size() - 1);
+        const size_t i = rng.NextBounded(verts.size());
+        size_t j = rng.NextBounded(verts.size() - 1);
         if (j >= i) ++j;
-        pairs.emplace_back(std::min(verts[i], verts[j]),
-                           std::max(verts[i], verts[j]));
+        out.emplace_back(std::min(verts[i], verts[j]),
+                         std::max(verts[i], verts[j]));
       }
-      std::sort(pairs.end() - config_.max_pairs_per_name, pairs.end());
-      pairs.erase(std::unique(pairs.end() - config_.max_pairs_per_name,
-                              pairs.end()),
-                  pairs.end());
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
     }
+  });
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  size_t total = 0;
+  for (const auto& bp : block_pairs) total += bp.size();
+  pairs.reserve(total);
+  for (auto& bp : block_pairs) {
+    pairs.insert(pairs.end(), bp.begin(), bp.end());
   }
-  if (names_with_candidates) *names_with_candidates = names;
+  if (names_with_candidates) {
+    *names_with_candidates = static_cast<int64_t>(blocks.size());
+  }
   return pairs;
 }
 
@@ -120,9 +139,9 @@ iuad::Result<GcnStats> GcnBuilder::Build(
   std::vector<std::vector<double>> train_gammas;
   int64_t n_aug_in_train = 0;
   {
-    SimilarityComputer sim(db, *graph, embeddings, config_);
+    SimilarityComputer sim(db, *graph, embeddings, config_, &pool);
     int64_t names = 0;
-    auto pairs = CandidatePairs(*graph, &rng, &names);
+    auto pairs = CandidatePairs(*graph, &pool, &names);
     // Sample config_.sample_rate of the candidate pairs...
     std::vector<std::pair<VertexId, VertexId>> sampled;
     for (const auto& pr : pairs) {
@@ -194,8 +213,8 @@ iuad::Result<GcnStats> GcnBuilder::Build(
     IUAD_LOG(kInfo) << "GCN: no candidate pairs; skipping EM/merge phase";
   } else {
     // ---- Decision phase on the clean graph (Lines 11-15). ----------------
-    SimilarityComputer sim(db, *graph, embeddings, config_);
-    auto pairs = CandidatePairs(*graph, &rng, &stats.names_with_candidates);
+    SimilarityComputer sim(db, *graph, embeddings, config_, &pool);
+    auto pairs = CandidatePairs(*graph, &pool, &stats.names_with_candidates);
     stats.candidate_pairs = static_cast<int64_t>(pairs.size());
     graph::UnionFind uf(graph->num_vertices());
     const em::MixtureModel& model = **model_out;

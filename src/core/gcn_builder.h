@@ -22,6 +22,7 @@
 #include "text/word2vec.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace iuad::core {
 
@@ -56,13 +57,18 @@ class GcnBuilder {
       OccurrenceIndex* occurrences, const text::Word2Vec& embeddings,
       std::unique_ptr<em::MixtureModel>* model_out) const;
 
- private:
   /// All same-name alive vertex pairs, capped per name (deterministic
-  /// subsample beyond config_.max_pairs_per_name).
+  /// subsample beyond config_.max_pairs_per_name). Generation is sharded
+  /// per name block: each block draws from an RNG derived from
+  /// (config.seed, block index) and blocks run independently across `pool`
+  /// (null = inline); results are concatenated in block order (names
+  /// sorted), so the pair list is byte-identical at any thread count.
+  /// Public as the determinism-test surface for the sharded generation.
   std::vector<std::pair<graph::VertexId, graph::VertexId>> CandidatePairs(
-      const graph::CollabGraph& graph, iuad::Rng* rng,
+      const graph::CollabGraph& graph, util::ThreadPool* pool,
       int64_t* names_with_candidates) const;
 
+ private:
   IuadConfig config_;
 };
 

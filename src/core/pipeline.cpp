@@ -7,6 +7,7 @@ namespace iuad::core {
 
 iuad::Result<DisambiguationResult> IuadPipeline::Run(
     const data::PaperDatabase& db) const {
+  IUAD_RETURN_NOT_OK(config_.Validate());
   DisambiguationResult result;
 
   // Title-keyword embeddings for γ3 (corpus-trained; DESIGN.md §2).
@@ -14,6 +15,10 @@ iuad::Result<DisambiguationResult> IuadPipeline::Run(
     iuad::Stopwatch sw;
     text::Word2VecConfig wc = config_.word2vec;
     wc.seed = config_.seed ^ 0x5eedbeef;
+    // Shard training across the pipeline's worker budget. The shard layout
+    // is data-dependent only (Word2VecConfig::num_shards), so embeddings
+    // stay byte-identical at any --threads setting.
+    wc.num_threads = config_.num_threads;
     result.embeddings = text::Word2Vec(wc);
     std::vector<std::vector<std::string>> sentences;
     sentences.reserve(static_cast<size_t>(db.num_papers()));
@@ -51,6 +56,7 @@ iuad::Result<DisambiguationResult> IuadPipeline::Run(
 
 iuad::Result<DisambiguationResult> IuadPipeline::RunScnOnly(
     const data::PaperDatabase& db) const {
+  IUAD_RETURN_NOT_OK(config_.Validate());
   DisambiguationResult result;
   iuad::Stopwatch sw;
   ScnBuilder scn(config_);

@@ -36,12 +36,13 @@ double AdamicAdar(int64_t freq) {
 SimilarityComputer::SimilarityComputer(const data::PaperDatabase& db,
                                        const graph::CollabGraph& graph,
                                        const text::Word2Vec& embeddings,
-                                       const IuadConfig& config)
+                                       const IuadConfig& config,
+                                       util::ThreadPool* pool)
     : db_(db),
       graph_(graph),
       embeddings_(embeddings),
       config_(config),
-      wl_(graph, config.wl_iterations) {
+      wl_(graph, config.wl_iterations, pool) {
   ComputeEmbeddingCenter();
 }
 

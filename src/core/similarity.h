@@ -48,10 +48,14 @@ using SimilarityVector = std::vector<double>;
 /// mutation (merges / splits) — the WL kernel is snapshot-bound.
 class SimilarityComputer {
  public:
+  /// When `pool` is given, the snapshot-bound WL refinement runs across its
+  /// workers (labels identical to a serial build); the pool is only used
+  /// during construction and need not outlive this object.
   SimilarityComputer(const data::PaperDatabase& db,
                      const graph::CollabGraph& graph,
                      const text::Word2Vec& embeddings,
-                     const IuadConfig& config);
+                     const IuadConfig& config,
+                     util::ThreadPool* pool = nullptr);
 
   /// γ1..γ6 between two alive vertices (callers pair same-name vertices;
   /// the math does not require it).

@@ -8,7 +8,8 @@
 
 namespace iuad::graph {
 
-WlVertexKernel::WlVertexKernel(const CollabGraph& graph, int h)
+WlVertexKernel::WlVertexKernel(const CollabGraph& graph, int h,
+                               util::ThreadPool* pool)
     : graph_(graph), h_(h) {
   const int n = graph.num_vertices();
   labels_.resize(static_cast<size_t>(h + 1),
@@ -27,23 +28,32 @@ WlVertexKernel::WlVertexKernel(const CollabGraph& graph, int h)
   // Iterations 1..h: label(v) <- compress(label(v), sorted labels of N(v)).
   // Each iteration uses a fresh compression dictionary; label ids are made
   // globally unique across iterations by an offset so ball histograms can
-  // mix iterations safely.
+  // mix iterations safely. The signatures (the expensive part: neighbor
+  // gathering + sort) are computed in parallel over vertices — each reads
+  // only the previous iteration's labels — while compressed ids are
+  // assigned in a sequential sweep in vertex order, so the id assignment
+  // (first-encounter order) is identical at any thread count.
   int next_global = 1 << 20;  // iteration-0 labels occupy [0, 2^20)
+  std::vector<std::vector<int>> sigs(static_cast<size_t>(n));
   for (int iter = 1; iter <= h; ++iter) {
+    util::ForIndices(pool, static_cast<size_t>(n), [&](size_t vi) {
+      const VertexId v = static_cast<VertexId>(vi);
+      sigs[vi].clear();
+      if (!graph.alive(v)) return;
+      sigs[vi].reserve(graph.NeighborsOf(v).size() + 1);
+      sigs[vi].push_back(
+          labels_[static_cast<size_t>(iter - 1)][static_cast<size_t>(v)]);
+      for (const auto& [u, papers] : graph.NeighborsOf(v)) {
+        sigs[vi].push_back(
+            labels_[static_cast<size_t>(iter - 1)][static_cast<size_t>(u)]);
+      }
+      std::sort(sigs[vi].begin() + 1, sigs[vi].end());
+    });
     std::map<std::vector<int>, int> signature_label;
     for (VertexId v = 0; v < n; ++v) {
       if (!graph.alive(v)) continue;
-      std::vector<int> sig;
-      sig.reserve(graph.NeighborsOf(v).size() + 1);
-      sig.push_back(labels_[static_cast<size_t>(iter - 1)][static_cast<size_t>(v)]);
-      std::vector<int> nbr_labels;
-      for (const auto& [u, papers] : graph.NeighborsOf(v)) {
-        nbr_labels.push_back(
-            labels_[static_cast<size_t>(iter - 1)][static_cast<size_t>(u)]);
-      }
-      std::sort(nbr_labels.begin(), nbr_labels.end());
-      sig.insert(sig.end(), nbr_labels.begin(), nbr_labels.end());
-      auto [it, inserted] = signature_label.try_emplace(std::move(sig), 0);
+      auto [it, inserted] =
+          signature_label.try_emplace(std::move(sigs[static_cast<size_t>(v)]), 0);
       if (inserted) it->second = next_global++;
       labels_[static_cast<size_t>(iter)][static_cast<size_t>(v)] = it->second;
     }

@@ -37,8 +37,13 @@ namespace iuad::graph {
 class WlVertexKernel {
  public:
   /// Runs h rounds of label refinement over the alive subgraph.
-  /// h = 0 degenerates to bag-of-neighbor-names.
-  WlVertexKernel(const CollabGraph& graph, int h);
+  /// h = 0 degenerates to bag-of-neighbor-names. When `pool` is given, each
+  /// round's signature pass (neighbor-label gathering + sort) runs across
+  /// its workers; compressed label ids are still assigned in a sequential
+  /// sweep in vertex order, so labels are byte-identical at any thread
+  /// count (and to the serial build).
+  WlVertexKernel(const CollabGraph& graph, int h,
+                 util::ThreadPool* pool = nullptr);
 
   /// Raw kernel ⟨φ⟨h⟩(u), φ⟨h⟩(v)⟩ (Eq. 3).
   double Kernel(VertexId u, VertexId v) const;

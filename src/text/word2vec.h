@@ -6,6 +6,8 @@
 /// paper's pretrained Word2Vec/GloVe vectors (unavailable offline): γ3 only
 /// needs keyword vectors whose cosine reflects topical relatedness, which
 /// SGNS trained on the corpus's own titles provides (see DESIGN.md §2).
+/// Training is sharded deterministically (see Word2VecConfig::num_shards):
+/// the same seed yields byte-identical embeddings at any thread count.
 
 #include <string>
 #include <unordered_map>
@@ -29,6 +31,24 @@ struct Word2VecConfig {
   int min_count = 2;           ///< Words rarer than this are dropped.
   double subsample = 1e-3;     ///< Frequent-word subsampling threshold (0 = off).
   uint64_t seed = 42;          ///< Deterministic init + sampling.
+  /// Worker threads executing the training shards (<= 0 = hardware
+  /// concurrency). Affects wall-clock only: the shard layout, RNG streams,
+  /// and merge order are functions of (seed, num_shards, corpus) alone, so
+  /// output is byte-identical at any thread count.
+  int num_threads = 1;
+  /// Training shards per epoch. 0 = auto (one shard per ~2048 encoded
+  /// sentences, capped at 16 — a pure function of corpus size, never of
+  /// thread count). 1 forces the legacy single-stream SGD schedule.
+  ///
+  /// Schedule change vs. the serial trainer: with S > 1 shards, each epoch
+  /// snapshots the weights, trains every shard independently against that
+  /// snapshot (shard s sees sentence range ShardRange(n, s, S), an RNG
+  /// seeded DeriveStreamSeed(seed, s), and the learning-rate segment its
+  /// tokens would occupy in the sequential sweep), then sums the per-shard
+  /// weight deltas into the snapshot in fixed shard order. With S == 1 the
+  /// trainer degenerates to exactly the sequential schedule (one RNG stream
+  /// continuing from initialization, in-place updates).
+  int num_shards = 0;
 };
 
 /// SGNS trainer and embedding table.
@@ -58,9 +78,34 @@ class Word2Vec {
   const Vocabulary& vocabulary() const { return vocab_; }
   bool trained() const { return trained_; }
 
+  /// The learning rate applied to the last (non-subsampled) token of the
+  /// final epoch. The linear decay reaches its 1e-4 floor exactly when the
+  /// token accounting is correct, which the schedule regression test pins.
+  double final_learning_rate() const { return final_lr_; }
+
+  /// Tokens per epoch that actually drive the lr schedule (in-vocabulary
+  /// tokens of kept sentences only — dropped sentences contribute nothing).
+  int64_t trained_tokens() const { return trained_tokens_; }
+
+  /// The negative-sampling table (test hook: slot shares must track the
+  /// unigram^0.75 distribution). Empty before Train.
+  const std::vector<int>& negative_table() const { return negative_table_; }
+
  private:
   void BuildNegativeTable();
   int SampleNegative(iuad::Rng* rng) const;
+  /// Resolves config_.num_shards against the corpus size (see the config
+  /// field comment); always in [1, num_sentences].
+  int ResolveNumShards(size_t num_sentences) const;
+  /// One epoch-segment of SGD over encoded sentences [begin, end), writing
+  /// into *in / *out. `steps_base` positions the segment on the global
+  /// learning-rate schedule (lr decays with (steps_base + local step) /
+  /// total_steps). Reads only immutable members (vocab, negative table), so
+  /// distinct ranges with distinct buffers may run concurrently.
+  void TrainRange(const std::vector<std::vector<int>>& encoded, size_t begin,
+                  size_t end, double steps_base, double total_steps,
+                  iuad::Rng* rng, std::vector<Vec>* in, std::vector<Vec>* out,
+                  double* last_lr) const;
 
   Word2VecConfig config_;
   Vocabulary vocab_;
@@ -68,6 +113,8 @@ class Word2Vec {
   std::vector<Vec> out_vectors_;  // context-side parameters
   std::vector<int> negative_table_;
   bool trained_ = false;
+  double final_lr_ = 0.0;
+  int64_t trained_tokens_ = 0;
 };
 
 }  // namespace iuad::text

@@ -21,6 +21,17 @@ inline uint64_t SplitMix64Next(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+/// Derives an independent seed for stream `stream` of a sharded computation
+/// from a master `seed`. Distinct streams get decorrelated generator states
+/// (two SplitMix64 scrambles), and the mapping depends only on the pair
+/// (seed, stream) — never on thread count or scheduling — so sharded
+/// consumers stay deterministic at any parallelism.
+inline uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  uint64_t s = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  const uint64_t a = SplitMix64Next(&s);
+  return a ^ SplitMix64Next(&s);
+}
+
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
 /// Deterministic across platforms for a given seed.
 class Rng {

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace iuad::util {
@@ -31,6 +32,16 @@ inline int ResolveNumThreads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// The contiguous [begin, end) range of shard `shard` when `n` items are
+/// split into `num_shards` near-equal static shards. This is the one shard
+/// layout used everywhere determinism matters: it depends only on
+/// (n, num_shards), never on thread count or scheduling, so results merged
+/// in shard order are byte-identical at any parallelism.
+inline std::pair<size_t, size_t> ShardRange(size_t n, size_t shard,
+                                            size_t num_shards) {
+  return {n * shard / num_shards, n * (shard + 1) / num_shards};
 }
 
 class ThreadPool {
@@ -87,8 +98,7 @@ class ThreadPool {
     std::condition_variable done_cv;
     size_t done = 0;
     auto run_chunk = [&, n, chunks](size_t t) {
-      const size_t begin = n * t / chunks;
-      const size_t end = n * (t + 1) / chunks;
+      const auto [begin, end] = ShardRange(n, t, chunks);
       for (size_t i = begin; i < end; ++i) fn(i);
       // Notify under the lock: done_cv lives on the caller's stack, and an
       // unlocked notify could land after the caller has woken (e.g. via a

@@ -1,0 +1,101 @@
+/// IuadConfig::Validate: misconfiguration must surface as InvalidArgument
+/// at the top of a pipeline run, not as UB deep inside training.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "tests/testing_utils.h"
+
+namespace iuad {
+namespace {
+
+TEST(ConfigValidateTest, DefaultsAreValid) {
+  core::IuadConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadWord2VecDimensions) {
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 0;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.word2vec.dim = -8;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.word2vec.window = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.word2vec.epochs = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.word2vec.learning_rate = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.word2vec.min_count = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.word2vec.subsample = -1e-3;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.word2vec.num_shards = -2;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsOutOfRangeThresholds) {
+  core::IuadConfig cfg;
+  cfg.sample_rate = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.sample_rate = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.eta = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.wl_iterations = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.time_decay_alpha = -0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.max_pairs_per_name = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.split_min_papers = 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.incremental_refresh_interval = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.families.pop_back();
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, NegativeThreadCountIsAuto) {
+  // <= 0 means "hardware concurrency" via ResolveNumThreads, never an error.
+  core::IuadConfig cfg;
+  cfg.num_threads = -4;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.num_threads = 0;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, PipelineRejectsMisconfigurationUpFront) {
+  const data::PaperDatabase db = testing::Fig2Database();
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = -1;
+  {
+    auto result = core::IuadPipeline(cfg).Run(db);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto result = core::IuadPipeline(cfg).RunScnOnly(db);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace iuad

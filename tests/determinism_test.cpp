@@ -1,7 +1,10 @@
-/// Determinism regression tests for the parallel pairwise-similarity path:
-/// the full pipeline must produce byte-identical occurrence attributions
-/// run-to-run on the same seed, and at 1 vs. N worker threads (results are
-/// applied in fixed candidate-pair order regardless of completion order).
+/// Determinism regression tests for the parallel Stage-2 front end: the
+/// full pipeline must produce byte-identical occurrence attributions
+/// run-to-run on the same seed and at 1 vs. N worker threads, and each
+/// newly parallel stage — word2vec shard training, WL label refinement,
+/// candidate-block generation, pairwise γ scoring — must be individually
+/// invariant to thread count (work is sharded deterministically and merged
+/// in fixed shard/vertex/block order regardless of completion order).
 
 #include <gtest/gtest.h>
 
@@ -10,9 +13,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/gcn_builder.h"
 #include "core/pipeline.h"
 #include "core/similarity.h"
+#include "graph/wl_kernel.h"
 #include "tests/testing_utils.h"
+#include "text/word2vec.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace iuad {
@@ -71,6 +78,107 @@ TEST(DeterminismTest, OneVsFourThreadsIdenticalAttributions) {
   EXPECT_EQ(serial->graph.num_edges(), parallel->graph.num_edges());
   EXPECT_EQ(Attributions(corpus.db, *serial),
             Attributions(corpus.db, *parallel));
+
+  // The corpus-trained embeddings feeding γ3 must also be byte-identical.
+  const auto& vocab = serial->embeddings.vocabulary();
+  ASSERT_GT(vocab.size(), 0);
+  EXPECT_EQ(vocab.size(), parallel->embeddings.vocabulary().size());
+  for (int id = 0; id < vocab.size(); ++id) {
+    const text::Vec* vs = serial->embeddings.VectorOf(vocab.WordOf(id));
+    const text::Vec* vp = parallel->embeddings.VectorOf(vocab.WordOf(id));
+    ASSERT_NE(vs, nullptr);
+    ASSERT_NE(vp, nullptr);
+    ASSERT_EQ(*vs, *vp) << "embedding of '" << vocab.WordOf(id) << "'";
+  }
+}
+
+/// A corpus big enough for several word2vec shards, with no dependence on
+/// testing_utils (sentence content only matters for vocabulary size).
+std::vector<std::vector<std::string>> ShardedCorpus(int sentences) {
+  iuad::Rng rng(7);
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(static_cast<size_t>(sentences));
+  for (int i = 0; i < sentences; ++i) {
+    std::vector<std::string> sent;
+    const int len = 3 + static_cast<int>(rng.NextBounded(4));
+    for (int w = 0; w < len; ++w) {
+      sent.push_back("word" + std::to_string(rng.NextBounded(120)));
+    }
+    corpus.push_back(std::move(sent));
+  }
+  return corpus;
+}
+
+TEST(DeterminismTest, Word2VecShardedTrainingIsThreadCountInvariant) {
+  const auto corpus = ShardedCorpus(600);
+  text::Word2VecConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 2;
+  cfg.num_shards = 4;  // force the sharded schedule on a small corpus
+
+  cfg.num_threads = 1;
+  text::Word2Vec serial(cfg);
+  ASSERT_TRUE(serial.Train(corpus).ok());
+  cfg.num_threads = 4;
+  text::Word2Vec parallel(cfg);
+  ASSERT_TRUE(parallel.Train(corpus).ok());
+  cfg.num_threads = 4;
+  text::Word2Vec rerun(cfg);
+  ASSERT_TRUE(rerun.Train(corpus).ok());
+
+  const auto& vocab = serial.vocabulary();
+  ASSERT_GT(vocab.size(), 0);
+  for (int id = 0; id < vocab.size(); ++id) {
+    const text::Vec* a = serial.VectorOf(vocab.WordOf(id));
+    const text::Vec* b = parallel.VectorOf(vocab.WordOf(id));
+    const text::Vec* c = rerun.VectorOf(vocab.WordOf(id));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    ASSERT_EQ(*a, *b) << "1 vs 4 threads differ at '" << vocab.WordOf(id) << "'";
+    ASSERT_EQ(*b, *c) << "rerun differs at '" << vocab.WordOf(id) << "'";
+  }
+  EXPECT_DOUBLE_EQ(serial.final_learning_rate(),
+                   parallel.final_learning_rate());
+}
+
+TEST(DeterminismTest, WlLabelsAreThreadCountInvariant) {
+  const data::Corpus corpus = testing::SmallCorpus(/*seed=*/31);
+  auto scn = core::IuadPipeline(TestConfig(1)).RunScnOnly(corpus.db);
+  ASSERT_TRUE(scn.ok()) << scn.status().ToString();
+  const graph::CollabGraph& g = scn->graph;
+
+  constexpr int kDepth = 2;
+  util::ThreadPool pool1(1), pool4(4);
+  const graph::WlVertexKernel serial(g, kDepth, &pool1);
+  const graph::WlVertexKernel parallel(g, kDepth, &pool4);
+  const graph::WlVertexKernel unpooled(g, kDepth);  // legacy inline build
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (int iter = 0; iter <= kDepth; ++iter) {
+      ASSERT_EQ(serial.LabelAt(v, iter), parallel.LabelAt(v, iter))
+          << "vertex " << v << " iter " << iter;
+      ASSERT_EQ(serial.LabelAt(v, iter), unpooled.LabelAt(v, iter))
+          << "vertex " << v << " iter " << iter;
+    }
+  }
+}
+
+TEST(DeterminismTest, CandidateBlocksAreThreadCountInvariant) {
+  const data::Corpus corpus = testing::SmallCorpus(/*seed=*/31);
+  auto scn = core::IuadPipeline(TestConfig(1)).RunScnOnly(corpus.db);
+  ASSERT_TRUE(scn.ok()) << scn.status().ToString();
+
+  core::GcnBuilder builder(TestConfig(1));
+  util::ThreadPool pool1(1), pool4(4);
+  int64_t names1 = 0, names4 = 0;
+  const auto pairs1 = builder.CandidatePairs(scn->graph, &pool1, &names1);
+  const auto pairs4 = builder.CandidatePairs(scn->graph, &pool4, &names4);
+  ASSERT_GT(pairs1.size(), 0u);
+  EXPECT_EQ(names1, names4);
+  EXPECT_EQ(pairs1, pairs4);
+  // Block order is name order: a rerun must reproduce the exact sequence.
+  const auto rerun = builder.CandidatePairs(scn->graph, &pool4, nullptr);
+  EXPECT_EQ(pairs1, rerun);
 }
 
 TEST(DeterminismTest, ComputeBatchMatchesSerialCompute) {

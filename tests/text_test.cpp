@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "text/embedding.h"
 #include "text/tokenizer.h"
@@ -195,6 +197,74 @@ TEST(Word2VecTest, MeanOfMixedKnownUnknown) {
   EXPECT_EQ(m, *k);  // unknown word contributes nothing
   Vec zero = w2v.MeanOf({"definitely-not-a-word"});
   EXPECT_DOUBLE_EQ(Norm(zero), 0.0);
+}
+
+TEST(Word2VecTest, LearningRateDecayReachesFloorWithDroppedSentences) {
+  // Regression: sentences with < 2 in-vocabulary words are dropped from
+  // training, but their tokens used to inflate total_steps, so the linear
+  // decay could never complete. Interleave trainable pairs with sentences
+  // that survive encoding with a single token (one frequent word plus one
+  // below-min_count word) and assert the schedule still bottoms out.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back({"alpha", "beta"});                    // kept: 2 tokens
+    corpus.push_back({"alpha", "rare" + std::to_string(i)}); // dropped: 1 token
+  }
+  Word2VecConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 2;
+  cfg.min_count = 2;
+  cfg.subsample = 0.0;  // keep the last token so final_lr is the last step's
+  Word2Vec w2v(cfg);
+  ASSERT_TRUE(w2v.Train(corpus).ok());
+  EXPECT_EQ(w2v.trained_tokens(), 80);  // only the 40 kept pairs
+  // At the final token steps_done == total_steps, so the decayed rate is
+  // clamped to the floor exactly. With the bug (inflated total_steps) the
+  // final rate stayed ~33% above the initial-rate-scaled remainder.
+  EXPECT_DOUBLE_EQ(w2v.final_learning_rate(), 1e-4);
+}
+
+TEST(Word2VecTest, NegativeTableTracksUnigramDistribution) {
+  // Skewed frequencies: counts 64 / 16 / 4 / 2. Each word's share of the
+  // negative table must match its unigram^0.75 probability to within one
+  // part in a thousand (the exact-boundary build is within 1/table_size per
+  // word; the old `i / T > acc` sweep shifted every boundary late, piling
+  // surplus slots onto early ids).
+  std::vector<std::vector<std::string>> corpus;
+  auto repeat = [&](const std::string& w, int n) {
+    for (int i = 0; i < n; ++i) corpus.push_back({w, w});  // 2 tokens, kept
+  };
+  repeat("hot", 32);   // count 64
+  repeat("mid", 8);    // count 16
+  repeat("low", 2);    // count 4
+  repeat("tail", 1);   // count 2
+  Word2VecConfig cfg;
+  cfg.dim = 4;
+  cfg.epochs = 1;
+  Word2Vec w2v(cfg);
+  ASSERT_TRUE(w2v.Train(corpus).ok());
+
+  const auto& vocab = w2v.vocabulary();
+  const auto& table = w2v.negative_table();
+  ASSERT_FALSE(table.empty());
+  double total = 0.0;
+  for (int id = 0; id < vocab.size(); ++id) {
+    total += std::pow(static_cast<double>(vocab.CountOf(id)), 0.75);
+  }
+  std::vector<int64_t> slots(static_cast<size_t>(vocab.size()), 0);
+  for (int id : table) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, vocab.size());
+    ++slots[static_cast<size_t>(id)];
+  }
+  for (int id = 0; id < vocab.size(); ++id) {
+    const double expected =
+        std::pow(static_cast<double>(vocab.CountOf(id)), 0.75) / total;
+    const double got = static_cast<double>(slots[static_cast<size_t>(id)]) /
+                       static_cast<double>(table.size());
+    EXPECT_NEAR(got, expected, 1e-3)
+        << "word '" << vocab.WordOf(id) << "' over/under-represented";
+  }
 }
 
 TEST(Word2VecTest, MostSimilarPrefersTopicMates) {
