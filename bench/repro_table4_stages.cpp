@@ -20,6 +20,7 @@
 #include "core/pipeline.h"
 #include "eval/evaluator.h"
 #include "eval/table_printer.h"
+#include "util/json_writer.h"
 #include "util/thread_pool.h"
 
 using namespace iuad;
@@ -51,37 +52,33 @@ bool TimeStages(const data::Corpus& corpus, int num_threads,
 
 bool WriteStagesJson(const std::string& path, int papers, int threads,
                      const StageSeconds& serial, const StageSeconds& par) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
   auto speedup = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"repro_table4_stages\",\n");
-  std::fprintf(f, "  \"papers\": %d,\n", papers);
-  std::fprintf(f, "  \"threads_serial\": 1,\n");
-  std::fprintf(f, "  \"threads_parallel\": %d,\n", threads);
-  std::fprintf(f, "  \"stages\": {\n");
+  util::JsonWriter json;
+  json.Field("bench", "repro_table4_stages")
+      .Field("papers", papers)
+      .Field("threads_serial", 1)
+      .Field("threads_parallel", threads);
+  json.BeginObject("stages");
   const struct {
     const char* name;
     double s, p;
   } rows[] = {{"embed", serial.embed, par.embed},
               {"scn", serial.scn, par.scn},
               {"gcn", serial.gcn, par.gcn}};
-  for (int i = 0; i < 3; ++i) {
-    std::fprintf(f,
-                 "    \"%s\": {\"serial_s\": %.4f, \"parallel_s\": %.4f, "
-                 "\"speedup\": %.3f}%s\n",
-                 rows[i].name, rows[i].s, rows[i].p,
-                 speedup(rows[i].s, rows[i].p), i < 2 ? "," : "");
+  for (const auto& row : rows) {
+    json.BeginObject(row.name)
+        .Field("serial_s", row.s)
+        .Field("parallel_s", row.p)
+        .Field("speedup", speedup(row.s, row.p), 3)
+        .EndObject();
   }
-  std::fprintf(f, "  },\n");
-  std::fprintf(f,
-               "  \"total\": {\"serial_s\": %.4f, \"parallel_s\": %.4f, "
-               "\"speedup\": %.3f}\n",
-               serial.total(), par.total(),
-               speedup(serial.total(), par.total()));
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  return true;
+  json.EndObject();
+  json.BeginObject("total")
+      .Field("serial_s", serial.total())
+      .Field("parallel_s", par.total())
+      .Field("speedup", speedup(serial.total(), par.total()), 3)
+      .EndObject();
+  return json.WriteFile(path).ok();
 }
 
 }  // namespace

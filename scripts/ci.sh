@@ -8,8 +8,23 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-# Optional stage-timing bench (BENCH_stages.json). Off by default to keep CI
-# time bounded; set IUAD_RUN_BENCH=1 to record the trajectory.
+# Snapshot persistence smoke: a pipeline run saved with --save-snapshot must
+# reload cleanly into the serving path and ingest a stream (end-to-end check
+# of src/io + src/serve through the CLI, beyond the unit suites).
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./build/iuad_main generate "$SMOKE_DIR/corpus.tsv" --papers 1500 --seed 5
+./build/iuad_main generate "$SMOKE_DIR/stream.tsv" --papers 60 --seed 55
+./build/iuad_main run "$SMOKE_DIR/corpus.tsv" \
+  --save-snapshot "$SMOKE_DIR/corpus.snap"
+./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" \
+  --stream "$SMOKE_DIR/stream.tsv" --producers 4
+echo "snapshot save/load smoke: OK"
+
+# Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json). Off by
+# default to keep CI time bounded; set IUAD_RUN_BENCH=1 to record them.
 if [[ "${IUAD_RUN_BENCH:-0}" == "1" ]]; then
   scripts/bench_stages.sh
+  scripts/bench_ingest.sh
 fi

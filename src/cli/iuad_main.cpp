@@ -4,29 +4,45 @@
 ///   iuad generate <out.tsv> [--papers N] [--seed S]
 ///       Emit a synthetic labeled corpus (the DBLP stand-in) as a paper TSV.
 ///   iuad run <papers.tsv> [--eta N] [--delta X] [--graph out_graph.tsv]
-///            [--clusters out_clusters.tsv]
+///            [--clusters out_clusters.tsv] [--save-snapshot out.snap]
 ///       Reconstruct the collaboration network; optionally persist the
-///       network and the per-occurrence author attribution.
+///       network, the per-occurrence author attribution, and/or the full
+///       fitted state as a binary snapshot (src/io) for later serving.
 ///   iuad evaluate <papers.tsv>
 ///       Run the pipeline and score it against the TSV's ground-truth
 ///       column (pairwise micro metrics over ambiguous names).
+///   iuad serve <papers.tsv> --load-snapshot in.snap [--stream new.tsv]
+///              [--producers N] [--queue C] [--window W] [--name "A. Name"]
+///       Load a fitted snapshot next to the corpus it was saved against and
+///       bring up an IngestService (src/serve). With --stream, feed every
+///       paper of the stream TSV through the service from N concurrent
+///       producers (assignments are identical at any N); with --name, look
+///       the author up in the post-ingestion read view. This is the demo
+///       shape of the long-running system: fit once, reload in
+///       milliseconds, keep ingesting.
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "data/corpus_generator.h"
 #include "eval/evaluator.h"
 #include "graph/graph_io.h"
+#include "io/snapshot.h"
+#include "serve/ingest_service.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/tsv.h"
 
 using namespace iuad;
@@ -45,15 +61,21 @@ void Usage() {
                "  iuad run <papers.tsv> [--eta N] [--delta X] [--threads T]\n"
                "           [--shards S] [--graph out_graph.tsv]"
                " [--clusters out.tsv]\n"
+               "           [--save-snapshot out.snap]\n"
                "  iuad evaluate <papers.tsv> [--eta N] [--delta X]"
                " [--threads T] [--shards S]\n"
+               "  iuad serve <papers.tsv> --load-snapshot in.snap"
+               " [--stream new.tsv]\n"
+               "           [--producers N] [--queue C] [--window W]"
+               " [--name \"A. Name\"]\n"
                "(--threads 0 = all hardware threads; output is identical at"
                " any T.\n"
                " --shards: word2vec training shards, 0 = auto by corpus"
                " size — part of\n"
                " the training schedule, so changing it changes embeddings;"
                " changing\n"
-               " --threads never does)\n");
+               " --threads never does. serve ingestion assignments are\n"
+               " identical at any --producers count.)\n");
 }
 
 /// Tiny flag parser: --key value pairs after the positional arguments.
@@ -119,6 +141,11 @@ int CmdRun(const std::string& in,
   auto db = data::PaperDatabase::LoadTsv(in);
   if (!db.ok()) return Fail(db.status().ToString());
   core::IuadConfig cfg = ConfigFromFlags(flags);
+  if (auto it = flags.find("save-snapshot"); it != flags.end()) {
+    // Through the config so Validate() vets it with everything else.
+    cfg.persist_snapshot = true;
+    cfg.snapshot_path = it->second;
+  }
   core::IuadPipeline pipeline(cfg);
   iuad::Stopwatch sw;
   auto result = pipeline.Run(*db);
@@ -131,6 +158,14 @@ int CmdRun(const std::string& in,
       static_cast<long>(result->scn_stats.num_scrs),
       static_cast<long>(result->gcn_stats.merges));
 
+  if (cfg.persist_snapshot) {
+    iuad::Status st = io::SaveSnapshot(cfg.snapshot_path, *db, *result, cfg);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote snapshot to %s (reload with: iuad serve %s "
+                "--load-snapshot %s)\n",
+                cfg.snapshot_path.c_str(), in.c_str(),
+                cfg.snapshot_path.c_str());
+  }
   if (auto it = flags.find("graph"); it != flags.end()) {
     iuad::Status st = graph::SaveGraphTsv(result->graph, it->second);
     if (!st.ok()) return Fail(st.ToString());
@@ -186,6 +221,103 @@ int CmdEvaluate(const std::string& in,
   return 0;
 }
 
+int CmdServe(const std::string& in,
+             const std::map<std::string, std::string>& flags) {
+  auto snap_it = flags.find("load-snapshot");
+  if (snap_it == flags.end()) {
+    return Fail("serve requires --load-snapshot <path>");
+  }
+  auto db = data::PaperDatabase::LoadTsv(in);
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  iuad::Stopwatch load_sw;
+  auto snap = io::LoadSnapshot(snap_it->second, *db);
+  if (!snap.ok()) return Fail(snap.status().ToString());
+  core::IuadConfig cfg = std::move(snap->config);
+  if (auto it = flags.find("queue"); it != flags.end()) {
+    cfg.ingest_queue_capacity = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("window"); it != flags.end()) {
+    cfg.ingest_refresh_window = std::atoi(it->second.c_str());
+  }
+  if (iuad::Status st = cfg.Validate(); !st.ok()) return Fail(st.ToString());
+  std::printf(
+      "loaded snapshot %s in %.0f ms: %d author vertices, %d edges, model %s\n",
+      snap_it->second.c_str(), load_sw.ElapsedSeconds() * 1e3,
+      snap->result.graph.num_alive(), snap->result.graph.num_edges(),
+      snap->result.model ? "fitted" : "absent (SCN-only)");
+
+  int producers = 1;
+  if (auto it = flags.find("producers"); it != flags.end()) {
+    producers = util::ResolveNumThreads(std::atoi(it->second.c_str()));
+  }
+
+  serve::IngestService service(&*db, &snap->result, cfg);
+  if (auto it = flags.find("stream"); it != flags.end()) {
+    auto stream_db = data::PaperDatabase::LoadTsv(it->second);
+    if (!stream_db.ok()) return Fail(stream_db.status().ToString());
+    const std::vector<data::Paper> stream = stream_db->papers();
+    std::vector<std::future<serve::IngestService::Assignments>> futures(
+        stream.size());
+    iuad::Stopwatch sw;
+    // Producers race over a shared index; SubmitAt pins each paper to its
+    // stream position, so the ingestion order (and thus every assignment)
+    // is the stream order at any producer count.
+    std::atomic<size_t> next{0};
+    auto producer = [&] {
+      for (size_t i = next.fetch_add(1); i < stream.size();
+           i = next.fetch_add(1)) {
+        futures[i] = service.SubmitAt(i, stream[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 1; t < producers; ++t) threads.emplace_back(producer);
+    producer();
+    for (auto& t : threads) t.join();
+    service.Drain();
+    const double seconds = sw.ElapsedSeconds();
+    int64_t occurrences = 0, new_authors = 0, failed = 0;
+    for (auto& f : futures) {
+      auto r = f.get();
+      if (!r.ok()) {
+        ++failed;
+        continue;
+      }
+      occurrences += static_cast<int64_t>(r->size());
+      for (const auto& a : *r) new_authors += a.created_new ? 1 : 0;
+    }
+    std::printf(
+        "ingested %zu papers (%ld occurrences, %ld new authors, %ld failed) "
+        "from %d producers in %.2fs — %.1f papers/s, %.2f ms/paper\n",
+        stream.size(), static_cast<long>(occurrences),
+        static_cast<long>(new_authors), static_cast<long>(failed), producers,
+        seconds, stream.empty() ? 0.0 : stream.size() / seconds,
+        stream.empty() ? 0.0 : 1e3 * seconds / stream.size());
+  }
+
+  const auto stats = service.Stats();
+  std::printf(
+      "service state: epoch %ld, %ld papers applied, %d alive vertices, "
+      "%d edges\n",
+      static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
+      stats.num_alive_vertices, stats.num_edges);
+  if (auto it = flags.find("name"); it != flags.end()) {
+    const auto records = service.AuthorsByName(it->second);
+    std::printf("\"%s\": %zu author candidate(s)\n", it->second.c_str(),
+                records.size());
+    for (const auto& rec : records) {
+      const auto papers = service.PublicationsOf(rec.vertex);
+      std::printf("  vertex %d: %d papers (ids", rec.vertex, rec.num_papers);
+      for (size_t i = 0; i < papers.size() && i < 8; ++i) {
+        std::printf(" %d", papers[i]);
+      }
+      std::printf(papers.size() > 8 ? " ...)\n" : ")\n");
+    }
+  }
+  service.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +331,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(path, flags);
   if (cmd == "run") return CmdRun(path, flags);
   if (cmd == "evaluate") return CmdEvaluate(path, flags);
+  if (cmd == "serve") return CmdServe(path, flags);
   Usage();
   return 1;
 }

@@ -96,6 +96,26 @@ struct IuadConfig {
   /// never retrains on new papers).
   int incremental_refresh_interval = 64;
 
+  // --- Serving & persistence (src/serve, src/io) -------------------------
+  /// Bound of the serve::IngestService admission window: at most this many
+  /// submitted papers may be queued (or held for sequence reordering) ahead
+  /// of the applier; further Submit calls block. Must be >= 1 — the paper
+  /// whose sequence number is next to apply is always admissible, which is
+  /// what makes the bound deadlock-free.
+  int ingest_queue_capacity = 256;
+  /// The service republishes its read-only query view (author lookups,
+  /// publication lists, stats) every this-many applied papers. Purely a
+  /// freshness/throughput trade-off for concurrent readers: ingestion
+  /// results never depend on it (similarity-cache refresh batching is
+  /// incremental_refresh_interval, as in the raw incremental path).
+  int ingest_refresh_window = 64;
+  /// Where --save-snapshot / --load-snapshot persistence lives. Only
+  /// consulted when persist_snapshot is set; must then be non-empty.
+  std::string snapshot_path;
+  /// Set by callers requesting snapshot persistence (the CLI flags); makes
+  /// an empty snapshot_path a configuration error instead of a late IoError.
+  bool persist_snapshot = false;
+
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
 
@@ -133,6 +153,16 @@ struct IuadConfig {
     }
     if (incremental_refresh_interval < 1) {
       return bad("incremental_refresh_interval must be >= 1");
+    }
+    if (ingest_queue_capacity < 1) {
+      return bad("ingest_queue_capacity must be >= 1");
+    }
+    if (ingest_refresh_window < 1) {
+      return bad("ingest_refresh_window must be >= 1");
+    }
+    if (persist_snapshot && snapshot_path.empty()) {
+      return bad("snapshot_path must be non-empty when persistence is "
+                 "requested");
     }
     return iuad::Status::OK();
   }

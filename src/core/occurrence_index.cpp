@@ -1,5 +1,7 @@
 #include "core/occurrence_index.h"
 
+#include <algorithm>
+
 namespace iuad::core {
 
 uint64_t OccurrenceIndex::KeyOf(int paper_id, const std::string& name) const {
@@ -49,6 +51,27 @@ graph::VertexId OccurrenceIndex::Resolve(graph::VertexId v) const {
     v = next;
   }
   return root;
+}
+
+std::vector<OccurrenceIndex::Entry> OccurrenceIndex::Entries() const {
+  // Invert the name interning once (id -> string).
+  std::vector<const std::string*> names(name_ids_.size(), nullptr);
+  for (const auto& [name, id] : name_ids_) {
+    names[static_cast<size_t>(id)] = &name;
+  }
+  std::vector<Entry> out;
+  out.reserve(occurrences_.size());
+  for (const auto& [key, vertex] : occurrences_) {
+    Entry e;
+    e.paper_id = static_cast<int>(key >> 32);
+    e.name = *names[static_cast<size_t>(key & 0xffffffffULL)];
+    e.vertex = Resolve(vertex);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.paper_id != b.paper_id ? a.paper_id < b.paper_id : a.name < b.name;
+  });
+  return out;
 }
 
 std::unordered_map<graph::VertexId, std::vector<int>>

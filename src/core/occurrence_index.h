@@ -45,6 +45,20 @@ class OccurrenceIndex {
   std::unordered_map<graph::VertexId, std::vector<int>> ClustersOfName(
       const std::string& name, const std::vector<int>& paper_ids) const;
 
+  /// One serialized occurrence assignment (snapshot save, src/io).
+  struct Entry {
+    int paper_id = -1;
+    std::string name;
+    graph::VertexId vertex = -1;  ///< Alias-resolved owner.
+  };
+
+  /// Every assignment, alias-resolved, sorted by (paper_id, name): the
+  /// canonical serialization order. Replaying these through AssignIfAbsent
+  /// on an empty index reproduces every Lookup result exactly (the internal
+  /// name interning is rebuilt on the fly; alias chains are already
+  /// flattened into the exported vertices, so no merge records are needed).
+  std::vector<Entry> Entries() const;
+
  private:
   uint64_t KeyOf(int paper_id, const std::string& name) const;
 

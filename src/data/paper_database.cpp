@@ -11,7 +11,42 @@ namespace iuad::data {
 
 namespace {
 const std::vector<int> kNoPapers;
+
+/// FNV-1a accumulator. Strings are hashed with their length so record
+/// boundaries cannot alias ("ab" + "c" vs "a" + "bc").
+struct Fnv1a {
+  uint64_t h = 1469598103934665603ULL;
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void U64(uint64_t x) { Bytes(&x, sizeof(x)); }
+  void I32(int32_t x) { U64(static_cast<uint64_t>(static_cast<uint32_t>(x))); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+};
 }  // namespace
+
+uint64_t PaperDatabase::Fingerprint() const {
+  Fnv1a f;
+  f.U64(static_cast<uint64_t>(papers_.size()));
+  for (const Paper& p : papers_) {
+    f.I32(p.id);
+    f.I32(p.year);
+    f.Str(p.venue);
+    f.Str(p.title);
+    f.U64(p.author_names.size());
+    for (const auto& name : p.author_names) f.Str(name);
+    f.U64(p.true_author_ids.size());
+    for (AuthorId a : p.true_author_ids) f.I32(a);
+  }
+  return f.h;
+}
 
 int PaperDatabase::AddPaper(Paper paper) {
   const int id = static_cast<int>(papers_.size());

@@ -63,6 +63,13 @@ class PaperDatabase {
   /// stream-in-arrival-order}.
   std::pair<PaperDatabase, std::vector<Paper>> HoldOutLatest(int holdout) const;
 
+  /// Order-sensitive 64-bit content hash (FNV-1a) over every record —
+  /// id, year, venue, title, byline, ground truth. Two databases holding
+  /// the same papers in the same order fingerprint identically across
+  /// processes; snapshots (src/io) store it and refuse to load against a
+  /// different corpus.
+  uint64_t Fingerprint() const;
+
   /// Serialization. Format (TSV, one paper per row):
   ///   id <tab> year <tab> venue <tab> title <tab> name1|name2|... <tab> gt1|gt2|...
   /// The ground-truth column may be "?" for unlabeled data.

@@ -95,6 +95,22 @@ MultinomialDist::MultinomialDist(int num_bins, double lo, double hi)
       probs_(static_cast<size_t>(num_bins_),
              1.0 / static_cast<double>(num_bins_)) {}
 
+iuad::Status MultinomialDist::SetProbabilities(std::vector<double> probs) {
+  if (static_cast<int>(probs.size()) != num_bins_) {
+    return iuad::Status::InvalidArgument(
+        "multinomial restore: expected " + std::to_string(num_bins_) +
+        " bin probabilities, got " + std::to_string(probs.size()));
+  }
+  for (double p : probs) {
+    if (!(p > 0.0)) {
+      return iuad::Status::InvalidArgument(
+          "multinomial restore: nonpositive bin probability");
+    }
+  }
+  probs_ = std::move(probs);
+  return iuad::Status::OK();
+}
+
 int MultinomialDist::BinOf(double x) const {
   const double t = (x - lo_) / (hi_ - lo_);
   int bin = static_cast<int>(t * num_bins_);

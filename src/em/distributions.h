@@ -117,6 +117,14 @@ class MultinomialDist : public Distribution {
 
   int BinOf(double x) const;
   const std::vector<double>& probabilities() const { return probs_; }
+  int num_bins() const { return num_bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Reinstates fitted bin probabilities (snapshot load, src/io). Rejects a
+  /// vector whose size disagrees with num_bins or with nonpositive entries
+  /// (fitting always Laplace-smooths, so every stored bin is > 0).
+  iuad::Status SetProbabilities(std::vector<double> probs);
 
  private:
   int num_bins_;

@@ -15,6 +15,38 @@ MixtureModel::MixtureModel(MixtureConfig config) : config_(std::move(config)) {
   }
 }
 
+iuad::Result<MixtureModel> MixtureModel::Restore(
+    MixtureConfig config, std::vector<std::unique_ptr<Distribution>> matched,
+    std::vector<std::unique_ptr<Distribution>> unmatched, double prior_matched,
+    double final_log_likelihood, int iterations_run) {
+  const size_t m = config.families.size();
+  if (matched.size() != m || unmatched.size() != m) {
+    return iuad::Status::InvalidArgument(
+        "model restore: marginal count disagrees with families");
+  }
+  for (size_t f = 0; f < m; ++f) {
+    if (matched[f] == nullptr || unmatched[f] == nullptr ||
+        matched[f]->family() != config.families[f] ||
+        unmatched[f]->family() != config.families[f]) {
+      return iuad::Status::InvalidArgument(
+          "model restore: marginal family mismatch at feature " +
+          std::to_string(f));
+    }
+  }
+  if (!(prior_matched > 0.0 && prior_matched < 1.0)) {
+    return iuad::Status::InvalidArgument(
+        "model restore: class prior outside (0, 1)");
+  }
+  MixtureModel model(std::move(config));
+  model.matched_ = std::move(matched);
+  model.unmatched_ = std::move(unmatched);
+  model.prior_matched_ = prior_matched;
+  model.final_log_likelihood_ = final_log_likelihood;
+  model.iterations_run_ = iterations_run;
+  model.fitted_ = true;
+  return model;
+}
+
 std::vector<double> MixtureModel::InitialResponsibilities(
     const std::vector<std::vector<double>>& gammas) const {
   const size_t n = gammas.size();

@@ -23,6 +23,46 @@ VertexId CollabGraph::AddVertex(std::string name, std::vector<int> papers) {
   return id;
 }
 
+iuad::Result<CollabGraph> CollabGraph::Restore(
+    std::vector<Vertex> vertices, const std::vector<EdgeRecord>& edges) {
+  CollabGraph g;
+  const auto n = static_cast<VertexId>(vertices.size());
+  g.vertices_ = std::move(vertices);
+  g.adj_.resize(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    Vertex& vx = g.vertices_[static_cast<size_t>(v)];
+    g.Deduplicate(&vx.papers);
+    if (vx.alive) {
+      g.name_index_[vx.name].push_back(v);
+      ++g.num_alive_;
+    }
+  }
+  for (const EdgeRecord& e : edges) {
+    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n) {
+      return iuad::Status::InvalidArgument("graph restore: edge endpoint " +
+                                           std::to_string(e.u) + "-" +
+                                           std::to_string(e.v) +
+                                           " out of range");
+    }
+    IUAD_RETURN_NOT_OK(g.AddEdgePapers(e.u, e.v, e.papers));
+  }
+  return g;
+}
+
+std::vector<EdgeRecord> CollabGraph::Edges() const {
+  std::vector<EdgeRecord> out;
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    if (!alive(u)) continue;
+    for (const auto& [v, papers] : adj_[static_cast<size_t>(u)]) {
+      if (u < v) out.push_back({u, v, papers});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const EdgeRecord& a, const EdgeRecord& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return out;
+}
+
 iuad::Status CollabGraph::AddEdgePapers(VertexId u, VertexId v,
                                         const std::vector<int>& papers) {
   if (u == v) {

@@ -27,6 +27,13 @@ struct Vertex {
   bool alive = true;
 };
 
+/// One serialized edge: endpoints (u < v) plus the shared paper set.
+struct EdgeRecord {
+  VertexId u = -1;
+  VertexId v = -1;
+  std::vector<int> papers;
+};
+
 /// Undirected multigraph-with-paper-sets. Vertex ids are dense and stable;
 /// merged-away vertices stay allocated but dead (so ids held by callers
 /// never dangle).
@@ -34,6 +41,21 @@ class CollabGraph {
  public:
   /// Adds a vertex for `name` holding `papers` (deduplicated, sorted).
   VertexId AddVertex(std::string name, std::vector<int> papers);
+
+  /// Rebuilds a graph from serialized parts (snapshot load, src/io):
+  /// `vertices` in id order — dead (merged-away) vertices included, so ids
+  /// land exactly where they were — and `edges` between alive endpoints.
+  /// The name index lists alive vertices in ascending id order, which is
+  /// the order organic construction produces (AddVertex appends, merges
+  /// erase), so VerticesWithName tie-breaking behaves identically to the
+  /// never-serialized graph. Fails on out-of-range endpoints, self-loops,
+  /// and edges touching dead vertices.
+  static iuad::Result<CollabGraph> Restore(std::vector<Vertex> vertices,
+                                           const std::vector<EdgeRecord>& edges);
+
+  /// The edge list of the alive subgraph with u < v, sorted by (u, v):
+  /// the canonical serialization order (snapshot save, src/io).
+  std::vector<EdgeRecord> Edges() const;
 
   /// Adds `papers` to the edge (u, v), creating it if absent. Self-loops are
   /// rejected. Both endpoints must be alive.

@@ -1,0 +1,607 @@
+#include "io/snapshot.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "em/distributions.h"
+#include "em/mixture_model.h"
+#include "graph/collab_graph.h"
+#include "text/vocabulary.h"
+#include "text/word2vec.h"
+
+namespace iuad::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'U', 'A', 'D', 'S', 'N', 'A', 'P'};
+constexpr size_t kHeaderSize = 40;  // magic + version + fp + size + 2 checksums
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Appends fixed-width scalars / length-prefixed containers to a buffer.
+class Writer {
+ public:
+  template <typename T>
+  void Raw(T x) {
+    static_assert(std::is_trivially_copyable<T>::value, "raw scalar only");
+    const size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(&buf_[at], &x, sizeof(T));
+  }
+  void Bytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  void U8(uint8_t x) { Raw(x); }
+  void U32(uint32_t x) { Raw(x); }
+  void U64(uint64_t x) { Raw(x); }
+  void I32(int32_t x) { Raw(x); }
+  void I64(int64_t x) { Raw(x); }
+  void F64(double x) { Raw(x); }
+  void Bool(bool x) { U8(x ? 1 : 0); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+  void IntVec(const std::vector<int>& xs) {
+    U64(xs.size());
+    for (int x : xs) I32(x);
+  }
+  void F64Vec(const std::vector<double>& xs) {
+    U64(xs.size());
+    for (double x : xs) F64(x);
+  }
+  void FloatVec(const std::vector<float>& xs) {
+    U64(xs.size());
+    const size_t at = buf_.size();
+    buf_.resize(at + xs.size() * sizeof(float));
+    if (!xs.empty()) std::memcpy(&buf_[at], xs.data(), xs.size() * sizeof(float));
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked mirror of Writer. Every read reports corruption (a
+/// truncated or bit-flipped payload that nevertheless passed the checksum
+/// is astronomically unlikely, but the reader still never walks off the
+/// buffer) through ok()/status().
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Raw() {
+    static_assert(std::is_trivially_copyable<T>::value, "raw scalar only");
+    T x{};
+    if (!Take(sizeof(T))) return x;
+    std::memcpy(&x, data_ + pos_ - sizeof(T), sizeof(T));
+    return x;
+  }
+  uint8_t U8() { return Raw<uint8_t>(); }
+  uint32_t U32() { return Raw<uint32_t>(); }
+  uint64_t U64() { return Raw<uint64_t>(); }
+  int32_t I32() { return Raw<int32_t>(); }
+  int64_t I64() { return Raw<int64_t>(); }
+  double F64() { return Raw<double>(); }
+  bool Bool() { return U8() != 0; }
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!Take(n)) return {};
+    return std::string(data_ + pos_ - n, n);
+  }
+  std::vector<int> IntVec() {
+    const uint64_t n = U64();
+    std::vector<int> xs;
+    if (!CheckCount(n, sizeof(int32_t))) return xs;
+    xs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) xs.push_back(I32());
+    return xs;
+  }
+  std::vector<double> F64Vec() {
+    const uint64_t n = U64();
+    std::vector<double> xs;
+    if (!CheckCount(n, sizeof(double))) return xs;
+    xs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) xs.push_back(F64());
+    return xs;
+  }
+  std::vector<float> FloatVec() {
+    const uint64_t n = U64();
+    std::vector<float> xs;
+    if (!CheckCount(n, sizeof(float)) || !Take(n * sizeof(float))) return xs;
+    xs.resize(n);
+    if (n > 0) std::memcpy(xs.data(), data_ + pos_ - n * sizeof(float),
+                           n * sizeof(float));
+    return xs;
+  }
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+  iuad::Status status() const {
+    if (ok_) return iuad::Status::OK();
+    return iuad::Status::IoError("snapshot payload truncated or corrupt");
+  }
+
+ private:
+  bool Take(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool CheckCount(uint64_t n, size_t elem_size) {
+    // A hostile/corrupt count must not drive a giant reserve.
+    if (!ok_ || n > (size_ - pos_) / elem_size) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Section: config ------------------------------------------------------
+
+void WriteConfig(const core::IuadConfig& c, Writer* w) {
+  w->I64(c.eta);
+  w->Bool(c.triangle_gated_insertion);
+  w->I32(c.wl_iterations);
+  w->F64(c.time_decay_alpha);
+  w->I32(c.word2vec.dim);
+  w->I32(c.word2vec.window);
+  w->I32(c.word2vec.negatives);
+  w->I32(c.word2vec.epochs);
+  w->F64(c.word2vec.learning_rate);
+  w->I32(c.word2vec.min_count);
+  w->F64(c.word2vec.subsample);
+  w->U64(c.word2vec.seed);
+  w->I32(c.word2vec.num_threads);
+  w->I32(c.word2vec.num_shards);
+  w->F64(c.delta);
+  w->F64(c.sample_rate);
+  w->Bool(c.vertex_splitting);
+  w->I32(c.split_min_papers);
+  w->I32(c.max_split_vertices);
+  w->I32(c.max_pairs_per_name);
+  w->U64(c.families.size());
+  for (em::FamilyType f : c.families) w->U8(static_cast<uint8_t>(f));
+  w->I32(c.em.max_iterations);
+  w->F64(c.em.tolerance);
+  w->F64(c.em.init_quantile);
+  w->F64(c.em.init_high);
+  w->F64(c.em.init_low);
+  w->F64(c.em.min_prior);
+  w->I32(c.num_threads);
+  w->I32(c.incremental_refresh_interval);
+  w->U64(c.seed);
+  w->I32(c.ingest_queue_capacity);
+  w->I32(c.ingest_refresh_window);
+  // snapshot_path / persist_snapshot are runtime knobs of the *saving*
+  // process, not properties of the fitted state; pair_label_oracle is a
+  // std::function and cannot round-trip. None are serialized.
+}
+
+core::IuadConfig ReadConfig(Reader* r) {
+  core::IuadConfig c;
+  c.eta = r->I64();
+  c.triangle_gated_insertion = r->Bool();
+  c.wl_iterations = r->I32();
+  c.time_decay_alpha = r->F64();
+  c.word2vec.dim = r->I32();
+  c.word2vec.window = r->I32();
+  c.word2vec.negatives = r->I32();
+  c.word2vec.epochs = r->I32();
+  c.word2vec.learning_rate = r->F64();
+  c.word2vec.min_count = r->I32();
+  c.word2vec.subsample = r->F64();
+  c.word2vec.seed = r->U64();
+  c.word2vec.num_threads = r->I32();
+  c.word2vec.num_shards = r->I32();
+  c.delta = r->F64();
+  c.sample_rate = r->F64();
+  c.vertex_splitting = r->Bool();
+  c.split_min_papers = r->I32();
+  c.max_split_vertices = r->I32();
+  c.max_pairs_per_name = r->I32();
+  const uint64_t nf = r->U64();
+  c.families.clear();
+  for (uint64_t i = 0; i < nf && r->ok(); ++i) {
+    c.families.push_back(static_cast<em::FamilyType>(r->U8()));
+  }
+  c.em.max_iterations = r->I32();
+  c.em.tolerance = r->F64();
+  c.em.init_quantile = r->F64();
+  c.em.init_high = r->F64();
+  c.em.init_low = r->F64();
+  c.em.min_prior = r->F64();
+  c.num_threads = r->I32();
+  c.incremental_refresh_interval = r->I32();
+  c.seed = r->U64();
+  c.ingest_queue_capacity = r->I32();
+  c.ingest_refresh_window = r->I32();
+  return c;
+}
+
+// ---- Section: embeddings --------------------------------------------------
+
+void WriteEmbeddings(const text::Word2Vec& w2v, Writer* w) {
+  w->Bool(w2v.trained());
+  if (!w2v.trained()) return;
+  const text::Vocabulary& vocab = w2v.vocabulary();
+  w->I32(w2v.dim());
+  w->U64(static_cast<uint64_t>(vocab.size()));
+  for (int id = 0; id < vocab.size(); ++id) {
+    w->Str(vocab.WordOf(id));
+    w->I64(vocab.CountOf(id));
+    const text::Vec* v = w2v.VectorOf(vocab.WordOf(id));
+    w->FloatVec(*v);
+  }
+  w->F64(w2v.final_learning_rate());
+  w->I64(w2v.trained_tokens());
+}
+
+iuad::Result<text::Word2Vec> ReadEmbeddings(const text::Word2VecConfig& cfg,
+                                            Reader* r) {
+  if (!r->Bool()) return text::Word2Vec(cfg);  // untrained (SCN-only save)
+  const int dim = r->I32();
+  if (dim != cfg.dim) {
+    return iuad::Status::IoError(
+        "snapshot: embedding dimension disagrees with stored config");
+  }
+  const uint64_t n = r->U64();
+  text::Vocabulary vocab;
+  std::vector<text::Vec> vectors;
+  // `n` is as hostile as any other payload count (checksums are over public
+  // data): never let it drive a giant reserve. Growth past the bound is
+  // organic push_back, and a lying count fails the r->ok() loop guard on
+  // the first short read.
+  vectors.reserve(static_cast<size_t>(std::min<uint64_t>(n, 1u << 16)));
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    const std::string word = r->Str();
+    const int64_t count = r->I64();
+    vocab.AddCount(word, count);
+    vectors.push_back(r->FloatVec());
+  }
+  const double final_lr = r->F64();
+  const int64_t trained_tokens = r->I64();
+  IUAD_RETURN_NOT_OK(r->status());
+  return text::Word2Vec::Restore(cfg, std::move(vocab), std::move(vectors),
+                                 final_lr, trained_tokens);
+}
+
+// ---- Section: graph -------------------------------------------------------
+
+void WriteGraph(const graph::CollabGraph& g, Writer* w) {
+  w->U64(static_cast<uint64_t>(g.num_vertices()));
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const graph::Vertex& vx = g.vertex(v);
+    w->Str(vx.name);
+    w->Bool(vx.alive);
+    w->IntVec(vx.papers);
+  }
+  const std::vector<graph::EdgeRecord> edges = g.Edges();
+  w->U64(edges.size());
+  for (const auto& e : edges) {
+    w->I32(e.u);
+    w->I32(e.v);
+    w->IntVec(e.papers);
+  }
+}
+
+iuad::Result<graph::CollabGraph> ReadGraph(Reader* r) {
+  const uint64_t n = r->U64();
+  std::vector<graph::Vertex> vertices;
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    graph::Vertex vx;
+    vx.name = r->Str();
+    vx.alive = r->Bool();
+    vx.papers = r->IntVec();
+    vertices.push_back(std::move(vx));
+  }
+  const uint64_t m = r->U64();
+  std::vector<graph::EdgeRecord> edges;
+  for (uint64_t i = 0; i < m && r->ok(); ++i) {
+    graph::EdgeRecord e;
+    e.u = r->I32();
+    e.v = r->I32();
+    e.papers = r->IntVec();
+    edges.push_back(std::move(e));
+  }
+  IUAD_RETURN_NOT_OK(r->status());
+  return graph::CollabGraph::Restore(std::move(vertices), edges);
+}
+
+// ---- Section: occurrences -------------------------------------------------
+
+void WriteOccurrences(const core::OccurrenceIndex& idx, Writer* w) {
+  const auto entries = idx.Entries();
+  w->U64(entries.size());
+  for (const auto& e : entries) {
+    w->I32(e.paper_id);
+    w->Str(e.name);
+    w->I32(e.vertex);
+  }
+}
+
+iuad::Result<core::OccurrenceIndex> ReadOccurrences(Reader* r) {
+  core::OccurrenceIndex idx;
+  const uint64_t n = r->U64();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    const int paper_id = r->I32();
+    const std::string name = r->Str();
+    const graph::VertexId vertex = r->I32();
+    idx.AssignIfAbsent(paper_id, name, vertex);
+  }
+  IUAD_RETURN_NOT_OK(r->status());
+  return idx;
+}
+
+// ---- Section: model -------------------------------------------------------
+
+void WriteDistribution(const em::Distribution& d, Writer* w) {
+  w->U8(static_cast<uint8_t>(d.family()));
+  switch (d.family()) {
+    case em::FamilyType::kGaussian: {
+      const auto& g = static_cast<const em::GaussianDist&>(d);
+      w->F64(g.mean());
+      w->F64(g.variance());
+      break;
+    }
+    case em::FamilyType::kExponential: {
+      const auto& e = static_cast<const em::ExponentialDist&>(d);
+      w->F64(e.lambda());
+      break;
+    }
+    case em::FamilyType::kMultinomial: {
+      const auto& m = static_cast<const em::MultinomialDist&>(d);
+      w->U32(static_cast<uint32_t>(m.num_bins()));
+      w->F64(m.lo());
+      w->F64(m.hi());
+      w->F64Vec(m.probabilities());
+      break;
+    }
+  }
+}
+
+iuad::Result<std::unique_ptr<em::Distribution>> ReadDistribution(Reader* r) {
+  const auto family = static_cast<em::FamilyType>(r->U8());
+  switch (family) {
+    case em::FamilyType::kGaussian: {
+      const double mean = r->F64();
+      const double variance = r->F64();
+      IUAD_RETURN_NOT_OK(r->status());
+      return {std::make_unique<em::GaussianDist>(mean, variance)};
+    }
+    case em::FamilyType::kExponential: {
+      const double lambda = r->F64();
+      IUAD_RETURN_NOT_OK(r->status());
+      return {std::make_unique<em::ExponentialDist>(lambda)};
+    }
+    case em::FamilyType::kMultinomial: {
+      const auto num_bins = static_cast<int>(r->U32());
+      const double lo = r->F64();
+      const double hi = r->F64();
+      std::vector<double> probs = r->F64Vec();
+      IUAD_RETURN_NOT_OK(r->status());
+      auto m = std::make_unique<em::MultinomialDist>(num_bins, lo, hi);
+      IUAD_RETURN_NOT_OK(m->SetProbabilities(std::move(probs)));
+      return {std::move(m)};
+    }
+  }
+  return iuad::Status::IoError("snapshot: unknown distribution family");
+}
+
+void WriteModel(const em::MixtureModel* model, Writer* w) {
+  w->Bool(model != nullptr);
+  if (model == nullptr) return;
+  w->U32(static_cast<uint32_t>(model->dimension()));
+  w->F64(model->prior_matched());
+  w->F64(model->final_log_likelihood());
+  w->I32(model->iterations_run());
+  for (int f = 0; f < model->dimension(); ++f) {
+    WriteDistribution(model->matched(f), w);
+    WriteDistribution(model->unmatched(f), w);
+  }
+}
+
+iuad::Result<std::unique_ptr<em::MixtureModel>> ReadModel(
+    const core::IuadConfig& config, Reader* r) {
+  if (!r->Bool()) return {std::unique_ptr<em::MixtureModel>()};  // SCN-only
+  const auto m = static_cast<int>(r->U32());
+  const double prior = r->F64();
+  const double final_ll = r->F64();
+  const int iterations = r->I32();
+  std::vector<std::unique_ptr<em::Distribution>> matched, unmatched;
+  for (int f = 0; f < m && r->ok(); ++f) {
+    IUAD_ASSIGN_OR_RETURN(auto dm, ReadDistribution(r));
+    IUAD_ASSIGN_OR_RETURN(auto du, ReadDistribution(r));
+    matched.push_back(std::move(dm));
+    unmatched.push_back(std::move(du));
+  }
+  IUAD_RETURN_NOT_OK(r->status());
+  em::MixtureConfig mc = config.em;
+  mc.families = config.families;  // as GcnBuilder assembles it before Fit
+  IUAD_ASSIGN_OR_RETURN(
+      auto model,
+      em::MixtureModel::Restore(std::move(mc), std::move(matched),
+                                std::move(unmatched), prior, final_ll,
+                                iterations));
+  return {std::make_unique<em::MixtureModel>(std::move(model))};
+}
+
+// ---- Section: stats -------------------------------------------------------
+
+void WriteStats(const core::DisambiguationResult& res, Writer* w) {
+  w->I64(res.scn_stats.num_scrs);
+  w->I32(res.scn_stats.num_vertices);
+  w->I32(res.scn_stats.num_edges);
+  w->I64(res.scn_stats.covered_occurrences);
+  w->I64(res.scn_stats.singleton_occurrences);
+  w->I32(res.scn_stats.conflict_merges);
+  w->I64(res.gcn_stats.names_with_candidates);
+  w->I64(res.gcn_stats.candidate_pairs);
+  w->I64(res.gcn_stats.training_pairs);
+  w->I64(res.gcn_stats.augmented_pairs);
+  w->I64(res.gcn_stats.merges);
+  w->I64(res.gcn_stats.recovered_edges);
+  w->F64(res.gcn_stats.em_log_likelihood);
+  w->I32(res.gcn_stats.em_iterations);
+  w->F64(res.embed_seconds);
+  w->F64(res.scn_seconds);
+  w->F64(res.gcn_seconds);
+}
+
+void ReadStats(Reader* r, core::DisambiguationResult* res) {
+  res->scn_stats.num_scrs = r->I64();
+  res->scn_stats.num_vertices = r->I32();
+  res->scn_stats.num_edges = r->I32();
+  res->scn_stats.covered_occurrences = r->I64();
+  res->scn_stats.singleton_occurrences = r->I64();
+  res->scn_stats.conflict_merges = r->I32();
+  res->gcn_stats.names_with_candidates = r->I64();
+  res->gcn_stats.candidate_pairs = r->I64();
+  res->gcn_stats.training_pairs = r->I64();
+  res->gcn_stats.augmented_pairs = r->I64();
+  res->gcn_stats.merges = r->I64();
+  res->gcn_stats.recovered_edges = r->I64();
+  res->gcn_stats.em_log_likelihood = r->F64();
+  res->gcn_stats.em_iterations = r->I32();
+  res->embed_seconds = r->F64();
+  res->scn_seconds = r->F64();
+  res->gcn_seconds = r->F64();
+}
+
+}  // namespace
+
+iuad::Status SaveSnapshot(const std::string& path,
+                          const data::PaperDatabase& db,
+                          const core::DisambiguationResult& result,
+                          const core::IuadConfig& config) {
+  Writer payload;
+  WriteConfig(config, &payload);
+  WriteEmbeddings(result.embeddings, &payload);
+  WriteGraph(result.graph, &payload);
+  WriteOccurrences(result.occurrences, &payload);
+  WriteModel(result.model.get(), &payload);
+  WriteStats(result, &payload);
+  const std::string& body = payload.buffer();
+
+  Writer header;
+  header.Bytes(kMagic, sizeof(kMagic));
+  header.U32(kSnapshotFormatVersion);
+  header.U64(db.Fingerprint());
+  header.U64(body.size());
+  header.U64(Fnv1a(body.data(), body.size()));
+  header.U32(static_cast<uint32_t>(
+      Fnv1a(header.buffer().data(), header.buffer().size())));
+
+  // Write-then-rename so a crash or full disk mid-save can never destroy an
+  // existing good snapshot at `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return iuad::Status::IoError("cannot open " + tmp + " for writing");
+  }
+  const std::string& head = header.buffer();
+  const bool written =
+      std::fwrite(head.data(), 1, head.size(), f) == head.size() &&
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!written || !closed) {
+    std::remove(tmp.c_str());
+    return iuad::Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return iuad::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return iuad::Status::OK();
+}
+
+iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
+                                    const data::PaperDatabase& db) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return iuad::Status::IoError("cannot open " + path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return iuad::Status::IoError("read error on " + path);
+
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return iuad::Status::InvalidArgument(path + " is not an IUAD snapshot");
+  }
+  Reader header(bytes.data() + sizeof(kMagic), kHeaderSize - sizeof(kMagic));
+  const uint32_t version = header.U32();
+  const uint64_t fingerprint = header.U64();
+  const uint64_t payload_size = header.U64();
+  const uint64_t payload_checksum = header.U64();
+  const uint32_t header_checksum = header.U32();
+  if (static_cast<uint32_t>(Fnv1a(bytes.data(), kHeaderSize - sizeof(uint32_t))) !=
+      header_checksum) {
+    return iuad::Status::IoError(path + ": snapshot header checksum mismatch");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return iuad::Status::InvalidArgument(
+        path + ": unsupported snapshot format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (bytes.size() - kHeaderSize != payload_size) {
+    return iuad::Status::IoError(path + ": snapshot payload truncated");
+  }
+  if (Fnv1a(bytes.data() + kHeaderSize, payload_size) != payload_checksum) {
+    return iuad::Status::IoError(path + ": snapshot payload checksum mismatch");
+  }
+  if (fingerprint != db.Fingerprint()) {
+    return iuad::Status::FailedPrecondition(
+        path + ": snapshot was saved against a different corpus "
+               "(fingerprint mismatch); load it next to the database it was "
+               "fitted on");
+  }
+
+  Reader r(bytes.data() + kHeaderSize, payload_size);
+  Snapshot snap;
+  snap.config = ReadConfig(&r);
+  IUAD_RETURN_NOT_OK(r.status());
+  IUAD_ASSIGN_OR_RETURN(snap.result.embeddings,
+                        ReadEmbeddings(snap.config.word2vec, &r));
+  IUAD_ASSIGN_OR_RETURN(snap.result.graph, ReadGraph(&r));
+  IUAD_ASSIGN_OR_RETURN(snap.result.occurrences, ReadOccurrences(&r));
+  IUAD_ASSIGN_OR_RETURN(snap.result.model, ReadModel(snap.config, &r));
+  ReadStats(&r, &snap.result);
+  IUAD_RETURN_NOT_OK(r.status());
+  if (!r.exhausted()) {
+    return iuad::Status::IoError(path + ": trailing bytes after snapshot");
+  }
+  return snap;
+}
+
+}  // namespace iuad::io

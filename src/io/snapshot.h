@@ -1,0 +1,73 @@
+#ifndef IUAD_IO_SNAPSHOT_H_
+#define IUAD_IO_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// Versioned binary persistence for a fitted DisambiguationResult — the
+/// bridge between the batch pipeline and the long-running incremental path
+/// (Sec. V-E): fit once, save, and any later process reloads the model in
+/// milliseconds instead of re-running the two-stage pipeline.
+///
+/// File layout (all integers host-endian, doubles/floats raw IEEE-754):
+///
+///   offset  field
+///   ------  ---------------------------------------------------------
+///   0       magic "IUADSNAP" (8 bytes)
+///   8       format version (u32, kSnapshotFormatVersion)
+///   12      corpus fingerprint (u64, PaperDatabase::Fingerprint)
+///   20      payload size in bytes (u64)
+///   28      payload checksum (u64, FNV-1a over the payload bytes)
+///   36      header checksum (u32, FNV-1a over bytes [0, 36))
+///   40      payload: config | embeddings | graph | occurrences |
+///           model | stats sections, in that order
+///
+/// LoadSnapshot verifies, in order: magic, format version, header checksum,
+/// payload size + checksum, and the corpus fingerprint against the caller's
+/// PaperDatabase — a snapshot is only meaningful next to the exact corpus
+/// it was fitted on (vertex paper ids index into it). Corruption surfaces
+/// as IoError, foreign files and unknown versions as InvalidArgument, and
+/// a wrong corpus as FailedPrecondition.
+///
+/// Round-trip contract (pinned by tests/snapshot_test.cpp): feeding the
+/// same paper stream through IncrementalDisambiguator::AddPaper on a
+/// reloaded snapshot produces byte-identical assignments to the
+/// never-serialized in-memory result. Two deliberate omissions:
+/// IuadConfig::pair_label_oracle (a std::function) does not survive and is
+/// null after load, and the word2vec training-side state (context vectors,
+/// negative table) is dropped — the embeddings serve lookups only.
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "data/paper_database.h"
+#include "util/status.h"
+
+namespace iuad::io {
+
+/// Format version written by SaveSnapshot; every other version is refused.
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// A reloaded snapshot: the fitted state plus the configuration it was
+/// built with.
+struct Snapshot {
+  core::DisambiguationResult result;
+  core::IuadConfig config;
+};
+
+/// Writes `result` (+ the config that produced it) to `path`, stamped with
+/// `db`'s fingerprint. Overwrites an existing file.
+iuad::Status SaveSnapshot(const std::string& path,
+                          const data::PaperDatabase& db,
+                          const core::DisambiguationResult& result,
+                          const core::IuadConfig& config);
+
+/// Reads a snapshot written by SaveSnapshot and rebuilds the full
+/// DisambiguationResult against `db` (which must fingerprint-match the
+/// database the snapshot was saved with).
+iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
+                                    const data::PaperDatabase& db);
+
+}  // namespace iuad::io
+
+#endif  // IUAD_IO_SNAPSHOT_H_

@@ -1,8 +1,11 @@
 #include "mining/fpgrowth.h"
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
 #include <unordered_map>
+
+#include "util/thread_pool.h"
 
 namespace iuad::mining {
 
@@ -95,58 +98,70 @@ struct TreeOrder {
 };
 
 void Mine(const FpTree& tree, int64_t min_support, int max_size,
+          std::vector<Item>* suffix, std::vector<FrequentItemset>* out);
+
+/// One iteration of the FP-growth loop: emits {suffix ∪ item}, projects
+/// item's conditional tree, and recurses into it. Reads `tree` only, so
+/// distinct items of one tree may run concurrently (with private suffix
+/// and out buffers).
+void MineItem(const FpTree& tree, Item item, int64_t min_support, int max_size,
+              std::vector<Item>* suffix, std::vector<FrequentItemset>* out) {
+  const int64_t support = tree.CountOf(item);
+  if (support < min_support) return;
+
+  suffix->push_back(item);
+  FrequentItemset fi;
+  fi.items = *suffix;
+  std::sort(fi.items.begin(), fi.items.end());
+  fi.support = support;
+  out->push_back(std::move(fi));
+
+  if (max_size == 0 || static_cast<int>(suffix->size()) < max_size) {
+    // Build the conditional pattern base of `item`: prefix paths with the
+    // multiplicity of the item's node.
+    std::unordered_map<Item, int64_t> cond_counts;
+    std::vector<std::pair<std::vector<Item>, int64_t>> paths;
+    for (const FpNode* node = tree.HeaderOf(item); node;
+         node = node->next_same_item) {
+      std::vector<Item> path;
+      for (const FpNode* p = node->parent; p && p->item != -1; p = p->parent) {
+        path.push_back(p->item);
+      }
+      if (path.empty()) continue;
+      for (Item i : path) cond_counts[i] += node->count;
+      paths.emplace_back(std::move(path), node->count);
+    }
+    // Prune conditionally-infrequent items, then build conditional tree.
+    for (auto it = cond_counts.begin(); it != cond_counts.end();) {
+      if (it->second < min_support) {
+        it = cond_counts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!cond_counts.empty()) {
+      FpTree cond_tree(cond_counts);
+      TreeOrder order{&cond_counts};
+      for (auto& [path, count] : paths) {
+        std::vector<Item> filtered;
+        for (Item i : path) {
+          if (cond_counts.count(i)) filtered.push_back(i);
+        }
+        if (filtered.empty()) continue;
+        std::sort(filtered.begin(), filtered.end(), order);
+        cond_tree.Insert(filtered, count);
+      }
+      Mine(cond_tree, min_support, max_size, suffix, out);
+    }
+  }
+  suffix->pop_back();
+}
+
+void Mine(const FpTree& tree, int64_t min_support, int max_size,
           std::vector<Item>* suffix, std::vector<FrequentItemset>* out) {
   if (max_size > 0 && static_cast<int>(suffix->size()) >= max_size) return;
   for (Item item : tree.ItemsBottomUp()) {
-    const int64_t support = tree.CountOf(item);
-    if (support < min_support) continue;
-
-    suffix->push_back(item);
-    FrequentItemset fi;
-    fi.items = *suffix;
-    std::sort(fi.items.begin(), fi.items.end());
-    fi.support = support;
-    out->push_back(std::move(fi));
-
-    if (max_size == 0 || static_cast<int>(suffix->size()) < max_size) {
-      // Build the conditional pattern base of `item`: prefix paths with the
-      // multiplicity of the item's node.
-      std::unordered_map<Item, int64_t> cond_counts;
-      std::vector<std::pair<std::vector<Item>, int64_t>> paths;
-      for (FpNode* node = tree.HeaderOf(item); node;
-           node = node->next_same_item) {
-        std::vector<Item> path;
-        for (FpNode* p = node->parent; p && p->item != -1; p = p->parent) {
-          path.push_back(p->item);
-        }
-        if (path.empty()) continue;
-        for (Item i : path) cond_counts[i] += node->count;
-        paths.emplace_back(std::move(path), node->count);
-      }
-      // Prune conditionally-infrequent items, then build conditional tree.
-      for (auto it = cond_counts.begin(); it != cond_counts.end();) {
-        if (it->second < min_support) {
-          it = cond_counts.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      if (!cond_counts.empty()) {
-        FpTree cond_tree(cond_counts);
-        TreeOrder order{&cond_counts};
-        for (auto& [path, count] : paths) {
-          std::vector<Item> filtered;
-          for (Item i : path) {
-            if (cond_counts.count(i)) filtered.push_back(i);
-          }
-          if (filtered.empty()) continue;
-          std::sort(filtered.begin(), filtered.end(), order);
-          cond_tree.Insert(filtered, count);
-        }
-        Mine(cond_tree, min_support, max_size, suffix, out);
-      }
-    }
-    suffix->pop_back();
+    MineItem(tree, item, min_support, max_size, suffix, out);
   }
 }
 
@@ -197,8 +212,32 @@ iuad::Result<std::vector<FrequentItemset>> FpGrowth(
     tree.Insert(filtered, 1);
   }
 
-  std::vector<Item> suffix;
-  Mine(tree, options.min_support, options.max_itemset_size, &suffix, &out);
+  // Mining phase. Every top-level projection reads the (now-frozen) global
+  // tree independently, so they fan out across a pool; per-item buffers are
+  // concatenated in bottom-up item order — exactly the sequence the serial
+  // loop emits, byte-identical at any thread count.
+  const std::vector<Item> items = tree.ItemsBottomUp();
+  const int threads = std::min(util::ResolveNumThreads(options.num_threads),
+                               static_cast<int>(items.size()));
+  if (threads <= 1) {
+    std::vector<Item> suffix;
+    Mine(tree, options.min_support, options.max_itemset_size, &suffix, &out);
+    return out;
+  }
+  std::vector<std::vector<FrequentItemset>> per_item(items.size());
+  util::ThreadPool pool(threads);
+  pool.ParallelFor(items.size(), [&](size_t i) {
+    std::vector<Item> suffix;
+    MineItem(tree, items[i], options.min_support, options.max_itemset_size,
+             &suffix, &per_item[i]);
+  });
+  size_t total = 0;
+  for (const auto& part : per_item) total += part.size();
+  out.reserve(total);
+  for (auto& part : per_item) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
   return out;
 }
 

@@ -21,12 +21,21 @@ namespace iuad::mining {
 struct FpGrowthOptions {
   int64_t min_support = 2;  ///< η: minimum co-occurrence count.
   int max_itemset_size = 0; ///< 0 = unbounded; 2 mines only pairs, etc.
+  /// Worker threads for the mining phase (same convention as
+  /// IuadConfig::num_threads: <= 0 = hardware concurrency, 1 = serial).
+  /// The top-level conditional-tree projections — one per frequent item,
+  /// independent read-only walks of the global FP-tree — fan out across a
+  /// util::ThreadPool; each projection mines its conditional tree into a
+  /// private buffer and buffers are concatenated in bottom-up item order,
+  /// so the result sequence is byte-identical at any thread count.
+  int num_threads = 1;
 };
 
 /// Mines all frequent itemsets of `transactions` with the given options.
 /// Duplicate items inside one transaction are counted once (a name appears
 /// at most once per byline). Returns itemsets with items sorted ascending;
-/// result order is unspecified (use SortItemsets for canonical order).
+/// result order is deterministic but unspecified (use SortItemsets for
+/// canonical order) and does not vary with num_threads.
 iuad::Result<std::vector<FrequentItemset>> FpGrowth(
     const std::vector<Transaction>& transactions,
     const FpGrowthOptions& options);

@@ -1,0 +1,224 @@
+#include "serve/ingest_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace iuad::serve {
+
+namespace {
+
+IngestService::Assignments StoppedError() {
+  return iuad::Status::FailedPrecondition(
+      "ingest service is stopped; paper was not applied");
+}
+
+}  // namespace
+
+IngestService::IngestService(data::PaperDatabase* db,
+                             core::DisambiguationResult* result,
+                             core::IuadConfig config)
+    : db_(db),
+      result_(result),
+      config_(std::move(config)),
+      inc_(db, result, config_) {
+  PublishView();  // epoch 0: the pre-ingestion state, queryable immediately
+  applier_ = std::thread([this] { ApplierLoop(); });
+}
+
+IngestService::~IngestService() { Stop(); }
+
+std::future<IngestService::Assignments> IngestService::Submit(
+    data::Paper paper) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t seq = next_ticket_++;
+  return SubmitLocked(seq, std::move(paper), &lock);
+}
+
+std::future<IngestService::Assignments> IngestService::SubmitAt(
+    uint64_t seq, data::Paper paper) {
+  std::unique_lock<std::mutex> lock(mu_);
+  next_ticket_ = std::max(next_ticket_, seq + 1);
+  return SubmitLocked(seq, std::move(paper), &lock);
+}
+
+std::future<IngestService::Assignments> IngestService::SubmitLocked(
+    uint64_t seq, data::Paper paper, std::unique_lock<std::mutex>* lock) {
+  std::promise<Assignments> promise;
+  std::future<Assignments> future = promise.get_future();
+  // Admission window: the next-to-apply sequence is always admissible, so a
+  // blocked producer holding it can never deadlock the queue.
+  admit_cv_.wait(*lock, [&] {
+    return stopping_ ||
+           seq < next_apply_ + static_cast<uint64_t>(
+                                   config_.ingest_queue_capacity);
+  });
+  if (stopping_) {
+    promise.set_value(StoppedError());
+    return future;
+  }
+  if (seq < next_apply_ || (apply_in_flight_ && seq == next_apply_) ||
+      pending_.count(seq) > 0) {
+    promise.set_value(iuad::Status::InvalidArgument(
+        "duplicate ingest sequence " + std::to_string(seq)));
+    return future;
+  }
+  pending_.emplace(seq, Request{std::move(paper), std::move(promise)});
+  if (seq == next_apply_) ready_cv_.notify_one();
+  return future;
+}
+
+void IngestService::ApplierLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [&] {
+      return stopping_ || pending_.count(next_apply_) > 0 ||
+             (drain_waiters_ > 0 && published_through_ < next_apply_);
+    });
+
+    if (pending_.count(next_apply_) > 0) {
+      auto node = pending_.extract(next_apply_);
+      apply_in_flight_ = true;
+      lock.unlock();
+      // The applier is the sole mutator of db/result; readers only see
+      // published views, so no lock is held across the actual ingestion.
+      Assignments applied = inc_.AddPaper(node.mapped().paper);
+      if (applied.ok()) {
+        assignments_ += static_cast<int64_t>(applied->size());
+        for (const auto& a : *applied) {
+          if (a.created_new) ++new_authors_;
+        }
+        ++since_publish_;
+      }
+      const bool publish = since_publish_ >= config_.ingest_refresh_window;
+      if (publish) PublishView();
+      node.mapped().promise.set_value(std::move(applied));
+      lock.lock();
+      apply_in_flight_ = false;
+      ++next_apply_;
+      if (publish) published_through_ = next_apply_;
+      admit_cv_.notify_all();
+      applied_cv_.notify_all();
+      continue;
+    }
+
+    if (drain_waiters_ > 0 && published_through_ < next_apply_) {
+      const uint64_t through = next_apply_;
+      lock.unlock();
+      PublishView();
+      lock.lock();
+      published_through_ = through;
+      applied_cv_.notify_all();
+      continue;
+    }
+
+    // stopping_, with no applicable sequence: everything admitted in order
+    // has been applied. Fail whatever is stranded behind a sequence hole.
+    std::map<uint64_t, Request> stranded;
+    stranded.swap(pending_);
+    lock.unlock();
+    for (auto& [seq, req] : stranded) {
+      req.promise.set_value(StoppedError());
+    }
+    PublishView();  // final epoch: the fully-applied state
+    lock.lock();
+    published_through_ = next_apply_;
+    applied_cv_.notify_all();
+    return;
+  }
+}
+
+void IngestService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = next_ticket_;
+  ++drain_waiters_;
+  ready_cv_.notify_one();  // an idle applier may owe us a publish
+  applied_cv_.wait(lock, [&] {
+    return (next_apply_ >= target && published_through_ >= target) ||
+           (stopping_ && joined_);
+  });
+  --drain_waiters_;
+}
+
+void IngestService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  admit_cv_.notify_all();
+  applied_cv_.notify_all();
+  // Exactly one caller joins; others (e.g. the destructor after an explicit
+  // Stop) wait for joined_ below.
+  bool join_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!joined_ && !join_claimed_) {
+      join_claimed_ = true;
+      join_here = true;
+    }
+  }
+  if (join_here) {
+    applier_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_ = true;
+    applied_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    applied_cv_.wait(lock, [&] { return joined_; });
+  }
+}
+
+void IngestService::PublishView() {
+  auto view = std::make_shared<ReadView>();
+  const graph::CollabGraph& g = result_->graph;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.alive(v)) continue;
+    const graph::Vertex& vx = g.vertex(v);
+    view->by_name[vx.name].push_back(
+        {v, static_cast<int>(vx.papers.size())});
+    view->papers_of.emplace(v, vx.papers);
+  }
+  view->stats.epoch = epoch_++;
+  view->stats.papers_applied = inc_.papers_ingested();
+  view->stats.assignments = assignments_;
+  view->stats.new_authors = new_authors_;
+  view->stats.num_alive_vertices = g.num_alive();
+  view->stats.num_edges = g.num_edges();
+  since_publish_ = 0;
+  std::lock_guard<std::mutex> lock(view_mu_);
+  view_ = std::move(view);
+}
+
+std::shared_ptr<const IngestService::ReadView> IngestService::CurrentView()
+    const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_;
+}
+
+std::vector<AuthorRecord> IngestService::AuthorsByName(
+    const std::string& name) const {
+  const auto view = CurrentView();
+  auto it = view->by_name.find(name);
+  if (it == view->by_name.end()) return {};
+  std::vector<AuthorRecord> out = it->second;
+  std::sort(out.begin(), out.end(),
+            [](const AuthorRecord& a, const AuthorRecord& b) {
+              return a.vertex < b.vertex;
+            });
+  return out;
+}
+
+std::vector<int> IngestService::PublicationsOf(graph::VertexId v) const {
+  const auto view = CurrentView();
+  auto it = view->papers_of.find(v);
+  return it == view->papers_of.end() ? std::vector<int>{} : it->second;
+}
+
+IngestStats IngestService::Stats() const {
+  IngestStats stats = CurrentView()->stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.queued_now = static_cast<int>(pending_.size());
+  return stats;
+}
+
+}  // namespace iuad::serve

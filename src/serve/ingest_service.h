@@ -1,0 +1,192 @@
+#ifndef IUAD_SERVE_INGEST_SERVICE_H_
+#define IUAD_SERVE_INGEST_SERVICE_H_
+
+/// \file ingest_service.h
+/// Concurrent front end for the incremental path (Sec. V-E): wraps the
+/// strictly single-caller IncrementalDisambiguator behind a bounded MPSC
+/// request queue with one dedicated applier thread, so many producer
+/// threads can stream newly published papers into a live collaboration
+/// network while readers query it — the serving shape the ROADMAP
+/// north-star asks for.
+///
+/// Threading contract:
+///
+///  * WRITES are totally ordered by *sequence number*. Submit() assigns the
+///    next sequence at call time; SubmitAt() lets producers that partition a
+///    stream among themselves pin each paper to its stream position. The
+///    applier consumes strictly in sequence order (a reorder buffer holds
+///    early arrivals), so the ingestion outcome equals calling
+///    IncrementalDisambiguator::AddPaper sequentially in sequence order —
+///    byte-identical at any producer count. Sequences must be dense: every
+///    sequence in [0, N) must eventually be submitted exactly once, or the
+///    applier waits forever for the hole.
+///  * ADMISSION is bounded: at most config.ingest_queue_capacity papers may
+///    be queued or held for reordering; Submit/SubmitAt block past that.
+///    The next-to-apply sequence is always admissible, which makes the
+///    bound deadlock-free.
+///  * READS never touch the live graph. The applier republishes an
+///    immutable ReadView (author-by-name lookup, per-vertex publication
+///    lists, stats) every config.ingest_refresh_window applied papers and
+///    at Drain(); AuthorsByName / PublicationsOf / Stats read the latest
+///    published view through a shared_ptr epoch swap, so they are safe and
+///    wait-free concurrent with ingestion — at the price of reading at most
+///    one window behind.
+///  * Similarity-cache refresh batching inside the applier is exactly the
+///    raw incremental path's config.incremental_refresh_interval; the
+///    service adds no hidden knob that would change assignments.
+///
+/// The PaperDatabase and DisambiguationResult passed in are owned by the
+/// caller, must outlive the service, and must not be touched (read or
+/// written) by anyone else until Stop()/destruction returns them to the
+/// caller fully applied.
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "data/paper_database.h"
+#include "util/status.h"
+
+namespace iuad::serve {
+
+/// One author candidate as seen by readers at the last published epoch.
+struct AuthorRecord {
+  graph::VertexId vertex = -1;
+  int num_papers = 0;
+};
+
+/// Service counters. Snapshot semantics: all fields are from the same
+/// published epoch except queued_now, which is read live.
+struct IngestStats {
+  int64_t epoch = 0;             ///< Read-view publications so far.
+  int64_t papers_applied = 0;    ///< Papers fully ingested.
+  int64_t assignments = 0;       ///< Byline occurrences decided.
+  int64_t new_authors = 0;       ///< Occurrences that founded a new vertex.
+  int num_alive_vertices = 0;
+  int num_edges = 0;
+  int queued_now = 0;            ///< Live queue depth (incl. reorder holds).
+};
+
+/// MPSC ingestion + concurrent read service over one disambiguation result.
+class IngestService {
+ public:
+  using Assignments = iuad::Result<std::vector<core::IncrementalAssignment>>;
+
+  /// Starts the applier thread. `config` must already Validate() OK; the
+  /// queue capacity / refresh window knobs are read from it (see config.h).
+  IngestService(data::PaperDatabase* db, core::DisambiguationResult* result,
+                core::IuadConfig config);
+
+  /// Stops accepting work, applies everything already admitted, joins the
+  /// applier. Outstanding futures all complete.
+  ~IngestService();
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Enqueues `paper` at the next free sequence number. Blocks while the
+  /// admission window is full. The future resolves once the paper is
+  /// applied, with the same assignments a sequential AddPaper call at that
+  /// position would return. Fails fast (immediately-resolved future) after
+  /// Stop().
+  std::future<Assignments> Submit(data::Paper paper);
+
+  /// Enqueues `paper` at an explicit sequence slot (see the header comment
+  /// for the dense-sequence contract). Blocks while `seq` is outside the
+  /// admission window. Duplicate sequences fail the returned future with
+  /// InvalidArgument.
+  std::future<Assignments> SubmitAt(uint64_t seq, data::Paper paper);
+
+  /// Blocks until every admitted paper is applied, then publishes a fresh
+  /// read view. Producers may keep submitting concurrently; the drain point
+  /// is whatever sequence was admitted when the call began.
+  void Drain();
+
+  /// Drains, refuses further submissions, joins the applier thread.
+  /// Idempotent. After Stop() the caller again owns db/result exclusively.
+  void Stop();
+
+  // ---- Read-only queries (epoch snapshot; safe during ingestion) ---------
+
+  /// Alive author candidates bearing `name`, in vertex-id order.
+  std::vector<AuthorRecord> AuthorsByName(const std::string& name) const;
+
+  /// Paper ids attributed to vertex `v` at the last published epoch
+  /// (empty for unknown / dead / not-yet-published vertices).
+  std::vector<int> PublicationsOf(graph::VertexId v) const;
+
+  IngestStats Stats() const;
+
+ private:
+  struct Request {
+    data::Paper paper;
+    std::promise<Assignments> promise;
+  };
+
+  /// Immutable published state; readers hold it by shared_ptr.
+  struct ReadView {
+    std::unordered_map<std::string, std::vector<AuthorRecord>> by_name;
+    std::unordered_map<graph::VertexId, std::vector<int>> papers_of;
+    IngestStats stats;
+  };
+
+  void ApplierLoop();
+  /// Shared tail of Submit/SubmitAt: blocks on the admission window, then
+  /// enqueues under the already-held lock.
+  std::future<Assignments> SubmitLocked(uint64_t seq, data::Paper paper,
+                                        std::unique_lock<std::mutex>* lock);
+  /// Builds and swaps in a fresh ReadView. Called from the applier (and
+  /// once from the constructor, before the thread exists).
+  void PublishView();
+  std::shared_ptr<const ReadView> CurrentView() const;
+
+  data::PaperDatabase* db_;
+  core::DisambiguationResult* result_;
+  core::IuadConfig config_;
+  core::IncrementalDisambiguator inc_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admit_cv_;    ///< Producers waiting on the window.
+  std::condition_variable ready_cv_;    ///< Applier waiting for next seq.
+  std::condition_variable applied_cv_;  ///< Drain waiters.
+  std::map<uint64_t, Request> pending_;  ///< Reorder buffer, keyed by seq.
+  uint64_t next_ticket_ = 0;  ///< Next auto-assigned sequence (Submit).
+  uint64_t next_apply_ = 0;   ///< Sequence the applier consumes next.
+  /// True while the applier has extracted next_apply_ from pending_ and is
+  /// applying it unlocked: that sequence is occupied even though it is in
+  /// neither pending_ nor the applied range, so duplicate detection must
+  /// still reject it.
+  bool apply_in_flight_ = false;
+  /// next_apply_ at the time of the last view publication: lets Drain wait
+  /// for a view that includes everything it observed as admitted.
+  uint64_t published_through_ = 0;
+  int drain_waiters_ = 0;
+  bool stopping_ = false;
+  bool join_claimed_ = false;
+  bool joined_ = false;
+
+  // Counters owned by the applier thread; folded into views at publish.
+  int64_t epoch_ = 0;
+  int64_t assignments_ = 0;
+  int64_t new_authors_ = 0;
+  int since_publish_ = 0;
+
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ReadView> view_;
+
+  std::thread applier_;
+};
+
+}  // namespace iuad::serve
+
+#endif  // IUAD_SERVE_INGEST_SERVICE_H_

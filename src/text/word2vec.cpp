@@ -37,6 +37,31 @@ int Word2Vec::ResolveNumShards(size_t num_sentences) const {
   return static_cast<int>(std::max<int64_t>(shards, 1));
 }
 
+iuad::Result<Word2Vec> Word2Vec::Restore(Word2VecConfig config,
+                                         Vocabulary vocab,
+                                         std::vector<Vec> in_vectors,
+                                         double final_lr,
+                                         int64_t trained_tokens) {
+  if (vocab.size() == 0 ||
+      in_vectors.size() != static_cast<size_t>(vocab.size())) {
+    return iuad::Status::InvalidArgument(
+        "word2vec restore: vocabulary/vector count mismatch");
+  }
+  for (const Vec& v : in_vectors) {
+    if (v.size() != static_cast<size_t>(config.dim)) {
+      return iuad::Status::InvalidArgument(
+          "word2vec restore: vector dimension disagrees with config.dim");
+    }
+  }
+  Word2Vec w2v(config);
+  w2v.vocab_ = std::move(vocab);
+  w2v.in_vectors_ = std::move(in_vectors);
+  w2v.final_lr_ = final_lr;
+  w2v.trained_tokens_ = trained_tokens;
+  w2v.trained_ = true;
+  return w2v;
+}
+
 iuad::Status Word2Vec::Train(
     const std::vector<std::vector<std::string>>& sentences) {
   if (sentences.empty()) {

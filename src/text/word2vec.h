@@ -60,6 +60,19 @@ class Word2Vec {
   /// internally. Returns InvalidArgument for an empty corpus.
   iuad::Status Train(const std::vector<std::vector<std::string>>& sentences);
 
+  /// Reinstates a trained embedding table from snapshot parts (src/io):
+  /// the vocabulary and one input vector per vocabulary id, in id order.
+  /// Restores the full inference surface — VectorOf / MeanOf / Similarity /
+  /// MostSimilar and the vocabulary-frequency reads the similarity
+  /// functions make — byte-identically. Training-side state (context
+  /// vectors, negative table) is NOT restored: calling Train again on a
+  /// restored object retrains from scratch exactly as on a fresh one.
+  static iuad::Result<Word2Vec> Restore(Word2VecConfig config,
+                                        Vocabulary vocab,
+                                        std::vector<Vec> in_vectors,
+                                        double final_lr,
+                                        int64_t trained_tokens);
+
   /// Returns the vector of `word`, or nullptr if out-of-vocabulary.
   const Vec* VectorOf(const std::string& word) const;
 

@@ -1,0 +1,142 @@
+#ifndef IUAD_UTIL_JSON_WRITER_H_
+#define IUAD_UTIL_JSON_WRITER_H_
+
+/// \file json_writer.h
+/// Minimal pretty-printing JSON emitter for the BENCH_*.json convention
+/// (see ROADMAP): benchmarks record machine-readable trajectories without
+/// hand-rolled fprintf plumbing. Objects only (the convention nests objects
+/// keyed by stage/config name); values are strings, integers, fixed-
+/// precision doubles, and bools. Output is deterministic: fields appear in
+/// call order with two-space indentation and a trailing newline.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::util {
+
+class JsonWriter {
+ public:
+  /// Every document is one root object; nested objects open with the
+  /// keyed overload.
+  JsonWriter() { Open(""); }
+
+  JsonWriter& BeginObject(const std::string& key) {
+    Open(key);
+    return *this;
+  }
+
+  JsonWriter& EndObject() {
+    indent_ -= 2;
+    out_ += '\n';
+    out_.append(static_cast<size_t>(indent_), ' ');
+    out_ += '}';
+    open_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    Key(key);
+    out_ += Quote(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const std::string& key, int64_t value) {
+    Key(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, int value) {
+    return Field(key, static_cast<int64_t>(value));
+  }
+  JsonWriter& Field(const std::string& key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  /// Fixed-precision double (the BENCH files record seconds/speedups, where
+  /// locale-independent fixed notation diffs cleanly between runs).
+  JsonWriter& Field(const std::string& key, double value, int precision = 4) {
+    Key(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    out_ += buf;
+    return *this;
+  }
+
+  /// The finished document. Must be called with every nested object closed
+  /// (the root is closed here).
+  std::string str() const {
+    std::string s = out_;
+    s += "\n}\n";
+    return s;
+  }
+
+  /// Writes str() to `path`, overwriting.
+  iuad::Status WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return iuad::Status::IoError("cannot open " + path + " for writing");
+    }
+    const std::string s = str();
+    const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+    if (std::fclose(f) != 0 || !ok) {
+      return iuad::Status::IoError("short write to " + path);
+    }
+    return iuad::Status::OK();
+  }
+
+ private:
+  void Open(const std::string& key) {
+    if (!open_.empty()) Key(key);  // root opens bare, nested opens keyed
+    out_ += '{';
+    indent_ += 2;
+    open_.push_back(true);  // next entry in this object is the first
+  }
+
+  /// Separator + indentation + quoted key for the next entry of the
+  /// innermost open object.
+  void Key(const std::string& key) {
+    if (!open_.back()) out_ += ',';
+    open_.back() = false;
+    out_ += '\n';
+    out_.append(static_cast<size_t>(indent_), ' ');
+    out_ += Quote(key) + ": ";
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\t': q += "\\t"; break;
+        case '\r': q += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            q += buf;
+          } else {
+            q += c;
+          }
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  std::string out_;
+  int indent_ = 0;
+  std::vector<bool> open_;
+};
+
+}  // namespace iuad::util
+
+#endif  // IUAD_UTIL_JSON_WRITER_H_

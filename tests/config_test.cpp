@@ -72,6 +72,34 @@ TEST(ConfigValidateTest, RejectsOutOfRangeThresholds) {
   EXPECT_FALSE(cfg.Validate().ok());
 }
 
+TEST(ConfigValidateTest, RejectsBadServeOptions) {
+  core::IuadConfig cfg;
+  cfg.ingest_queue_capacity = 0;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.ingest_queue_capacity = -3;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.ingest_refresh_window = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.ingest_queue_capacity = 1;  // the smallest legal window is fine
+  cfg.ingest_refresh_window = 1;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, SnapshotPersistenceRequiresAPath) {
+  core::IuadConfig cfg;
+  cfg.persist_snapshot = true;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg.snapshot_path = "model.snap";
+  EXPECT_TRUE(cfg.Validate().ok());
+  // A path without the request flag is inert, not an error.
+  cfg = {};
+  cfg.snapshot_path = "model.snap";
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
 TEST(ConfigValidateTest, NegativeThreadCountIsAuto) {
   // <= 0 means "hardware concurrency" via ResolveNumThreads, never an error.
   core::IuadConfig cfg;

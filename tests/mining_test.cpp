@@ -95,6 +95,32 @@ TEST(FpGrowthTest, SingleItemTransactions) {
   EXPECT_EQ((*r)[0].support, 2);
 }
 
+// Parallel mining fans top-level conditional-tree projections over a
+// thread pool with item-order concatenation: the result must be the exact
+// sequence the serial miner emits — not merely the same set.
+TEST(FpGrowthTest, ParallelMiningIsByteIdenticalToSerial) {
+  iuad::Rng rng(91);
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 200; ++i) {
+    Transaction t;
+    const int len = 1 + static_cast<int>(rng.NextBounded(7));
+    for (int j = 0; j < len; ++j) {
+      t.push_back(static_cast<Item>(rng.NextBounded(20)));
+    }
+    txs.push_back(std::move(t));
+  }
+  for (int max_size : {0, 2, 3}) {
+    auto serial = FpGrowth(txs, {2, max_size, /*num_threads=*/1});
+    auto parallel = FpGrowth(txs, {2, max_size, /*num_threads=*/4});
+    auto auto_threads = FpGrowth(txs, {2, max_size, /*num_threads=*/0});
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_TRUE(auto_threads.ok());
+    EXPECT_EQ(*serial, *parallel) << "max_size=" << max_size;
+    EXPECT_EQ(*serial, *auto_threads) << "max_size=" << max_size;
+  }
+}
+
 // Property test: FP-growth and Apriori must agree exactly on random inputs.
 class MinerAgreementTest
     : public ::testing::TestWithParam<std::tuple<int, int>> {};

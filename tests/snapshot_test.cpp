@@ -1,0 +1,290 @@
+/// Snapshot persistence (src/io): the round-trip contract is that a
+/// reloaded DisambiguationResult is indistinguishable from the one that was
+/// saved — same graph, same attribution, same fitted parameters, and (the
+/// property that matters for serving) byte-identical incremental
+/// assignments for any held-out paper stream. Plus the rejection paths:
+/// corruption, foreign files, unknown versions, wrong corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "io/snapshot.h"
+#include "testing_utils.h"
+
+namespace iuad::io {
+namespace {
+
+core::IuadConfig FastConfig() {
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 16;
+  cfg.word2vec.epochs = 2;
+  cfg.max_split_vertices = 50;
+  return cfg;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t Fnv1a(const void* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Pipeline + holdout fixture shared by the round-trip tests.
+struct Fitted {
+  data::PaperDatabase history;
+  std::vector<data::Paper> stream;
+  core::DisambiguationResult result;
+  core::IuadConfig config;
+};
+
+Fitted FitOn(uint64_t seed, int holdout = 40) {
+  Fitted f;
+  auto corpus = iuad::testing::SmallCorpus(seed);
+  auto [history, stream] = corpus.db.HoldOutLatest(holdout);
+  f.history = std::move(history);
+  f.stream = std::move(stream);
+  f.config = FastConfig();
+  auto result = core::IuadPipeline(f.config).Run(f.history);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  f.result = std::move(*result);
+  return f;
+}
+
+/// Ingests `stream` and returns the flat assignment trace.
+std::vector<core::IncrementalAssignment> IngestAll(
+    data::PaperDatabase* db, core::DisambiguationResult* result,
+    const core::IuadConfig& config, const std::vector<data::Paper>& stream) {
+  core::IncrementalDisambiguator inc(db, result, config);
+  std::vector<core::IncrementalAssignment> trace;
+  for (const auto& paper : stream) {
+    auto r = inc.AddPaper(paper);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) trace.insert(trace.end(), r->begin(), r->end());
+  }
+  return trace;
+}
+
+void ExpectSameGraph(const graph::CollabGraph& a, const graph::CollabGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_alive(), b.num_alive());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (graph::VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.vertex(v).name, b.vertex(v).name);
+    EXPECT_EQ(a.vertex(v).alive, b.vertex(v).alive);
+    EXPECT_EQ(a.vertex(v).papers, b.vertex(v).papers);
+  }
+  const auto ea = a.Edges(), eb = b.Edges();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].u, eb[i].u);
+    EXPECT_EQ(ea[i].v, eb[i].v);
+    EXPECT_EQ(ea[i].papers, eb[i].papers);
+  }
+  EXPECT_EQ(a.Names(), b.Names());
+}
+
+TEST(SnapshotTest, RoundTripPreservesStateExactly) {
+  Fitted f = FitOn(41);
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(SaveSnapshot(path, f.history, f.result, f.config).ok());
+
+  auto loaded = LoadSnapshot(path, f.history);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ExpectSameGraph(f.result.graph, loaded->result.graph);
+  // Attribution: every occurrence resolves identically.
+  for (const auto& p : f.history.papers()) {
+    for (const auto& name : p.author_names) {
+      EXPECT_EQ(f.result.occurrences.Lookup(p.id, name),
+                loaded->result.occurrences.Lookup(p.id, name));
+    }
+  }
+  // Fitted model: parameter dumps are textual but exhaustive.
+  ASSERT_TRUE(loaded->result.model != nullptr);
+  EXPECT_EQ(f.result.model->ToString(), loaded->result.model->ToString());
+  EXPECT_EQ(f.result.model->prior_matched(),
+            loaded->result.model->prior_matched());
+  // Embeddings: same vocabulary, bit-identical vectors.
+  const auto& va = f.result.embeddings.vocabulary();
+  const auto& vb = loaded->result.embeddings.vocabulary();
+  ASSERT_EQ(va.size(), vb.size());
+  for (int id = 0; id < va.size(); ++id) {
+    EXPECT_EQ(va.WordOf(id), vb.WordOf(id));
+    EXPECT_EQ(va.CountOf(id), vb.CountOf(id));
+    const text::Vec* x = f.result.embeddings.VectorOf(va.WordOf(id));
+    const text::Vec* y = loaded->result.embeddings.VectorOf(va.WordOf(id));
+    ASSERT_TRUE(x != nullptr && y != nullptr);
+    EXPECT_EQ(*x, *y);
+  }
+  // Config round trip (spot checks; the oracle is documented as dropped).
+  EXPECT_EQ(loaded->config.eta, f.config.eta);
+  EXPECT_EQ(loaded->config.word2vec.dim, f.config.word2vec.dim);
+  EXPECT_EQ(loaded->config.seed, f.config.seed);
+  EXPECT_EQ(loaded->config.incremental_refresh_interval,
+            f.config.incremental_refresh_interval);
+  // Stats survive too (the serve CLI reports them).
+  EXPECT_EQ(loaded->result.scn_stats.num_scrs, f.result.scn_stats.num_scrs);
+  EXPECT_EQ(loaded->result.gcn_stats.merges, f.result.gcn_stats.merges);
+
+  std::remove(path.c_str());
+}
+
+/// The acceptance property: save → load → AddPaper over a held-out stream
+/// is byte-identical to ingesting into the never-serialized result, across
+/// random corpora.
+TEST(SnapshotTest, PropertyReloadedIngestionMatchesInMemory) {
+  for (uint64_t seed : {3u, 17u, 90u}) {
+    SCOPED_TRACE("corpus seed " + std::to_string(seed));
+    Fitted f = FitOn(seed);
+    const std::string path =
+        TempPath("property" + std::to_string(seed) + ".snap");
+    ASSERT_TRUE(SaveSnapshot(path, f.history, f.result, f.config).ok());
+    auto loaded = LoadSnapshot(path, f.history);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    data::PaperDatabase db_mem = f.history;
+    data::PaperDatabase db_load = f.history;
+    const auto mem = IngestAll(&db_mem, &f.result, f.config, f.stream);
+    const auto rel =
+        IngestAll(&db_load, &loaded->result, loaded->config, f.stream);
+
+    ASSERT_EQ(mem.size(), rel.size());
+    for (size_t i = 0; i < mem.size(); ++i) {
+      EXPECT_EQ(mem[i].name, rel[i].name);
+      EXPECT_EQ(mem[i].vertex, rel[i].vertex);
+      EXPECT_EQ(mem[i].created_new, rel[i].created_new);
+      EXPECT_EQ(mem[i].best_score, rel[i].best_score);  // bitwise-equal double
+      EXPECT_EQ(mem[i].num_candidates, rel[i].num_candidates);
+    }
+    ExpectSameGraph(f.result.graph, loaded->result.graph);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotTest, ScnOnlyResultRoundTripsWithoutModel) {
+  auto db = iuad::testing::Fig2Database();
+  core::IuadConfig cfg = FastConfig();
+  auto result = core::IuadPipeline(cfg).RunScnOnly(db);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->model == nullptr);
+  const std::string path = TempPath("scn_only.snap");
+  ASSERT_TRUE(SaveSnapshot(path, db, *result, cfg).ok());
+  auto loaded = LoadSnapshot(path, db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->result.model == nullptr);
+  EXPECT_FALSE(loaded->result.embeddings.trained());
+  ExpectSameGraph(result->graph, loaded->result.graph);
+  std::remove(path.c_str());
+}
+
+class SnapshotRejectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = iuad::testing::Fig2Database();
+    cfg_ = FastConfig();
+    auto result = core::IuadPipeline(cfg_).Run(db_);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    path_ = TempPath("rejection.snap");
+    ASSERT_TRUE(SaveSnapshot(path_, db_, *result, cfg_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Rewrites the stored format version and re-stamps the header checksum
+  /// (so the version check, not the checksum, is what trips).
+  void PatchVersion(uint32_t version) {
+    std::memcpy(&bytes_[8], &version, sizeof(version));
+    const uint32_t check = static_cast<uint32_t>(Fnv1a(bytes_.data(), 36));
+    std::memcpy(&bytes_[36], &check, sizeof(check));
+    WriteFileBytes(path_, bytes_);
+  }
+
+  data::PaperDatabase db_;
+  core::IuadConfig cfg_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotRejectionTest, CorruptedHeaderIsRejected) {
+  std::string corrupt = bytes_;
+  corrupt[20] ^= 0x5a;  // inside the header, after the magic
+  WriteFileBytes(path_, corrupt);
+  auto r = LoadSnapshot(path_, db_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SnapshotRejectionTest, CorruptedPayloadIsRejected) {
+  std::string corrupt = bytes_;
+  corrupt[corrupt.size() / 2] ^= 0x5a;
+  WriteFileBytes(path_, corrupt);
+  auto r = LoadSnapshot(path_, db_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SnapshotRejectionTest, TruncatedFileIsRejected) {
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() - 17));
+  auto r = LoadSnapshot(path_, db_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SnapshotRejectionTest, ForeignFileIsRejected) {
+  WriteFileBytes(path_, "not a snapshot at all, sorry");
+  auto r = LoadSnapshot(path_, db_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotRejectionTest, VersionMismatchIsRejected) {
+  PatchVersion(kSnapshotFormatVersion + 7);
+  auto r = LoadSnapshot(path_, db_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotRejectionTest, WrongCorpusIsRejected) {
+  // Same shape, one extra paper: a different corpus fingerprint.
+  data::PaperDatabase other = db_;
+  other.AddPaper(iuad::testing::MakePaper({"x", "y"}, "unrelated work"));
+  auto r = LoadSnapshot(path_, other);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotRejectionTest, MissingFileIsIoError) {
+  auto r = LoadSnapshot(TempPath("no_such.snap"), db_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace iuad::io
