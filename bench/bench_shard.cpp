@@ -1,0 +1,249 @@
+/// Sharded-serving throughput bench (ROADMAP: multi-service sharding by
+/// name block). Fits the pipeline on a history corpus, holds out the most
+/// recent papers as the "newly published" stream (the Table VI protocol),
+/// then measures ingestion papers/second three ways over the SAME stream:
+///
+///   sequential  IncrementalDisambiguator::AddPaper, one caller — the
+///               paper's <50 ms/paper baseline shape;
+///   shard@1     shard::ShardRouter with one name-block shard (the
+///               degenerate router: all scoring inline on the sequencer);
+///   shard@N     ShardRouter with N shards (default: nproc) — per-byline
+///               scoring fans out to the blocks' owning shards and cache
+///               refreshes rebuild in parallel.
+///
+/// Producers partition the stream by index and pin each paper to its
+/// stream position with SubmitAt, so all three runs must produce identical
+/// assignments — verified here, not assumed; the process aborts on any
+/// divergence (the router's whole contract is that sharding is invisible
+/// in the output). With `--json out.json` the numbers land in
+/// BENCH_shard.json (scripts/bench_shard.sh; see the BENCH_*.json
+/// convention in ROADMAP). Note the paper-level parallelism ceiling: the
+/// global sequence applies papers one at a time, so the router's win is
+/// per-byline scoring fan-out + parallel refresh — multi-author papers
+/// over hot blocks gain the most, and single-core CI hovers near 1.0x.
+///
+/// Flags: --papers P (corpus size), --stream S (held-out papers),
+///        --shards N, --producers M, --json PATH.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "io/snapshot.h"
+#include "shard/shard_router.h"
+#include "util/json_writer.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+using namespace iuad;
+
+namespace {
+
+/// Compact, order-sensitive digest of one run's assignments, for the
+/// identical-output check.
+std::string DigestOf(const std::vector<core::IncrementalAssignment>& as) {
+  std::string d;
+  for (const auto& a : as) {
+    d += a.name;
+    d += ':';
+    d += std::to_string(a.vertex);
+    d += a.created_new ? "+n" : "";
+    d += ';';
+  }
+  return d;
+}
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::vector<std::string> digests;  // per stream paper, in stream order
+  double papers_per_s(size_t n) const {
+    return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+  }
+};
+
+/// DisambiguationResult is move-only (it owns the fitted model), so each
+/// run gets a pristine copy of the fitted state by reloading the snapshot —
+/// which also puts the sharded io path itself under the bench.
+bool ReloadFitted(const std::string& snapshot_path,
+                  const data::PaperDatabase& db, io::Snapshot* out) {
+  auto snap = io::LoadSnapshot(snapshot_path, db);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "snapshot reload failed: %s\n",
+                 snap.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(*snap);
+  return true;
+}
+
+/// Sequential baseline: plain AddPaper calls in stream order.
+bool RunSequential(const data::PaperDatabase& history,
+                   const std::string& snapshot_path,
+                   const std::vector<data::Paper>& stream, RunOutcome* out) {
+  data::PaperDatabase db = history;
+  io::Snapshot snap;
+  if (!ReloadFitted(snapshot_path, db, &snap)) return false;
+  core::IncrementalDisambiguator inc(&db, &snap.result, snap.config);
+  out->digests.reserve(stream.size());
+  Stopwatch sw;
+  for (const auto& paper : stream) {
+    auto r = inc.AddPaper(paper);
+    if (!r.ok()) {
+      std::fprintf(stderr, "sequential AddPaper failed: %s\n",
+                   r.status().ToString().c_str());
+      return false;
+    }
+    out->digests.push_back(DigestOf(*r));
+  }
+  out->seconds = sw.ElapsedSeconds();
+  return true;
+}
+
+/// Router run with `num_shards` shards and `producers` submitting threads.
+bool RunSharded(const data::PaperDatabase& history,
+                const std::string& snapshot_path,
+                const std::vector<data::Paper>& stream, int num_shards,
+                int producers, RunOutcome* out) {
+  data::PaperDatabase db = history;
+  io::Snapshot snap;
+  if (!ReloadFitted(snapshot_path, db, &snap)) return false;
+  snap.config.num_shards = num_shards;
+  std::vector<std::future<shard::ShardRouter::Assignments>> futures(
+      stream.size());
+  Stopwatch sw;
+  {
+    shard::ShardRouter router(&db, &snap.result, snap.config);
+    std::atomic<size_t> next{0};
+    auto producer = [&] {
+      for (size_t i = next.fetch_add(1); i < stream.size();
+           i = next.fetch_add(1)) {
+        futures[i] = router.SubmitAt(i, stream[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 1; t < producers; ++t) threads.emplace_back(producer);
+    producer();
+    for (auto& t : threads) t.join();
+    router.Drain();
+  }  // Stop() via destructor
+  out->seconds = sw.ElapsedSeconds();
+  out->digests.reserve(stream.size());
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (!r.ok()) {
+      std::fprintf(stderr, "sharded AddPaper failed: %s\n",
+                   r.status().ToString().c_str());
+      return false;
+    }
+    out->digests.push_back(DigestOf(*r));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int papers = 6000;
+  int stream_size = 400;
+  int num_shards = 0;  // 0 = hardware concurrency
+  int producers = 4;
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--papers") == 0) papers = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--stream") == 0) {
+      stream_size = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      num_shards = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--producers") == 0) {
+      producers = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  num_shards = util::ResolveNumThreads(num_shards);
+  producers = util::ResolveNumThreads(producers);
+
+  bench::PrintHeader("bench_shard",
+                     "name-block-sharded serving throughput (ShardRouter)");
+  auto corpus = bench::BenchCorpus(2022, papers);
+  auto [history, stream] = corpus.db.HoldOutLatest(stream_size);
+  std::printf(
+      "corpus: %d papers history, %zu-paper stream, %d shards, %d producers\n",
+      history.num_papers(), stream.size(), num_shards, producers);
+
+  core::IuadConfig cfg = bench::BenchIuadConfig();
+  auto fitted = core::IuadPipeline(cfg).Run(history);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+  const std::string snapshot_path = "bench_shard.snapshot.tmp";
+  {
+    // Save with the bench's shard count so reloads exercise the sharded
+    // (v2) section path end to end.
+    core::IuadConfig save_cfg = cfg;
+    save_cfg.num_shards = num_shards;
+    iuad::Status st =
+        io::SaveSnapshot(snapshot_path, history, *fitted, save_cfg);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  RunOutcome seq, shard1, shardN;
+  const bool ran =
+      RunSequential(history, snapshot_path, stream, &seq) &&
+      RunSharded(history, snapshot_path, stream, 1, producers, &shard1) &&
+      RunSharded(history, snapshot_path, stream, num_shards, producers,
+                 &shardN);
+  std::remove(snapshot_path.c_str());
+  if (!ran) return 1;
+
+  const bool identical = seq.digests == shard1.digests &&
+                         seq.digests == shardN.digests;
+  std::printf(
+      "papers/s: sequential %.1f | shard@1 %.1f | shard@%d %.1f\n",
+      seq.papers_per_s(stream.size()), shard1.papers_per_s(stream.size()),
+      num_shards, shardN.papers_per_s(stream.size()));
+  std::printf("assignments identical across all three runs: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+  if (!identical) return 1;  // never record a lying BENCH_* data point
+
+  if (!json_path.empty()) {
+    util::JsonWriter json;
+    json.Field("bench", "bench_shard")
+        .Field("papers_history", history.num_papers())
+        .Field("stream", static_cast<int>(stream.size()))
+        .Field("shards", num_shards)
+        .Field("producers", producers)
+        .Field("identical_assignments", identical);
+    json.BeginObject("papers_per_s")
+        .Field("sequential", seq.papers_per_s(stream.size()), 1)
+        .Field("router_1_shard", shard1.papers_per_s(stream.size()), 1)
+        .Field("router_n_shards", shardN.papers_per_s(stream.size()), 1)
+        .EndObject();
+    json.BeginObject("seconds")
+        .Field("sequential", seq.seconds)
+        .Field("router_1_shard", shard1.seconds)
+        .Field("router_n_shards", shardN.seconds)
+        .EndObject();
+    iuad::Status st = json.WriteFile(json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Sharded-serving throughput trajectory (ROADMAP: accumulate BENCH_*.json).
+# Runs bench_shard: fits the pipeline on a history corpus, saves/reloads a
+# sharded (v2) snapshot, then streams the held-out papers through
+# shard::ShardRouter — sequentially, with 1 shard, and with BENCH_SHARDS
+# shards — and writes BENCH_shard.json with papers/s for each. The bench
+# itself verifies all three runs produce identical assignments and fails
+# otherwise, so a recorded data point is also a determinism check. Note:
+# single-core CI hovers near 1.0x; rerun on multicore hardware for real
+# scaling numbers.
+#
+# Env knobs:
+#   BENCH_SHARDS     shard count (default: nproc)
+#   BENCH_PRODUCERS  producer thread count (default: 4)
+#   BENCH_PAPERS     corpus size (default: 6000)
+#   BENCH_STREAM     held-out stream size (default: 400)
+#   BENCH_OUT        output path (default: BENCH_shard.json in repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHARDS="${BENCH_SHARDS:-$(nproc)}"
+PRODUCERS="${BENCH_PRODUCERS:-4}"
+PAPERS="${BENCH_PAPERS:-6000}"
+STREAM="${BENCH_STREAM:-400}"
+OUT="${BENCH_OUT:-BENCH_shard.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build --target bench_bench_shard -j "$(nproc)" >/dev/null
+./build/bench_bench_shard --papers "$PAPERS" --stream "$STREAM" \
+  --shards "$SHARDS" --producers "$PRODUCERS" --json "$OUT"

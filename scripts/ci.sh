@@ -22,9 +22,25 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
   --stream "$SMOKE_DIR/stream.tsv" --producers 4
 echo "snapshot save/load smoke: OK"
 
-# Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json). Off by
-# default to keep CI time bounded; set IUAD_RUN_BENCH=1 to record them.
+# Sharded-serving smoke: the same snapshot serves through the 4-shard
+# ShardRouter, checkpoints the post-ingestion state on stop (snapshot v2 +
+# post-ingestion corpus), and that checkpoint must reload cleanly — the
+# fit-once / serve / checkpoint / resume loop through the CLI.
+./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" \
+  --stream "$SMOKE_DIR/stream.tsv" --shards 4 --producers 4 \
+  --save-snapshot-on-stop "$SMOKE_DIR/post.snap" \
+  --save-corpus "$SMOKE_DIR/post.tsv"
+test -s "$SMOKE_DIR/post.snap" && test -s "$SMOKE_DIR/post.tsv"
+./build/iuad_main serve "$SMOKE_DIR/post.tsv" \
+  --load-snapshot "$SMOKE_DIR/post.snap"
+echo "sharded serve + checkpoint-on-stop smoke: OK"
+
+# Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json,
+# BENCH_shard.json). Off by default to keep CI time bounded; set
+# IUAD_RUN_BENCH=1 to record them.
 if [[ "${IUAD_RUN_BENCH:-0}" == "1" ]]; then
   scripts/bench_stages.sh
   scripts/bench_ingest.sh
+  scripts/bench_shard.sh
 fi

@@ -12,14 +12,22 @@
 ///       Run the pipeline and score it against the TSV's ground-truth
 ///       column (pairwise micro metrics over ambiguous names).
 ///   iuad serve <papers.tsv> --load-snapshot in.snap [--stream new.tsv]
-///              [--producers N] [--queue C] [--window W] [--name "A. Name"]
+///              [--shards S] [--producers N] [--queue C] [--window W]
+///              [--name "A. Name"] [--save-snapshot-on-stop out.snap]
+///              [--save-corpus out.tsv]
 ///       Load a fitted snapshot next to the corpus it was saved against and
-///       bring up an IngestService (src/serve). With --stream, feed every
-///       paper of the stream TSV through the service from N concurrent
-///       producers (assignments are identical at any N); with --name, look
-///       the author up in the post-ingestion read view. This is the demo
-///       shape of the long-running system: fit once, reload in
-///       milliseconds, keep ingesting.
+///       bring up a serving front end: the single-applier IngestService
+///       (src/serve) by default, or — with --shards S > 1 — the
+///       name-block-sharded ShardRouter (src/shard). With --stream, feed
+///       every paper of the stream TSV through the service from N
+///       concurrent producers (assignments are identical at any N and any
+///       S); with --name, look the author up in the post-ingestion read
+///       view. --save-snapshot-on-stop persists the post-ingestion state
+///       (snapshot format v2) once the service drains — pair it with
+///       --save-corpus, which writes the post-ingestion corpus TSV the new
+///       snapshot fingerprints against, to make the state reloadable. This
+///       is the demo shape of the long-running system: fit once, reload in
+///       milliseconds, keep ingesting, checkpoint on the way down.
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
@@ -40,6 +48,7 @@
 #include "graph/graph_io.h"
 #include "io/snapshot.h"
 #include "serve/ingest_service.h"
+#include "shard/shard_router.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -66,16 +75,22 @@ void Usage() {
                " [--threads T] [--shards S]\n"
                "  iuad serve <papers.tsv> --load-snapshot in.snap"
                " [--stream new.tsv]\n"
-               "           [--producers N] [--queue C] [--window W]"
-               " [--name \"A. Name\"]\n"
+               "           [--shards S] [--producers N] [--queue C]"
+               " [--window W]\n"
+               "           [--name \"A. Name\"]"
+               " [--save-snapshot-on-stop out.snap]\n"
+               "           [--save-corpus out.tsv]\n"
                "(--threads 0 = all hardware threads; output is identical at"
                " any T.\n"
-               " --shards: word2vec training shards, 0 = auto by corpus"
-               " size — part of\n"
-               " the training schedule, so changing it changes embeddings;"
-               " changing\n"
-               " --threads never does. serve ingestion assignments are\n"
-               " identical at any --producers count.)\n");
+               " --shards on run/evaluate: word2vec training shards, 0 ="
+               " auto by corpus\n"
+               " size — part of the training schedule, so changing it"
+               " changes embeddings;\n"
+               " changing --threads never does. --shards on serve:"
+               " name-block serving\n"
+               " shards — ingestion assignments are identical at any shard"
+               " or\n"
+               " --producers count.)\n");
 }
 
 /// Tiny flag parser: --key value pairs after the positional arguments.
@@ -221,43 +236,42 @@ int CmdEvaluate(const std::string& in,
   return 0;
 }
 
-int CmdServe(const std::string& in,
-             const std::map<std::string, std::string>& flags) {
-  auto snap_it = flags.find("load-snapshot");
-  if (snap_it == flags.end()) {
-    return Fail("serve requires --load-snapshot <path>");
-  }
-  auto db = data::PaperDatabase::LoadTsv(in);
-  if (!db.ok()) return Fail(db.status().ToString());
-
-  iuad::Stopwatch load_sw;
-  auto snap = io::LoadSnapshot(snap_it->second, *db);
-  if (!snap.ok()) return Fail(snap.status().ToString());
-  core::IuadConfig cfg = std::move(snap->config);
-  if (auto it = flags.find("queue"); it != flags.end()) {
-    cfg.ingest_queue_capacity = std::atoi(it->second.c_str());
-  }
-  if (auto it = flags.find("window"); it != flags.end()) {
-    cfg.ingest_refresh_window = std::atoi(it->second.c_str());
-  }
-  if (iuad::Status st = cfg.Validate(); !st.ok()) return Fail(st.ToString());
+void PrintServiceStats(const serve::IngestStats& stats) {
   std::printf(
-      "loaded snapshot %s in %.0f ms: %d author vertices, %d edges, model %s\n",
-      snap_it->second.c_str(), load_sw.ElapsedSeconds() * 1e3,
-      snap->result.graph.num_alive(), snap->result.graph.num_edges(),
-      snap->result.model ? "fitted" : "absent (SCN-only)");
+      "service state: epoch %ld, %ld papers applied, %d alive vertices, "
+      "%d edges, queue %d/%d (%d reorder-held)\n",
+      static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
+      stats.num_alive_vertices, stats.num_edges, stats.queued_now,
+      stats.queue_capacity, stats.reorder_held);
+}
 
-  int producers = 1;
-  if (auto it = flags.find("producers"); it != flags.end()) {
-    producers = util::ResolveNumThreads(std::atoi(it->second.c_str()));
+void PrintServiceStats(const shard::RouterStats& stats) {
+  PrintServiceStats(stats.ingest);
+  for (const auto& s : stats.shards) {
+    std::printf(
+        "  shard %d: %ld blocks (weight %ld), %ld bylines scored, "
+        "%ld assignments, %ld new authors\n",
+        s.shard, static_cast<long>(s.owned_blocks),
+        static_cast<long>(s.placement_weight),
+        static_cast<long>(s.bylines_scored), static_cast<long>(s.assignments),
+        static_cast<long>(s.new_authors));
   }
+}
 
-  serve::IngestService service(&*db, &snap->result, cfg);
+/// The serve loop over either front end (IngestService or ShardRouter —
+/// identical submission/read surfaces): stream ingestion, stats, lookup,
+/// stop, and the optional shutdown checkpoint of the post-ingestion state.
+template <typename Service>
+int DriveService(Service& service, data::PaperDatabase* db,
+                 core::DisambiguationResult* result,
+                 const core::IuadConfig& cfg,
+                 const std::map<std::string, std::string>& flags,
+                 int producers) {
   if (auto it = flags.find("stream"); it != flags.end()) {
     auto stream_db = data::PaperDatabase::LoadTsv(it->second);
     if (!stream_db.ok()) return Fail(stream_db.status().ToString());
     const std::vector<data::Paper> stream = stream_db->papers();
-    std::vector<std::future<serve::IngestService::Assignments>> futures(
+    std::vector<std::future<typename Service::Assignments>> futures(
         stream.size());
     iuad::Stopwatch sw;
     // Producers race over a shared index; SubmitAt pins each paper to its
@@ -295,12 +309,7 @@ int CmdServe(const std::string& in,
         stream.empty() ? 0.0 : 1e3 * seconds / stream.size());
   }
 
-  const auto stats = service.Stats();
-  std::printf(
-      "service state: epoch %ld, %ld papers applied, %d alive vertices, "
-      "%d edges\n",
-      static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
-      stats.num_alive_vertices, stats.num_edges);
+  PrintServiceStats(service.Stats());
   if (auto it = flags.find("name"); it != flags.end()) {
     const auto records = service.AuthorsByName(it->second);
     std::printf("\"%s\": %zu author candidate(s)\n", it->second.c_str(),
@@ -314,8 +323,70 @@ int CmdServe(const std::string& in,
       std::printf(papers.size() > 8 ? " ...)\n" : ")\n");
     }
   }
-  service.Stop();
+  service.Stop();  // returns db/result ownership to this thread, drained
+
+  if (auto it = flags.find("save-corpus"); it != flags.end()) {
+    iuad::Status st = db->SaveTsv(it->second);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote post-ingestion corpus (%d papers) to %s\n",
+                db->num_papers(), it->second.c_str());
+  }
+  if (auto it = flags.find("save-snapshot-on-stop"); it != flags.end()) {
+    iuad::Status st = io::SaveSnapshot(it->second, *db, *result, cfg);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf(
+        "wrote post-ingestion snapshot to %s (reload next to the "
+        "post-ingestion corpus; see --save-corpus)\n",
+        it->second.c_str());
+  }
   return 0;
+}
+
+int CmdServe(const std::string& in,
+             const std::map<std::string, std::string>& flags) {
+  auto snap_it = flags.find("load-snapshot");
+  if (snap_it == flags.end()) {
+    return Fail("serve requires --load-snapshot <path>");
+  }
+  auto db = data::PaperDatabase::LoadTsv(in);
+  if (!db.ok()) return Fail(db.status().ToString());
+
+  iuad::Stopwatch load_sw;
+  auto snap = io::LoadSnapshot(snap_it->second, *db);
+  if (!snap.ok()) return Fail(snap.status().ToString());
+  core::IuadConfig cfg = std::move(snap->config);
+  if (auto it = flags.find("queue"); it != flags.end()) {
+    cfg.ingest_queue_capacity = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("window"); it != flags.end()) {
+    cfg.ingest_refresh_window = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("shards"); it != flags.end()) {
+    cfg.num_shards = std::atoi(it->second.c_str());
+  }
+  if (iuad::Status st = cfg.Validate(); !st.ok()) return Fail(st.ToString());
+  std::printf(
+      "loaded snapshot %s in %.0f ms: %d author vertices, %d edges, model %s\n",
+      snap_it->second.c_str(), load_sw.ElapsedSeconds() * 1e3,
+      snap->result.graph.num_alive(), snap->result.graph.num_edges(),
+      snap->result.model ? "fitted" : "absent (SCN-only)");
+
+  int producers = 1;
+  if (auto it = flags.find("producers"); it != flags.end()) {
+    producers = util::ResolveNumThreads(std::atoi(it->second.c_str()));
+  }
+
+  if (cfg.num_shards > 1) {
+    std::printf("sharded serving: %d name-block shards (%s placement)\n",
+                cfg.num_shards,
+                cfg.shard_placement == core::ShardPlacement::kHash
+                    ? "hash"
+                    : "size-aware");
+    shard::ShardRouter service(&*db, &snap->result, cfg);
+    return DriveService(service, &*db, &snap->result, cfg, flags, producers);
+  }
+  serve::IngestService service(&*db, &snap->result, cfg);
+  return DriveService(service, &*db, &snap->result, cfg, flags, producers);
 }
 
 }  // namespace

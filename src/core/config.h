@@ -22,6 +22,21 @@ namespace iuad::core {
 /// Number of similarity functions γ1..γ6 (Sec. V-B).
 constexpr int kNumSimilarities = 6;
 
+/// How name blocks are mapped onto serving shards (src/shard). Placement
+/// never changes assignments — scoring is deterministic wherever it runs —
+/// only load balance.
+enum class ShardPlacement {
+  /// FNV hash of the block name modulo the shard count. Stateless, so any
+  /// process that knows the shard count can route; skewed under the
+  /// scale-free block-size distributions real corpora exhibit.
+  kHash = 0,
+  /// Greedy longest-processing-time packing of the fitted result's blocks
+  /// by scoring weight (candidate vertices + attributed papers), heaviest
+  /// block first onto the lightest shard. Blocks born after the fit (names
+  /// first seen during ingestion) fall back to the hash rule.
+  kSizeAware = 1,
+};
+
 struct IuadConfig {
   // --- Stage 1: SCN construction (Sec. IV) -----------------------------
   /// η: minimum co-occurrence count of a stable collaborative relation.
@@ -116,6 +131,16 @@ struct IuadConfig {
   /// an empty snapshot_path a configuration error instead of a late IoError.
   bool persist_snapshot = false;
 
+  // --- Sharded serving (src/shard) ---------------------------------------
+  /// Shard count of the shard::ShardRouter serving front end; 1 keeps the
+  /// single-applier serve::IngestService shape. Also the shard-section
+  /// count of snapshot format v2 payloads (src/io), so a snapshot saved by
+  /// an N-shard service loads its sections in parallel. Assignments are
+  /// byte-identical at every value. CLI flag: --shards on `serve`.
+  int num_shards = 1;
+  /// Block→shard placement policy (see ShardPlacement).
+  ShardPlacement shard_placement = ShardPlacement::kSizeAware;
+
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
 
@@ -159,6 +184,11 @@ struct IuadConfig {
     }
     if (ingest_refresh_window < 1) {
       return bad("ingest_refresh_window must be >= 1");
+    }
+    if (num_shards < 1) return bad("num_shards must be >= 1");
+    if (shard_placement != ShardPlacement::kHash &&
+        shard_placement != ShardPlacement::kSizeAware) {
+      return bad("shard_placement must be a known policy");
     }
     if (persist_snapshot && snapshot_path.empty()) {
       return bad("snapshot_path must be non-empty when persistence is "

@@ -4,6 +4,68 @@
 
 namespace iuad::core {
 
+OccurrenceDecision ScoreOccurrence(const SimilarityComputer& sim,
+                                   const em::MixtureModel& model,
+                                   const graph::CollabGraph& graph,
+                                   const data::Paper& paper,
+                                   const std::string& name, double delta) {
+  OccurrenceDecision d;
+  // Two calibration differences vs the batch score (both documented in
+  // DESIGN.md §5): γ2 is structurally 0 for a not-yet-inserted occurrence
+  // and is marginalized out, and the candidate-pair class prior does not
+  // describe the new-paper base rate, so the pure likelihood ratio is used.
+  const std::vector<bool> mask{true, false, true, true, true, true};
+  for (graph::VertexId v : graph.VerticesWithName(name)) {
+    ++d.num_candidates;
+    const double score = model.LikelihoodRatioMasked(
+        sim.ComputeVsNewPaper(v, paper, name), mask);
+    if (score > d.best_score) {
+      d.best_score = score;
+      d.target = v;
+    }
+  }
+  if (d.best_score < delta) d.target = -1;
+  return d;
+}
+
+iuad::Result<std::vector<IncrementalAssignment>> ApplyDecisions(
+    const data::Paper& paper, const std::vector<OccurrenceDecision>& decisions,
+    data::PaperDatabase* db, DisambiguationResult* result,
+    std::vector<graph::VertexId>* touched) {
+  graph::CollabGraph& graph = result->graph;
+  const int pid = db->AddPaper(paper);
+  std::vector<IncrementalAssignment> out(paper.author_names.size());
+  std::vector<graph::VertexId> byline_vertices(paper.author_names.size());
+  for (size_t i = 0; i < paper.author_names.size(); ++i) {
+    const std::string& name = paper.author_names[i];
+    IncrementalAssignment& a = out[i];
+    a.name = name;
+    a.best_score = decisions[i].best_score;
+    a.num_candidates = decisions[i].num_candidates;
+    if (decisions[i].target >= 0) {
+      a.vertex = decisions[i].target;
+      graph.AddVertexPapers(a.vertex, {pid});
+      touched->push_back(a.vertex);
+    } else {
+      a.vertex = graph.AddVertex(name, {pid});
+      a.created_new = true;
+    }
+    result->occurrences.AssignIfAbsent(pid, name, a.vertex);
+    byline_vertices[i] = a.vertex;
+  }
+  // Recover this paper's collaborative relations immediately.
+  for (size_t i = 0; i < byline_vertices.size(); ++i) {
+    for (size_t j = i + 1; j < byline_vertices.size(); ++j) {
+      if (byline_vertices[i] == byline_vertices[j]) continue;
+      IUAD_RETURN_NOT_OK(
+          graph.AddEdgePapers(byline_vertices[i], byline_vertices[j], {pid}));
+      touched->push_back(byline_vertices[i]);
+      touched->push_back(byline_vertices[j]);
+    }
+  }
+  return out;
+}
+
 IncrementalDisambiguator::IncrementalDisambiguator(
     data::PaperDatabase* db, DisambiguationResult* result, IuadConfig config)
     : db_(db), result_(result), config_(std::move(config)) {
@@ -26,69 +88,21 @@ IncrementalDisambiguator::AddPaper(const data::Paper& paper) {
   if (paper.author_names.empty()) {
     return iuad::Status::InvalidArgument("paper with empty byline");
   }
-  graph::CollabGraph& graph = result_->graph;
-  const em::MixtureModel& model = *result_->model;
 
   // Phase 1: score every occurrence against the existing same-name vertices
   // (decisions are taken on the pre-ingestion snapshot; Sec. V-E conditions
   // (1) arg-max and (2) threshold δ).
-  struct Decision {
-    graph::VertexId target = -1;  // -1: create a new vertex
-    double best_score = -std::numeric_limits<double>::infinity();
-    int num_candidates = 0;
-  };
-  std::vector<Decision> decisions(paper.author_names.size());
-  // Two calibration differences vs the batch score (both documented in
-  // DESIGN.md §5): γ2 is structurally 0 for a not-yet-inserted occurrence
-  // and is marginalized out, and the candidate-pair class prior does not
-  // describe the new-paper base rate, so the pure likelihood ratio is used.
-  const std::vector<bool> mask{true, false, true, true, true, true};
+  std::vector<OccurrenceDecision> decisions(paper.author_names.size());
   for (size_t i = 0; i < paper.author_names.size(); ++i) {
-    const std::string& name = paper.author_names[i];
-    Decision& d = decisions[i];
-    for (graph::VertexId v : graph.VerticesWithName(name)) {
-      ++d.num_candidates;
-      const double score = model.LikelihoodRatioMasked(
-          sim_->ComputeVsNewPaper(v, paper, name), mask);
-      if (score > d.best_score) {
-        d.best_score = score;
-        d.target = v;
-      }
-    }
-    if (d.best_score < config_.delta) d.target = -1;
+    decisions[i] = ScoreOccurrence(*sim_, *result_->model, result_->graph,
+                                   paper, paper.author_names[i], config_.delta);
   }
 
-  // Phase 2: mutate database and graph.
-  const int pid = db_->AddPaper(paper);
-  std::vector<IncrementalAssignment> out(paper.author_names.size());
-  std::vector<graph::VertexId> byline_vertices(paper.author_names.size());
-  for (size_t i = 0; i < paper.author_names.size(); ++i) {
-    const std::string& name = paper.author_names[i];
-    IncrementalAssignment& a = out[i];
-    a.name = name;
-    a.best_score = decisions[i].best_score;
-    a.num_candidates = decisions[i].num_candidates;
-    if (decisions[i].target >= 0) {
-      a.vertex = decisions[i].target;
-      graph.AddVertexPapers(a.vertex, {pid});
-      sim_->InvalidateProfile(a.vertex);
-    } else {
-      a.vertex = graph.AddVertex(name, {pid});
-      a.created_new = true;
-    }
-    result_->occurrences.AssignIfAbsent(pid, name, a.vertex);
-    byline_vertices[i] = a.vertex;
-  }
-  // Recover this paper's collaborative relations immediately.
-  for (size_t i = 0; i < byline_vertices.size(); ++i) {
-    for (size_t j = i + 1; j < byline_vertices.size(); ++j) {
-      if (byline_vertices[i] == byline_vertices[j]) continue;
-      IUAD_RETURN_NOT_OK(
-          graph.AddEdgePapers(byline_vertices[i], byline_vertices[j], {pid}));
-      sim_->InvalidateProfile(byline_vertices[i]);
-      sim_->InvalidateProfile(byline_vertices[j]);
-    }
-  }
+  // Phase 2: mutate database and graph; drop stale profiles either way.
+  std::vector<graph::VertexId> touched;
+  auto out = ApplyDecisions(paper, decisions, db_, result_, &touched);
+  for (graph::VertexId v : touched) sim_->InvalidateProfile(v);
+  IUAD_RETURN_NOT_OK(out.status());
 
   ++papers_ingested_;
   if (++since_refresh_ >= config_.incremental_refresh_interval) Refresh();

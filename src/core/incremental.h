@@ -9,6 +9,7 @@
 /// new author is born. No retraining happens — this is the paper's headline
 /// efficiency claim (< 50 ms/paper in Table VI).
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,39 @@ struct IncrementalAssignment {
   double best_score = 0.0;      ///< Max log-odds among candidates (Eq. 11).
   int num_candidates = 0;
 };
+
+/// Phase-1 verdict for one byline occurrence: the arg-max candidate after
+/// the δ threshold (Sec. V-E conditions (1) and (2)), taken on the
+/// pre-ingestion snapshot.
+struct OccurrenceDecision {
+  graph::VertexId target = -1;  ///< -1: found no vertex clearing δ.
+  double best_score = -std::numeric_limits<double>::infinity();
+  int num_candidates = 0;
+};
+
+/// Scores the occurrence of `name` in the not-yet-ingested `paper` against
+/// every live same-name vertex. Pure read of graph/model/db (cache fills in
+/// `sim` aside), so decisions for distinct bylines may be computed
+/// concurrently on distinct SimilarityComputers — the fan-out the shard
+/// router (src/shard) exploits. γ2 is masked out and the class prior
+/// dropped exactly as documented in DESIGN.md §5.
+OccurrenceDecision ScoreOccurrence(const SimilarityComputer& sim,
+                                   const em::MixtureModel& model,
+                                   const graph::CollabGraph& graph,
+                                   const data::Paper& paper,
+                                   const std::string& name, double delta);
+
+/// Phase 2: commits one paper's decided bylines — appends the paper to the
+/// database, assigns/creates vertices, records occurrences, and recovers
+/// the paper's collaborative relations — in exactly the order the
+/// sequential AddPaper performs them. Every vertex whose profile went stale
+/// (gained papers or edges) is appended to `touched`, including the ones
+/// mutated before a mid-commit error; the caller owns invalidating its
+/// SimilarityComputer(s) for them.
+iuad::Result<std::vector<IncrementalAssignment>> ApplyDecisions(
+    const data::Paper& paper, const std::vector<OccurrenceDecision>& decisions,
+    data::PaperDatabase* db, DisambiguationResult* result,
+    std::vector<graph::VertexId>* touched);
 
 /// Streams new papers into an existing disambiguation result.
 ///

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "util/stats.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace iuad::em {
 
@@ -97,6 +99,16 @@ iuad::Status MixtureModel::Fit(const std::vector<std::vector<double>>& gammas,
   std::vector<double> resp = init_resp;  // l_j = P(r_j in M | ...)
   std::vector<double> col(n), w_matched(n), w_unmatched(n);
 
+  // E-step fan-out. The pool outlives the iteration loop so workers spawn
+  // once per Fit, not once per iteration; tiny inputs stay serial — the
+  // dispatch overhead would dwarf the LogPdf work.
+  const int threads = util::ResolveNumThreads(config_.num_threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1 && n >= 256) {
+    pool = std::make_unique<util::ThreadPool>(threads);
+  }
+  std::vector<double> ll_term(n);
+
   double prev_ll = -1e300;
   iterations_run_ = 0;
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
@@ -118,16 +130,20 @@ iuad::Status MixtureModel::Fit(const std::vector<std::vector<double>>& gammas,
     }
 
     // ---- E-step: responsibilities + observed-data log-likelihood. -------
-    double ll = 0.0;
-    for (size_t j = 0; j < n; ++j) {
+    // Parallel over samples; each j writes only its own slots, and the
+    // log-likelihood is reduced serially in sample order below, so the
+    // result is byte-identical at any thread count (pinned in em_test).
+    util::ForIndices(pool.get(), n, [&](size_t j) {
       const double log_m = LogJoint(gammas[j], true);
       const double log_u = LogJoint(gammas[j], false);
       const double mx = std::max(log_m, log_u);
       const double pm = std::exp(log_m - mx);
       const double pu = std::exp(log_u - mx);
       resp[j] = pm / (pm + pu);
-      ll += mx + std::log(pm + pu);
-    }
+      ll_term[j] = mx + std::log(pm + pu);
+    });
+    double ll = 0.0;
+    for (size_t j = 0; j < n; ++j) ll += ll_term[j];
     final_log_likelihood_ = ll;
     if (std::abs(ll - prev_ll) <
         config_.tolerance * static_cast<double>(n)) {

@@ -10,11 +10,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/occurrence_index.h"
 #include "em/distributions.h"
 #include "em/mixture_model.h"
 #include "graph/collab_graph.h"
+#include "shard/placement.h"
 #include "text/vocabulary.h"
 #include "text/word2vec.h"
+#include "util/thread_pool.h"
 
 namespace iuad::io {
 
@@ -22,6 +25,12 @@ namespace {
 
 constexpr char kMagic[8] = {'I', 'U', 'A', 'D', 'S', 'N', 'A', 'P'};
 constexpr size_t kHeaderSize = 40;  // magic + version + fp + size + 2 checksums
+
+/// v2 section kinds (the table's `kind` field).
+constexpr uint32_t kSectionCommon = 0;
+constexpr uint32_t kSectionShard = 1;
+/// One v2 section-table entry: kind u32 + size u64 + checksum u64.
+constexpr size_t kSectionEntrySize = 20;
 
 uint64_t Fnv1a(const void* data, size_t n, uint64_t h = 1469598103934665603ULL) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -164,7 +173,7 @@ class Reader {
 
 // ---- Section: config ------------------------------------------------------
 
-void WriteConfig(const core::IuadConfig& c, Writer* w) {
+void WriteConfig(const core::IuadConfig& c, uint32_t version, Writer* w) {
   w->I64(c.eta);
   w->Bool(c.triangle_gated_insertion);
   w->I32(c.wl_iterations);
@@ -198,12 +207,17 @@ void WriteConfig(const core::IuadConfig& c, Writer* w) {
   w->U64(c.seed);
   w->I32(c.ingest_queue_capacity);
   w->I32(c.ingest_refresh_window);
+  if (version >= 2) {
+    w->I32(c.num_shards);
+    w->U8(static_cast<uint8_t>(c.shard_placement));
+    w->I32(c.em.num_threads);
+  }
   // snapshot_path / persist_snapshot are runtime knobs of the *saving*
   // process, not properties of the fitted state; pair_label_oracle is a
   // std::function and cannot round-trip. None are serialized.
 }
 
-core::IuadConfig ReadConfig(Reader* r) {
+core::IuadConfig ReadConfig(uint32_t version, Reader* r) {
   core::IuadConfig c;
   c.eta = r->I64();
   c.triangle_gated_insertion = r->Bool();
@@ -241,6 +255,12 @@ core::IuadConfig ReadConfig(Reader* r) {
   c.seed = r->U64();
   c.ingest_queue_capacity = r->I32();
   c.ingest_refresh_window = r->I32();
+  if (version >= 2) {
+    c.num_shards = r->I32();
+    c.shard_placement = static_cast<core::ShardPlacement>(r->U8());
+    c.em.num_threads = r->I32();
+  }
+  // Fields unknown to version (v1 files): IuadConfig defaults stand.
   return c;
 }
 
@@ -291,7 +311,7 @@ iuad::Result<text::Word2Vec> ReadEmbeddings(const text::Word2VecConfig& cfg,
                                  final_lr, trained_tokens);
 }
 
-// ---- Section: graph -------------------------------------------------------
+// ---- Section: graph (v1 monolithic form) ----------------------------------
 
 void WriteGraph(const graph::CollabGraph& g, Writer* w) {
   w->U64(static_cast<uint64_t>(g.num_vertices()));
@@ -333,7 +353,7 @@ iuad::Result<graph::CollabGraph> ReadGraph(Reader* r) {
   return graph::CollabGraph::Restore(std::move(vertices), edges);
 }
 
-// ---- Section: occurrences -------------------------------------------------
+// ---- Section: occurrences (v1 monolithic form) ----------------------------
 
 void WriteOccurrences(const core::OccurrenceIndex& idx, Writer* w) {
   const auto entries = idx.Entries();
@@ -493,30 +513,131 @@ void ReadStats(Reader* r, core::DisambiguationResult* res) {
   res->gcn_seconds = r->F64();
 }
 
-}  // namespace
+// ---- v2 section assembly --------------------------------------------------
 
-iuad::Status SaveSnapshot(const std::string& path,
-                          const data::PaperDatabase& db,
-                          const core::DisambiguationResult& result,
-                          const core::IuadConfig& config) {
-  Writer payload;
-  WriteConfig(config, &payload);
-  WriteEmbeddings(result.embeddings, &payload);
-  WriteGraph(result.graph, &payload);
-  WriteOccurrences(result.occurrences, &payload);
-  WriteModel(result.model.get(), &payload);
-  WriteStats(result, &payload);
-  const std::string& body = payload.buffer();
+/// Common section: everything global — config, embeddings, fitted model,
+/// stats, and the total vertex count the shard-slice merge pre-sizes with.
+std::string BuildCommonSection(const core::DisambiguationResult& result,
+                               const core::IuadConfig& config) {
+  Writer w;
+  WriteConfig(config, kSnapshotFormatVersion, &w);
+  w.U64(static_cast<uint64_t>(result.graph.num_vertices()));
+  WriteEmbeddings(result.embeddings, &w);
+  WriteModel(result.model.get(), &w);
+  WriteStats(result, &w);
+  return w.buffer();
+}
 
-  Writer header;
-  header.Bytes(kMagic, sizeof(kMagic));
-  header.U32(kSnapshotFormatVersion);
-  header.U64(db.Fingerprint());
-  header.U64(body.size());
-  header.U64(Fnv1a(body.data(), body.size()));
-  header.U32(static_cast<uint32_t>(
-      Fnv1a(header.buffer().data(), header.buffer().size())));
+/// One shard's slice of the serialized state, bucketed in a single pass
+/// over vertices/edges/occurrences (placement lookups are paid once per
+/// element, not once per element per shard).
+struct ShardBucket {
+  std::vector<graph::VertexId> vertices;  ///< Explicit ids; dead included.
+  std::vector<const graph::EdgeRecord*> edges;  ///< Owned by u's block.
+  std::vector<const core::OccurrenceIndex::Entry*> occurrences;
+};
 
+std::vector<ShardBucket> BucketByShard(
+    const core::DisambiguationResult& result,
+    const shard::BlockPlacement& placement,
+    const std::vector<graph::EdgeRecord>& edges,
+    const std::vector<core::OccurrenceIndex::Entry>& occurrences) {
+  const graph::CollabGraph& g = result.graph;
+  std::vector<ShardBucket> buckets(
+      static_cast<size_t>(placement.num_shards()));
+  // Vertex owners double as the edge-owner lookup (owner of u), saving the
+  // per-edge name hash.
+  std::vector<int> owner(static_cast<size_t>(g.num_vertices()));
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    owner[static_cast<size_t>(v)] = placement.ShardOf(g.vertex(v).name);
+    buckets[static_cast<size_t>(owner[static_cast<size_t>(v)])]
+        .vertices.push_back(v);
+  }
+  for (const auto& e : edges) {
+    buckets[static_cast<size_t>(owner[static_cast<size_t>(e.u)])]
+        .edges.push_back(&e);
+  }
+  for (const auto& e : occurrences) {
+    buckets[static_cast<size_t>(placement.ShardOf(e.name))]
+        .occurrences.push_back(&e);
+  }
+  return buckets;
+}
+
+std::string BuildShardSection(const core::DisambiguationResult& result,
+                              int s, const ShardBucket& bucket) {
+  const graph::CollabGraph& g = result.graph;
+  Writer w;
+  w.U32(static_cast<uint32_t>(s));
+  w.U64(bucket.vertices.size());
+  for (graph::VertexId v : bucket.vertices) {
+    const graph::Vertex& vx = g.vertex(v);
+    w.U32(static_cast<uint32_t>(v));
+    w.Str(vx.name);
+    w.Bool(vx.alive);
+    w.IntVec(vx.papers);
+  }
+  w.U64(bucket.edges.size());
+  for (const graph::EdgeRecord* e : bucket.edges) {
+    w.I32(e->u);
+    w.I32(e->v);
+    w.IntVec(e->papers);
+  }
+  w.U64(bucket.occurrences.size());
+  for (const core::OccurrenceIndex::Entry* e : bucket.occurrences) {
+    w.I32(e->paper_id);
+    w.Str(e->name);
+    w.I32(e->vertex);
+  }
+  return w.buffer();
+}
+
+/// Parsed-but-unmerged content of one shard section.
+struct ShardSlice {
+  std::vector<std::pair<uint32_t, graph::Vertex>> vertices;
+  std::vector<graph::EdgeRecord> edges;
+  std::vector<core::OccurrenceIndex::Entry> occurrences;
+};
+
+iuad::Result<ShardSlice> ParseShardSection(const char* data, size_t size) {
+  Reader r(data, size);
+  ShardSlice slice;
+  (void)r.U32();  // shard index: self-description only; order is the table's
+  const uint64_t nv = r.U64();
+  for (uint64_t i = 0; i < nv && r.ok(); ++i) {
+    const uint32_t id = r.U32();
+    graph::Vertex vx;
+    vx.name = r.Str();
+    vx.alive = r.Bool();
+    vx.papers = r.IntVec();
+    slice.vertices.emplace_back(id, std::move(vx));
+  }
+  const uint64_t ne = r.U64();
+  for (uint64_t i = 0; i < ne && r.ok(); ++i) {
+    graph::EdgeRecord e;
+    e.u = r.I32();
+    e.v = r.I32();
+    e.papers = r.IntVec();
+    slice.edges.push_back(std::move(e));
+  }
+  const uint64_t no = r.U64();
+  for (uint64_t i = 0; i < no && r.ok(); ++i) {
+    core::OccurrenceIndex::Entry e;
+    e.paper_id = r.I32();
+    e.name = r.Str();
+    e.vertex = r.I32();
+    slice.occurrences.push_back(std::move(e));
+  }
+  IUAD_RETURN_NOT_OK(r.status());
+  if (!r.exhausted()) {
+    return iuad::Status::IoError("trailing bytes in shard section");
+  }
+  return slice;
+}
+
+iuad::Status WriteFileAtomically(const std::string& path,
+                                 const std::string& head,
+                                 const std::string& body) {
   // Write-then-rename so a crash or full disk mid-save can never destroy an
   // existing good snapshot at `path`.
   const std::string tmp = path + ".tmp";
@@ -524,7 +645,6 @@ iuad::Status SaveSnapshot(const std::string& path,
   if (f == nullptr) {
     return iuad::Status::IoError("cannot open " + tmp + " for writing");
   }
-  const std::string& head = header.buffer();
   const bool written =
       std::fwrite(head.data(), 1, head.size(), f) == head.size() &&
       std::fwrite(body.data(), 1, body.size(), f) == body.size();
@@ -538,6 +658,274 @@ iuad::Status SaveSnapshot(const std::string& path,
     return iuad::Status::IoError("cannot rename " + tmp + " to " + path);
   }
   return iuad::Status::OK();
+}
+
+std::string BuildHeader(uint32_t version, uint64_t fingerprint,
+                        const std::string& payload, uint64_t check_field) {
+  Writer header;
+  header.Bytes(kMagic, sizeof(kMagic));
+  header.U32(version);
+  header.U64(fingerprint);
+  header.U64(payload.size());
+  header.U64(check_field);
+  header.U32(static_cast<uint32_t>(
+      Fnv1a(header.buffer().data(), header.buffer().size())));
+  return header.buffer();
+}
+
+// ---- v2 load --------------------------------------------------------------
+
+iuad::Result<Snapshot> LoadV2(const std::string& path, const char* payload,
+                              size_t payload_size, uint64_t table_checksum) {
+  // Section table.
+  if (payload_size < sizeof(uint32_t)) {
+    return iuad::Status::IoError(path + ": snapshot payload truncated");
+  }
+  uint32_t num_sections = 0;
+  std::memcpy(&num_sections, payload, sizeof(num_sections));
+  const uint64_t table_size =
+      sizeof(uint32_t) +
+      static_cast<uint64_t>(num_sections) * kSectionEntrySize;
+  if (table_size > payload_size) {
+    return iuad::Status::IoError(path + ": snapshot section table truncated");
+  }
+  if (Fnv1a(payload, table_size) != table_checksum) {
+    return iuad::Status::IoError(path +
+                                 ": snapshot section table checksum mismatch");
+  }
+  struct Section {
+    uint32_t kind = 0;
+    uint64_t size = 0;
+    uint64_t checksum = 0;
+    const char* data = nullptr;
+  };
+  std::vector<Section> sections(num_sections);
+  {
+    Reader table(payload + sizeof(uint32_t), table_size - sizeof(uint32_t));
+    for (auto& s : sections) {
+      s.kind = table.U32();
+      s.size = table.U64();
+      s.checksum = table.U64();
+    }
+  }
+  uint64_t at = table_size;
+  for (auto& s : sections) {
+    if (s.size > payload_size - at) {
+      return iuad::Status::IoError(path + ": snapshot sections truncated");
+    }
+    s.data = payload + at;
+    at += s.size;
+  }
+  if (at != payload_size) {
+    return iuad::Status::IoError(path + ": trailing bytes after snapshot");
+  }
+  if (sections.empty() || sections[0].kind != kSectionCommon) {
+    return iuad::Status::IoError(path +
+                                 ": snapshot missing its common section");
+  }
+  for (size_t i = 1; i < sections.size(); ++i) {
+    if (sections[i].kind != kSectionShard) {
+      return iuad::Status::IoError(path + ": snapshot section " +
+                                   std::to_string(i) + " has unknown kind");
+    }
+  }
+
+  // Verify every section independently, in parallel: a bad shard section is
+  // pinpointed by index and never taints the verdict on its neighbors.
+  const int threads = std::min<int>(static_cast<int>(sections.size()),
+                                    util::ResolveNumThreads(0));
+  util::ThreadPool pool(threads);
+  std::vector<uint8_t> section_ok(sections.size(), 0);
+  pool.ParallelFor(sections.size(), [&](size_t i) {
+    section_ok[i] =
+        Fnv1a(sections[i].data, sections[i].size) == sections[i].checksum;
+  });
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (!section_ok[i]) {
+      return iuad::Status::IoError(
+          path + ": snapshot section " + std::to_string(i) +
+          " checksum mismatch (" +
+          (sections[i].kind == kSectionCommon ? "common" : "shard slice") +
+          "); remaining sections verified clean");
+    }
+  }
+
+  // Common section first: the shard slices need nothing from it to parse,
+  // but the result shell (config, embeddings, model, stats) lives here.
+  Snapshot snap;
+  uint64_t num_vertices = 0;
+  {
+    Reader r(sections[0].data, sections[0].size);
+    snap.config = ReadConfig(kSnapshotFormatVersion, &r);
+    IUAD_RETURN_NOT_OK(r.status());
+    num_vertices = r.U64();
+    IUAD_ASSIGN_OR_RETURN(snap.result.embeddings,
+                          ReadEmbeddings(snap.config.word2vec, &r));
+    IUAD_ASSIGN_OR_RETURN(snap.result.model, ReadModel(snap.config, &r));
+    ReadStats(&r, &snap.result);
+    IUAD_RETURN_NOT_OK(r.status());
+    if (!r.exhausted()) {
+      return iuad::Status::IoError(path + ": trailing bytes in common section");
+    }
+  }
+
+  // Shard slices in parallel; each parses into its own slot.
+  const size_t num_slices = sections.size() - 1;
+  std::vector<iuad::Result<ShardSlice>> slices;
+  slices.reserve(num_slices);
+  for (size_t i = 0; i < num_slices; ++i) {
+    slices.push_back(iuad::Status::IoError("shard section not parsed"));
+  }
+  pool.ParallelFor(num_slices, [&](size_t i) {
+    slices[i] = ParseShardSection(sections[i + 1].data, sections[i + 1].size);
+  });
+  for (size_t i = 0; i < num_slices; ++i) {
+    if (!slices[i].ok()) {
+      return iuad::Status::IoError(path + ": snapshot section " +
+                                   std::to_string(i + 1) + ": " +
+                                   slices[i].status().message());
+    }
+  }
+
+  // Deterministic merge: vertices land by explicit id, edges and
+  // occurrences re-sort into the canonical v1 orders.
+  if (num_vertices > (1u << 30)) {
+    return iuad::Status::IoError(path + ": implausible snapshot vertex count");
+  }
+  std::vector<graph::Vertex> vertices(num_vertices);
+  std::vector<uint8_t> seen(num_vertices, 0);
+  std::vector<graph::EdgeRecord> edges;
+  std::vector<core::OccurrenceIndex::Entry> occurrences;
+  for (auto& slice : slices) {
+    for (auto& [id, vx] : slice->vertices) {
+      if (id >= num_vertices || seen[id]) {
+        return iuad::Status::IoError(
+            path + ": snapshot shard sections disagree on vertex ids");
+      }
+      seen[id] = 1;
+      vertices[id] = std::move(vx);
+    }
+    std::move(slice->edges.begin(), slice->edges.end(),
+              std::back_inserter(edges));
+    std::move(slice->occurrences.begin(), slice->occurrences.end(),
+              std::back_inserter(occurrences));
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    if (!seen[v]) {
+      return iuad::Status::IoError(path + ": snapshot is missing vertex " +
+                                   std::to_string(v));
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::EdgeRecord& a, const graph::EdgeRecord& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  IUAD_ASSIGN_OR_RETURN(snap.result.graph,
+                        graph::CollabGraph::Restore(std::move(vertices),
+                                                    edges));
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const core::OccurrenceIndex::Entry& a,
+               const core::OccurrenceIndex::Entry& b) {
+              return a.paper_id != b.paper_id ? a.paper_id < b.paper_id
+                                              : a.name < b.name;
+            });
+  for (const auto& e : occurrences) {
+    snap.result.occurrences.AssignIfAbsent(e.paper_id, e.name, e.vertex);
+  }
+  return snap;
+}
+
+// ---- v1 load (legacy monolithic payload) ----------------------------------
+
+iuad::Result<Snapshot> LoadV1(const std::string& path, const char* payload,
+                              size_t payload_size) {
+  Reader r(payload, payload_size);
+  Snapshot snap;
+  snap.config = ReadConfig(kSnapshotFormatV1, &r);
+  IUAD_RETURN_NOT_OK(r.status());
+  IUAD_ASSIGN_OR_RETURN(snap.result.embeddings,
+                        ReadEmbeddings(snap.config.word2vec, &r));
+  IUAD_ASSIGN_OR_RETURN(snap.result.graph, ReadGraph(&r));
+  IUAD_ASSIGN_OR_RETURN(snap.result.occurrences, ReadOccurrences(&r));
+  IUAD_ASSIGN_OR_RETURN(snap.result.model, ReadModel(snap.config, &r));
+  ReadStats(&r, &snap.result);
+  IUAD_RETURN_NOT_OK(r.status());
+  if (!r.exhausted()) {
+    return iuad::Status::IoError(path + ": trailing bytes after snapshot");
+  }
+  return snap;
+}
+
+}  // namespace
+
+iuad::Status SaveSnapshot(const std::string& path,
+                          const data::PaperDatabase& db,
+                          const core::DisambiguationResult& result,
+                          const core::IuadConfig& config) {
+  return SaveSnapshot(path, db, result, config, SnapshotWriteOptions{});
+}
+
+iuad::Status SaveSnapshot(const std::string& path,
+                          const data::PaperDatabase& db,
+                          const core::DisambiguationResult& result,
+                          const core::IuadConfig& config,
+                          const SnapshotWriteOptions& options) {
+  if (options.format_version == kSnapshotFormatV1) {
+    Writer payload;
+    WriteConfig(config, kSnapshotFormatV1, &payload);
+    WriteEmbeddings(result.embeddings, &payload);
+    WriteGraph(result.graph, &payload);
+    WriteOccurrences(result.occurrences, &payload);
+    WriteModel(result.model.get(), &payload);
+    WriteStats(result, &payload);
+    const std::string& body = payload.buffer();
+    return WriteFileAtomically(
+        path,
+        BuildHeader(kSnapshotFormatV1, db.Fingerprint(), body,
+                    Fnv1a(body.data(), body.size())),
+        body);
+  }
+  if (options.format_version != kSnapshotFormatVersion) {
+    return iuad::Status::InvalidArgument(
+        "snapshot: unsupported write version " +
+        std::to_string(options.format_version));
+  }
+
+  // v2: common section + one slice per shard, sectioned with the same
+  // placement the serving router uses so a shard's state is one contiguous
+  // checksummed span.
+  int num_shards = options.num_shard_sections > 0 ? options.num_shard_sections
+                                                  : config.num_shards;
+  if (num_shards < 1) num_shards = 1;
+  const shard::BlockPlacement placement = shard::BlockPlacement::Build(
+      result.graph, num_shards, config.shard_placement);
+  const std::vector<graph::EdgeRecord> edges = result.graph.Edges();
+  const auto occurrences = result.occurrences.Entries();
+  const std::vector<ShardBucket> buckets =
+      BucketByShard(result, placement, edges, occurrences);
+
+  std::vector<std::string> blobs;
+  blobs.push_back(BuildCommonSection(result, config));
+  for (int s = 0; s < num_shards; ++s) {
+    blobs.push_back(
+        BuildShardSection(result, s, buckets[static_cast<size_t>(s)]));
+  }
+
+  Writer table;
+  table.U32(static_cast<uint32_t>(blobs.size()));
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    table.U32(i == 0 ? kSectionCommon : kSectionShard);
+    table.U64(blobs[i].size());
+    table.U64(Fnv1a(blobs[i].data(), blobs[i].size()));
+  }
+  std::string body = table.buffer();
+  for (const std::string& blob : blobs) body += blob;
+
+  return WriteFileAtomically(
+      path,
+      BuildHeader(kSnapshotFormatVersion, db.Fingerprint(), body,
+                  Fnv1a(table.buffer().data(), table.buffer().size())),
+      body);
 }
 
 iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
@@ -562,23 +950,21 @@ iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
   const uint32_t version = header.U32();
   const uint64_t fingerprint = header.U64();
   const uint64_t payload_size = header.U64();
-  const uint64_t payload_checksum = header.U64();
+  const uint64_t check_field = header.U64();
   const uint32_t header_checksum = header.U32();
   if (static_cast<uint32_t>(Fnv1a(bytes.data(), kHeaderSize - sizeof(uint32_t))) !=
       header_checksum) {
     return iuad::Status::IoError(path + ": snapshot header checksum mismatch");
   }
-  if (version != kSnapshotFormatVersion) {
+  if (version != kSnapshotFormatVersion && version != kSnapshotFormatV1) {
     return iuad::Status::InvalidArgument(
         path + ": unsupported snapshot format version " +
-        std::to_string(version) + " (this build reads version " +
+        std::to_string(version) + " (this build reads versions " +
+        std::to_string(kSnapshotFormatV1) + " and " +
         std::to_string(kSnapshotFormatVersion) + ")");
   }
   if (bytes.size() - kHeaderSize != payload_size) {
     return iuad::Status::IoError(path + ": snapshot payload truncated");
-  }
-  if (Fnv1a(bytes.data() + kHeaderSize, payload_size) != payload_checksum) {
-    return iuad::Status::IoError(path + ": snapshot payload checksum mismatch");
   }
   if (fingerprint != db.Fingerprint()) {
     return iuad::Status::FailedPrecondition(
@@ -587,21 +973,14 @@ iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
                "fitted on");
   }
 
-  Reader r(bytes.data() + kHeaderSize, payload_size);
-  Snapshot snap;
-  snap.config = ReadConfig(&r);
-  IUAD_RETURN_NOT_OK(r.status());
-  IUAD_ASSIGN_OR_RETURN(snap.result.embeddings,
-                        ReadEmbeddings(snap.config.word2vec, &r));
-  IUAD_ASSIGN_OR_RETURN(snap.result.graph, ReadGraph(&r));
-  IUAD_ASSIGN_OR_RETURN(snap.result.occurrences, ReadOccurrences(&r));
-  IUAD_ASSIGN_OR_RETURN(snap.result.model, ReadModel(snap.config, &r));
-  ReadStats(&r, &snap.result);
-  IUAD_RETURN_NOT_OK(r.status());
-  if (!r.exhausted()) {
-    return iuad::Status::IoError(path + ": trailing bytes after snapshot");
+  if (version == kSnapshotFormatV1) {
+    if (Fnv1a(bytes.data() + kHeaderSize, payload_size) != check_field) {
+      return iuad::Status::IoError(path +
+                                   ": snapshot payload checksum mismatch");
+    }
+    return LoadV1(path, bytes.data() + kHeaderSize, payload_size);
   }
-  return snap;
+  return LoadV2(path, bytes.data() + kHeaderSize, payload_size, check_field);
 }
 
 }  // namespace iuad::io

@@ -184,6 +184,7 @@ void IngestService::PublishView() {
   view->stats.new_authors = new_authors_;
   view->stats.num_alive_vertices = g.num_alive();
   view->stats.num_edges = g.num_edges();
+  view->stats.queue_capacity = config_.ingest_queue_capacity;
   since_publish_ = 0;
   std::lock_guard<std::mutex> lock(view_mu_);
   view_ = std::move(view);
@@ -218,6 +219,19 @@ IngestStats IngestService::Stats() const {
   IngestStats stats = CurrentView()->stats;
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
+  // Everything buffered beyond the contiguous run from the next consumable
+  // sequence is held for reordering: it cannot apply until a producer fills
+  // the hole. While the applier holds next_apply_ extracted (in flight),
+  // the run continues from the sequence after it — otherwise every queued
+  // paper on a healthy, loaded service would count as held.
+  uint64_t expect = next_apply_ + (apply_in_flight_ ? 1 : 0);
+  for (const auto& [seq, req] : pending_) {
+    if (seq == expect) {
+      ++expect;
+    } else {
+      ++stats.reorder_held;
+    }
+  }
   return stats;
 }
 

@@ -65,16 +65,24 @@ struct AuthorRecord {
   int num_papers = 0;
 };
 
-/// Service counters. Snapshot semantics: all fields are from the same
-/// published epoch except queued_now, which is read live.
+/// Service health counters. Snapshot semantics: all fields are from the
+/// same published epoch except queued_now and reorder_held, which are read
+/// live under the queue lock (they describe the queue, not the applied
+/// state, and would otherwise always publish as stale zeros).
 struct IngestStats {
-  int64_t epoch = 0;             ///< Read-view publications so far.
+  int64_t epoch = 0;             ///< Published-view epoch (0 = pre-ingest).
   int64_t papers_applied = 0;    ///< Papers fully ingested.
   int64_t assignments = 0;       ///< Byline occurrences decided.
   int64_t new_authors = 0;       ///< Occurrences that founded a new vertex.
   int num_alive_vertices = 0;
   int num_edges = 0;
   int queued_now = 0;            ///< Live queue depth (incl. reorder holds).
+  /// Live reorder-buffer occupancy: admitted papers waiting behind a
+  /// sequence hole (SubmitAt arrivals the applier cannot consume yet).
+  /// Persistently > 0 with an idle applier means a producer died holding a
+  /// sequence — the first thing on-call should look at.
+  int reorder_held = 0;
+  int queue_capacity = 0;        ///< config.ingest_queue_capacity, for UIs.
 };
 
 /// MPSC ingestion + concurrent read service over one disambiguation result.

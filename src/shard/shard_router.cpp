@@ -1,0 +1,358 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace iuad::shard {
+
+namespace {
+
+ShardRouter::Assignments StoppedError() {
+  return iuad::Status::FailedPrecondition(
+      "shard router is stopped; paper was not applied");
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(data::PaperDatabase* db,
+                         core::DisambiguationResult* result,
+                         core::IuadConfig config)
+    : db_(db),
+      result_(result),
+      config_(std::move(config)),
+      placement_(BlockPlacement::Build(result->graph, config_.num_shards,
+                                       config_.shard_placement)) {
+  shards_.resize(static_cast<size_t>(placement_.num_shards()));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].health.shard = static_cast<int>(s);
+    shards_[s].health.placement_weight = placement_.shard_weights()[s];
+  }
+  // Owned-block counts for health: one deterministic pass over the blocks.
+  for (const std::string& name : result_->graph.Names()) {
+    ++shards_[static_cast<size_t>(placement_.ShardOf(name))]
+          .health.owned_blocks;
+  }
+  pool_ = std::make_unique<util::ThreadPool>(placement_.num_shards());
+  // Shard similarity caches are built against the fitted snapshot, exactly
+  // like IncrementalDisambiguator's constructor Refresh (one build per
+  // shard, fanned out over the pool; the router thread does not exist yet).
+  RefreshShards();
+  PublishView();  // epoch 0: the pre-ingestion state, queryable immediately
+  router_ = std::thread([this] { RouterLoop(); });
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+std::future<ShardRouter::Assignments> ShardRouter::Submit(data::Paper paper) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t seq = next_ticket_++;
+  return SubmitLocked(seq, std::move(paper), &lock);
+}
+
+std::future<ShardRouter::Assignments> ShardRouter::SubmitAt(
+    uint64_t seq, data::Paper paper) {
+  std::unique_lock<std::mutex> lock(mu_);
+  next_ticket_ = std::max(next_ticket_, seq + 1);
+  return SubmitLocked(seq, std::move(paper), &lock);
+}
+
+std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
+    uint64_t seq, data::Paper paper, std::unique_lock<std::mutex>* lock) {
+  std::promise<Assignments> promise;
+  std::future<Assignments> future = promise.get_future();
+  // Admission window: the next-to-apply sequence is always admissible, so a
+  // blocked producer holding it can never deadlock the queue.
+  admit_cv_.wait(*lock, [&] {
+    return stopping_ ||
+           seq < next_apply_ + static_cast<uint64_t>(
+                                   config_.ingest_queue_capacity);
+  });
+  if (stopping_) {
+    promise.set_value(StoppedError());
+    return future;
+  }
+  if (seq < next_apply_ || (apply_in_flight_ && seq == next_apply_) ||
+      pending_.count(seq) > 0) {
+    promise.set_value(iuad::Status::InvalidArgument(
+        "duplicate ingest sequence " + std::to_string(seq)));
+    return future;
+  }
+  pending_.emplace(seq, Request{std::move(paper), std::move(promise)});
+  if (seq == next_apply_) ready_cv_.notify_one();
+  return future;
+}
+
+ShardRouter::Assignments ShardRouter::ProcessPaper(const data::Paper& paper) {
+  if (result_->model == nullptr) {
+    return iuad::Status::FailedPrecondition(
+        "incremental disambiguation requires a fitted model (run the full "
+        "pipeline, not SCN-only)");
+  }
+  if (paper.author_names.empty()) {
+    return iuad::Status::InvalidArgument("paper with empty byline");
+  }
+
+  // SCATTER: group bylines by owning shard and score them concurrently.
+  // Every shard reads the same pre-ingestion snapshot; decisions land in
+  // slots indexed by byline position, so the outcome is independent of
+  // which shard scores what and of the worker schedule. Only the involved
+  // shards are dispatched — the common case of a paper whose whole byline
+  // lands in one shard runs inline on the sequencer with zero wakeups.
+  const size_t n = paper.author_names.size();
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < n; ++i) {
+    by_shard[static_cast<size_t>(placement_.ShardOf(paper.author_names[i]))]
+        .push_back(i);
+  }
+  std::vector<size_t> involved;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!by_shard[s].empty()) involved.push_back(s);
+  }
+  std::vector<core::OccurrenceDecision> decisions(n);
+  auto score_shard = [&](size_t s) {
+    for (size_t i : by_shard[s]) {
+      decisions[i] = core::ScoreOccurrence(
+          *shards_[s].sim, *result_->model, result_->graph, paper,
+          paper.author_names[i], config_.delta);
+    }
+    shards_[s].health.bylines_scored +=
+        static_cast<int64_t>(by_shard[s].size());
+    ++shards_[s].health.papers_scored;
+  };
+  if (involved.size() == 1) {
+    score_shard(involved[0]);
+  } else {
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t done = 0;
+    for (size_t k = 1; k < involved.size(); ++k) {
+      pool_->Submit([&, s = involved[k]] {
+        score_shard(s);
+        // Notify under the lock: done_cv lives on this stack frame and an
+        // unlocked notify could land after the sequencer has already woken
+        // and moved on (see ThreadPool::ParallelFor for the same pattern).
+        std::lock_guard<std::mutex> lock(done_mu);
+        ++done;
+        done_cv.notify_one();
+      });
+    }
+    score_shard(involved[0]);
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == involved.size() - 1; });
+  }
+
+  // COMMIT: single writer (this thread), same mutation order as the
+  // sequential path, then shard-targeted profile invalidation — a touched
+  // vertex is only ever scored by its block's owner.
+  std::vector<graph::VertexId> touched;
+  auto applied = core::ApplyDecisions(paper, decisions, db_, result_,
+                                      &touched);
+  for (graph::VertexId v : touched) {
+    const int s = placement_.ShardOf(result_->graph.vertex(v).name);
+    shards_[static_cast<size_t>(s)].sim->InvalidateProfile(v);
+  }
+  if (applied.ok()) {
+    ++papers_applied_;
+    assignments_ += static_cast<int64_t>(applied->size());
+    for (size_t i = 0; i < applied->size(); ++i) {
+      const auto& a = (*applied)[i];
+      Shard& owner =
+          shards_[static_cast<size_t>(placement_.ShardOf(a.name))];
+      ++owner.health.assignments;
+      if (a.created_new) {
+        ++new_authors_;
+        ++owner.health.new_authors;
+      }
+    }
+    ++since_publish_;
+    // REFRESH: same global cadence as the sequential path's
+    // incremental_refresh_interval, fanned out across shards.
+    if (++since_refresh_ >= config_.incremental_refresh_interval) {
+      RefreshShards();
+    }
+  }
+  return applied;
+}
+
+void ShardRouter::RefreshShards() {
+  // One snapshot-bound build — the WL refinement sweep runs across the
+  // shard pool, byte-identical to the serial build the sequential path
+  // does — then per-shard copies: every shard needs its OWN lazily-filled
+  // profile/feature caches (they are mutated during scoring), but the
+  // refinement labels are a pure function of the graph snapshot, so
+  // copying beats rebuilding them N times.
+  shards_[0].sim = std::make_unique<core::SimilarityComputer>(
+      *db_, result_->graph, result_->embeddings, config_, pool_.get());
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    shards_[s].sim =
+        std::make_unique<core::SimilarityComputer>(*shards_[0].sim);
+  }
+  since_refresh_ = 0;
+}
+
+void ShardRouter::RouterLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [&] {
+      return stopping_ || pending_.count(next_apply_) > 0 ||
+             (drain_waiters_ > 0 && published_through_ < next_apply_);
+    });
+
+    if (pending_.count(next_apply_) > 0) {
+      auto node = pending_.extract(next_apply_);
+      apply_in_flight_ = true;
+      lock.unlock();
+      Assignments applied = ProcessPaper(node.mapped().paper);
+      const bool publish = since_publish_ >= config_.ingest_refresh_window;
+      if (publish) PublishView();
+      node.mapped().promise.set_value(std::move(applied));
+      lock.lock();
+      apply_in_flight_ = false;
+      ++next_apply_;
+      if (publish) published_through_ = next_apply_;
+      admit_cv_.notify_all();
+      applied_cv_.notify_all();
+      continue;
+    }
+
+    if (drain_waiters_ > 0 && published_through_ < next_apply_) {
+      const uint64_t through = next_apply_;
+      lock.unlock();
+      PublishView();
+      lock.lock();
+      published_through_ = through;
+      applied_cv_.notify_all();
+      continue;
+    }
+
+    // stopping_, with no applicable sequence: fail whatever is stranded
+    // behind a sequence hole, publish the final epoch, exit.
+    std::map<uint64_t, Request> stranded;
+    stranded.swap(pending_);
+    lock.unlock();
+    for (auto& [seq, req] : stranded) {
+      req.promise.set_value(StoppedError());
+    }
+    PublishView();
+    lock.lock();
+    published_through_ = next_apply_;
+    applied_cv_.notify_all();
+    return;
+  }
+}
+
+void ShardRouter::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = next_ticket_;
+  ++drain_waiters_;
+  ready_cv_.notify_one();  // an idle router may owe us a publish
+  applied_cv_.wait(lock, [&] {
+    return (next_apply_ >= target && published_through_ >= target) ||
+           (stopping_ && joined_);
+  });
+  --drain_waiters_;
+}
+
+void ShardRouter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  admit_cv_.notify_all();
+  applied_cv_.notify_all();
+  bool join_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!joined_ && !join_claimed_) {
+      join_claimed_ = true;
+      join_here = true;
+    }
+  }
+  if (join_here) {
+    router_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_ = true;
+    applied_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    applied_cv_.wait(lock, [&] { return joined_; });
+  }
+}
+
+void ShardRouter::PublishView() {
+  auto view = std::make_shared<ReadView>();
+  view->shards.resize(shards_.size());
+  const graph::CollabGraph& g = result_->graph;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.alive(v)) continue;
+    const graph::Vertex& vx = g.vertex(v);
+    ReadView::ShardView& sv =
+        view->shards[static_cast<size_t>(placement_.ShardOf(vx.name))];
+    sv.by_name[vx.name].push_back(
+        {v, static_cast<int>(vx.papers.size())});
+    sv.papers_of.emplace(v, vx.papers);
+  }
+  RouterStats& stats = view->stats;
+  stats.ingest.epoch = epoch_++;
+  stats.ingest.papers_applied = papers_applied_;
+  stats.ingest.assignments = assignments_;
+  stats.ingest.new_authors = new_authors_;
+  stats.ingest.num_alive_vertices = g.num_alive();
+  stats.ingest.num_edges = g.num_edges();
+  stats.ingest.queue_capacity = config_.ingest_queue_capacity;
+  stats.num_shards = placement_.num_shards();
+  for (const Shard& s : shards_) stats.shards.push_back(s.health);
+  since_publish_ = 0;
+  std::lock_guard<std::mutex> lock(view_mu_);
+  view_ = std::move(view);
+}
+
+std::shared_ptr<const ShardRouter::ReadView> ShardRouter::CurrentView()
+    const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_;
+}
+
+std::vector<serve::AuthorRecord> ShardRouter::AuthorsByName(
+    const std::string& name) const {
+  const auto view = CurrentView();
+  const auto& sv =
+      view->shards[static_cast<size_t>(placement_.ShardOf(name))];
+  auto it = sv.by_name.find(name);
+  if (it == sv.by_name.end()) return {};
+  std::vector<serve::AuthorRecord> out = it->second;
+  std::sort(out.begin(), out.end(),
+            [](const serve::AuthorRecord& a, const serve::AuthorRecord& b) {
+              return a.vertex < b.vertex;
+            });
+  return out;
+}
+
+std::vector<int> ShardRouter::PublicationsOf(graph::VertexId v) const {
+  const auto view = CurrentView();
+  for (const auto& sv : view->shards) {
+    auto it = sv.papers_of.find(v);
+    if (it != sv.papers_of.end()) return it->second;
+  }
+  return {};
+}
+
+RouterStats ShardRouter::Stats() const {
+  RouterStats stats = CurrentView()->stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.ingest.queued_now = static_cast<int>(pending_.size());
+  // See IngestService::Stats: the contiguous run starts after an in-flight
+  // sequence, which sits in neither pending_ nor the applied range.
+  uint64_t expect = next_apply_ + (apply_in_flight_ ? 1 : 0);
+  for (const auto& [seq, req] : pending_) {
+    if (seq == expect) {
+      ++expect;
+    } else {
+      ++stats.ingest.reorder_held;
+    }
+  }
+  return stats;
+}
+
+}  // namespace iuad::shard

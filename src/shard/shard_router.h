@@ -1,0 +1,218 @@
+#ifndef IUAD_SHARD_SHARD_ROUTER_H_
+#define IUAD_SHARD_SHARD_ROUTER_H_
+
+/// \file shard_router.h
+/// Horizontally sharded serving front end for the incremental path: a
+/// ShardRouter partitions the fitted DisambiguationResult's name blocks
+/// across N shard workers (shard/placement.h) and drives them from one
+/// global ingestion sequence. The paper's bottom-up design makes candidate
+/// scoring block-local by construction — a byline competes only against
+/// same-name vertices — so each byline is scored on the shard that owns its
+/// block, concurrently with the other bylines of the same paper, while
+/// cross-shard collaboration-edge deltas commit under a single global
+/// sequence number.
+///
+/// Consistency contract (the whole point — pinned by tests/shard_test.cpp):
+/// assignments are byte-identical to sequential
+/// IncrementalDisambiguator::AddPaper calls in sequence order at ANY shard
+/// count and ANY producer count. The protocol that guarantees it, per
+/// sequence number:
+///
+///   1. SCATTER  — the router groups the paper's bylines by owning shard
+///      and fans the phase-1 scoring out; every shard reads the same
+///      pre-ingestion graph/database snapshot (shared, read-only during
+///      this window) through its OWN SimilarityComputer, whose lazily
+///      cached profiles cover exactly the vertices of its owned blocks, so
+///      the per-vertex cache memory is partitioned, not replicated.
+///   2. COMMIT   — with the scatter latch closed, the router (the only
+///      writer, ever) applies phase 2 — database append, vertex
+///      assignments/births, occurrence records, collaboration edges
+///      including the cross-shard ones — via the same ApplyDecisions the
+///      sequential path runs, then invalidates the stale profiles on the
+///      shards owning the touched vertices.
+///   3. REFRESH  — every config.incremental_refresh_interval applied papers
+///      (the same cadence as the raw incremental path), every shard
+///      rebuilds its similarity caches in parallel, so structural features
+///      go stale and refresh at exactly the sequential path's paper counts.
+///
+/// Reads are shard-local: each shard publishes an immutable view of its
+/// owned blocks every config.ingest_refresh_window applied papers (and at
+/// Drain/Stop). AuthorsByName routes to the one owning shard; Stats
+/// aggregates all shards plus router-level health (queue depth, reorder
+/// occupancy, epoch). Submission, admission bounds, the dense-sequence
+/// SubmitAt contract, and Drain/Stop semantics mirror serve::IngestService
+/// exactly — the router is its N-shard generalization, and collapses to the
+/// same behavior at num_shards = 1.
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "core/similarity.h"
+#include "data/paper_database.h"
+#include "serve/ingest_service.h"
+#include "shard/placement.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace iuad::shard {
+
+/// Per-shard health, published with the read views.
+struct ShardHealth {
+  int shard = 0;
+  int64_t owned_blocks = 0;      ///< Blocks placed at fit time.
+  int64_t placement_weight = 0;  ///< Their summed placement weight.
+  int64_t papers_scored = 0;     ///< Papers with >= 1 byline scored here.
+  int64_t bylines_scored = 0;
+  int64_t assignments = 0;       ///< Bylines this shard's blocks absorbed.
+  int64_t new_authors = 0;       ///< Of those, newly-born vertices.
+};
+
+/// Aggregated service counters: the IngestService-shaped totals plus the
+/// per-shard breakdown.
+struct RouterStats {
+  serve::IngestStats ingest;  ///< Totals; queue fields read live.
+  int num_shards = 1;
+  std::vector<ShardHealth> shards;
+};
+
+/// Name-block-sharded MPSC ingestion + concurrent read service.
+class ShardRouter {
+ public:
+  using Assignments = iuad::Result<std::vector<core::IncrementalAssignment>>;
+
+  /// Starts the router thread and its shard worker pool. `config` must
+  /// already Validate() OK; num_shards / shard_placement / queue / window
+  /// knobs are read from it. `db` and `result` are caller-owned, must
+  /// outlive the router, and are exclusively the router's until
+  /// Stop()/destruction.
+  ShardRouter(data::PaperDatabase* db, core::DisambiguationResult* result,
+              core::IuadConfig config);
+
+  /// Stops accepting work, applies everything admitted, joins the router.
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Enqueues `paper` at the next free sequence number; blocks while the
+  /// admission window (config.ingest_queue_capacity) is full.
+  std::future<Assignments> Submit(data::Paper paper);
+
+  /// Enqueues at an explicit sequence slot. Sequences must be dense:
+  /// every sequence in [0, N) submitted exactly once (the IngestService
+  /// contract). Duplicates fail the returned future with InvalidArgument.
+  std::future<Assignments> SubmitAt(uint64_t seq, data::Paper paper);
+
+  /// Blocks until everything admitted at call time is applied and
+  /// published.
+  void Drain();
+
+  /// Drains, refuses further submissions, joins. Idempotent.
+  void Stop();
+
+  // ---- Read-only queries (epoch snapshot; safe during ingestion) ---------
+
+  /// Routed to the one shard owning `name`'s block: alive author candidates
+  /// bearing `name`, in vertex-id order.
+  std::vector<serve::AuthorRecord> AuthorsByName(const std::string& name) const;
+
+  /// Paper ids attributed to vertex `v` (scatter-gather: the owning shard's
+  /// view answers; empty for unknown / not-yet-published vertices).
+  std::vector<int> PublicationsOf(graph::VertexId v) const;
+
+  /// Aggregated totals + per-shard health at the last published epoch;
+  /// queue depth and reorder occupancy are read live.
+  RouterStats Stats() const;
+
+  /// The block→shard route for `name` (exposed for tests and ops).
+  int ShardOf(const std::string& name) const {
+    return placement_.ShardOf(name);
+  }
+
+ private:
+  struct Request {
+    data::Paper paper;
+    std::promise<Assignments> promise;
+  };
+
+  /// One shard's mutable state. The similarity computer is only ever used
+  /// by the task the router schedules for this shard (or by the router
+  /// itself between fences), never concurrently.
+  struct Shard {
+    std::unique_ptr<core::SimilarityComputer> sim;
+    ShardHealth health;
+  };
+
+  /// Immutable published read state, swapped atomically per epoch.
+  struct ReadView {
+    /// Per shard: owned-block author lookup + publication lists.
+    struct ShardView {
+      std::unordered_map<std::string, std::vector<serve::AuthorRecord>>
+          by_name;
+      std::unordered_map<graph::VertexId, std::vector<int>> papers_of;
+    };
+    std::vector<ShardView> shards;
+    RouterStats stats;
+  };
+
+  void RouterLoop();
+  std::future<Assignments> SubmitLocked(uint64_t seq, data::Paper paper,
+                                        std::unique_lock<std::mutex>* lock);
+  /// Scatter/commit/refresh for one admitted paper (unlocked).
+  Assignments ProcessPaper(const data::Paper& paper);
+  /// Rebuilds every shard's similarity caches in parallel.
+  void RefreshShards();
+  void PublishView();
+  std::shared_ptr<const ReadView> CurrentView() const;
+
+  data::PaperDatabase* db_;
+  core::DisambiguationResult* result_;
+  core::IuadConfig config_;
+  BlockPlacement placement_;
+  std::vector<Shard> shards_;
+  /// Scatter pool: one slot per shard; the router thread doubles as
+  /// worker 0, so num_shards = 1 degenerates to fully inline execution.
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admit_cv_;
+  std::condition_variable ready_cv_;
+  std::condition_variable applied_cv_;
+  std::map<uint64_t, Request> pending_;  ///< Reorder buffer, keyed by seq.
+  uint64_t next_ticket_ = 0;
+  uint64_t next_apply_ = 0;
+  bool apply_in_flight_ = false;
+  uint64_t published_through_ = 0;
+  int drain_waiters_ = 0;
+  bool stopping_ = false;
+  bool join_claimed_ = false;
+  bool joined_ = false;
+
+  // Counters owned by the router thread; folded into views at publish.
+  int64_t epoch_ = 0;
+  int64_t papers_applied_ = 0;
+  int64_t assignments_ = 0;
+  int64_t new_authors_ = 0;
+  int since_publish_ = 0;
+  int since_refresh_ = 0;
+
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ReadView> view_;
+
+  std::thread router_;
+};
+
+}  // namespace iuad::shard
+
+#endif  // IUAD_SHARD_SHARD_ROUTER_H_

@@ -88,6 +88,22 @@ TEST(ConfigValidateTest, RejectsBadServeOptions) {
   EXPECT_TRUE(cfg.Validate().ok());
 }
 
+TEST(ConfigValidateTest, RejectsBadShardingOptions) {
+  core::IuadConfig cfg;
+  cfg.num_shards = 0;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.num_shards = -4;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.shard_placement = static_cast<core::ShardPlacement>(99);
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.num_shards = 8;  // any positive shard count is legal
+  cfg.shard_placement = core::ShardPlacement::kHash;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
 TEST(ConfigValidateTest, SnapshotPersistenceRequiresAPath) {
   core::IuadConfig cfg;
   cfg.persist_snapshot = true;

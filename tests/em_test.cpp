@@ -221,6 +221,32 @@ TEST(MixtureModelTest, LogLikelihoodImprovesOverInit) {
   EXPECT_GT(converged.iterations_run(), 0);
 }
 
+TEST(MixtureModelTest, EStepOutputInvariantToThreadCount) {
+  // The parallel E-step must be a pure speedup: per-sample slots + a
+  // fixed-order log-likelihood sum make the fit byte-identical at any
+  // thread count (including the serial path the small-n cutoff takes).
+  auto data = MakePlanted(1500, 0.3, 37);
+  MixtureConfig serial = ThreeFeatureConfig();
+  serial.num_threads = 1;
+  MixtureModel a(serial);
+  ASSERT_TRUE(a.Fit(data.gammas).ok());
+  for (int threads : {2, 4, 7}) {
+    MixtureConfig cfg = ThreeFeatureConfig();
+    cfg.num_threads = threads;
+    MixtureModel b(cfg);
+    ASSERT_TRUE(b.Fit(data.gammas).ok());
+    EXPECT_DOUBLE_EQ(a.final_log_likelihood(), b.final_log_likelihood())
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(a.prior_matched(), b.prior_matched());
+    EXPECT_EQ(a.iterations_run(), b.iterations_run());
+    EXPECT_EQ(a.ToString(), b.ToString());  // every marginal parameter
+    for (size_t j = 0; j < data.gammas.size(); j += 97) {
+      EXPECT_DOUBLE_EQ(a.MatchScore(data.gammas[j]),
+                       b.MatchScore(data.gammas[j]));
+    }
+  }
+}
+
 TEST(MixtureModelTest, DeterministicAcrossRuns) {
   auto data = MakePlanted(400, 0.3, 35);
   MixtureModel a(ThreeFeatureConfig()), b(ThreeFeatureConfig());

@@ -177,6 +177,43 @@ TEST(IngestServiceTest, ReadsAreSafeDuringIngestion) {
   service.Stop();
 }
 
+TEST(IngestServiceTest, HealthCountersTrackQueueAndReorderBuffer) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.ingest_queue_capacity = 8;
+  Fixture f = MakeFixture(42, 10, cfg);
+  IngestService service(&f.history, &f.result, cfg);
+  {
+    const auto stats = service.Stats();
+    EXPECT_EQ(stats.epoch, 0);  // the pre-ingestion view
+    EXPECT_EQ(stats.papers_applied, 0);
+    EXPECT_EQ(stats.queued_now, 0);
+    EXPECT_EQ(stats.reorder_held, 0);
+    EXPECT_EQ(stats.queue_capacity, 8);
+  }
+  // Two papers stuck behind the sequence-0 hole: both queued, both held.
+  auto h1 = service.SubmitAt(1, f.stream[0]);
+  auto h2 = service.SubmitAt(2, f.stream[1]);
+  {
+    const auto stats = service.Stats();
+    EXPECT_EQ(stats.queued_now, 2);
+    EXPECT_EQ(stats.reorder_held, 2);
+  }
+  // Filling the hole drains everything; a drain also publishes.
+  auto h0 = service.SubmitAt(0, f.stream[2]);
+  service.Drain();
+  EXPECT_TRUE(h0.get().ok());
+  EXPECT_TRUE(h1.get().ok());
+  EXPECT_TRUE(h2.get().ok());
+  {
+    const auto stats = service.Stats();
+    EXPECT_EQ(stats.papers_applied, 3);
+    EXPECT_EQ(stats.queued_now, 0);
+    EXPECT_EQ(stats.reorder_held, 0);
+    EXPECT_GE(stats.epoch, 1);  // the drain republished the view
+  }
+  service.Stop();
+}
+
 TEST(IngestServiceTest, DuplicateSequenceFailsThatSubmissionOnly) {
   core::IuadConfig cfg = FastConfig();
   Fixture f = MakeFixture(37, 10, cfg);

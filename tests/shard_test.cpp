@@ -1,0 +1,363 @@
+/// shard::ShardRouter + shard::BlockPlacement: the sharding contract. The
+/// acceptance property of the subsystem is that N-shard ingestion through
+/// the router — at any shard count, any producer count, through Submit or
+/// SubmitAt — produces byte-identical assignments (vertices, scores,
+/// new-author births) to sequential IncrementalDisambiguator::AddPaper
+/// calls in sequence order. Placement must be deterministic and, under the
+/// size-aware policy, balanced; reads must route to the owning shard and
+/// stay safe during ingestion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "shard/placement.h"
+#include "shard/shard_router.h"
+#include "testing_utils.h"
+
+namespace iuad::shard {
+namespace {
+
+core::IuadConfig FastConfig() {
+  core::IuadConfig cfg;
+  cfg.word2vec.dim = 16;
+  cfg.word2vec.epochs = 2;
+  cfg.max_split_vertices = 50;
+  return cfg;
+}
+
+struct Fixture {
+  data::PaperDatabase history;
+  std::vector<data::Paper> stream;
+  core::DisambiguationResult result;
+};
+
+Fixture MakeFixture(uint64_t seed, int holdout, const core::IuadConfig& cfg) {
+  Fixture f;
+  auto corpus = iuad::testing::SmallCorpus(seed);
+  auto [history, stream] = corpus.db.HoldOutLatest(holdout);
+  f.history = std::move(history);
+  f.stream = std::move(stream);
+  auto result = core::IuadPipeline(cfg).Run(f.history);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  f.result = std::move(*result);
+  return f;
+}
+
+/// Order-sensitive digest including the score bits: "byte-identical" here
+/// means bitwise-equal doubles, not just the same argmax.
+std::string TraceOf(const std::vector<core::IncrementalAssignment>& as) {
+  std::string t;
+  for (const auto& a : as) {
+    double score = a.best_score;
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(score), "double is 64-bit");
+    std::memcpy(&bits, &score, sizeof(bits));
+    t += a.name + ":" + std::to_string(a.vertex) +
+         (a.created_new ? "*" : "") + "#" + std::to_string(bits) + "/" +
+         std::to_string(a.num_candidates) + ";";
+  }
+  return t;
+}
+
+/// Sequential ground truth: one AddPaper per stream paper, in order.
+std::vector<std::string> SequentialTraces(const core::IuadConfig& cfg,
+                                          uint64_t seed, int holdout) {
+  Fixture f = MakeFixture(seed, holdout, cfg);
+  core::IncrementalDisambiguator inc(&f.history, &f.result, cfg);
+  std::vector<std::string> traces;
+  for (const auto& paper : f.stream) {
+    auto r = inc.AddPaper(paper);
+    EXPECT_TRUE(r.ok());
+    traces.push_back(TraceOf(*r));
+  }
+  return traces;
+}
+
+/// Router run: `producers` threads race over the stream with SubmitAt.
+std::vector<std::string> RouterTraces(core::IuadConfig cfg, uint64_t seed,
+                                      int holdout, int num_shards,
+                                      int producers,
+                                      core::ShardPlacement placement =
+                                          core::ShardPlacement::kSizeAware) {
+  cfg.num_shards = num_shards;
+  cfg.shard_placement = placement;
+  Fixture f = MakeFixture(seed, holdout, cfg);
+  std::vector<std::future<ShardRouter::Assignments>> futures(f.stream.size());
+  ShardRouter router(&f.history, &f.result, cfg);
+  std::atomic<size_t> next{0};
+  auto producer = [&] {
+    for (size_t i = next.fetch_add(1); i < f.stream.size();
+         i = next.fetch_add(1)) {
+      futures[i] = router.SubmitAt(i, f.stream[i]);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 1; t < producers; ++t) threads.emplace_back(producer);
+  producer();
+  for (auto& t : threads) t.join();
+  router.Stop();
+  std::vector<std::string> traces;
+  for (auto& fut : futures) {
+    auto r = fut.get();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    traces.push_back(r.ok() ? TraceOf(*r) : "FAILED");
+  }
+  return traces;
+}
+
+// --------------------------- BlockPlacement ---------------------------------
+
+TEST(BlockPlacementTest, DeterministicAndCoversAllShards) {
+  auto corpus = iuad::testing::SmallCorpus(21);
+  auto result = core::IuadPipeline(FastConfig()).Run(corpus.db);
+  ASSERT_TRUE(result.ok());
+  for (core::ShardPlacement policy :
+       {core::ShardPlacement::kSizeAware, core::ShardPlacement::kHash}) {
+    const auto a = BlockPlacement::Build(result->graph, 4, policy);
+    const auto b = BlockPlacement::Build(result->graph, 4, policy);
+    EXPECT_EQ(a.num_shards(), 4);
+    EXPECT_GT(a.num_blocks(), 0);
+    int64_t total = 0;
+    for (const std::string& name : result->graph.Names()) {
+      const int s = a.ShardOf(name);
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, 4);
+      EXPECT_EQ(s, b.ShardOf(name)) << "nondeterministic placement of "
+                                    << name;
+    }
+    for (int64_t w : a.shard_weights()) {
+      EXPECT_GT(w, 0);  // this corpus has plenty of blocks for every shard
+      total += w;
+    }
+    EXPECT_GT(total, a.num_blocks());  // weights count vertices + papers
+  }
+}
+
+TEST(BlockPlacementTest, SizeAwareBalancesBetterThanWorstCase) {
+  auto corpus = iuad::testing::SmallCorpus(22);
+  auto result = core::IuadPipeline(FastConfig()).Run(corpus.db);
+  ASSERT_TRUE(result.ok());
+  const auto p = BlockPlacement::Build(result->graph, 4,
+                                       core::ShardPlacement::kSizeAware);
+  int64_t min_w = p.shard_weights()[0], max_w = p.shard_weights()[0];
+  for (int64_t w : p.shard_weights()) {
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  // LPT packing of many small blocks lands very close to even; 1.25 leaves
+  // slack for one giant block dominating a shard.
+  EXPECT_LE(static_cast<double>(max_w),
+            1.25 * static_cast<double>(std::max<int64_t>(1, min_w)));
+}
+
+TEST(BlockPlacementTest, UnseenBlocksRouteThroughTheHashFallback) {
+  auto corpus = iuad::testing::SmallCorpus(23);
+  auto result = core::IuadPipeline(FastConfig()).Run(corpus.db);
+  ASSERT_TRUE(result.ok());
+  const auto p = BlockPlacement::Build(result->graph, 4,
+                                       core::ShardPlacement::kSizeAware);
+  const std::string unseen = "Zz. Never-Seen-Before";
+  const int s = p.ShardOf(unseen);
+  EXPECT_GE(s, 0);
+  EXPECT_LT(s, 4);
+  EXPECT_EQ(s, static_cast<int>(NameHash(unseen) % 4));
+}
+
+// --------------------------- ShardRouter ------------------------------------
+
+/// The subsystem acceptance property: 1-shard and 4-shard ingestion, with
+/// one and with several racing producers, are byte-identical to sequential
+/// AddPaper — scores included.
+TEST(ShardRouterTest, MatchesSequentialAtAnyShardAndProducerCount) {
+  const core::IuadConfig cfg = FastConfig();
+  const auto sequential = SequentialTraces(cfg, 33, 60);
+  ASSERT_EQ(sequential.size(), 60u);
+  EXPECT_EQ(RouterTraces(cfg, 33, 60, 1, 1), sequential);
+  EXPECT_EQ(RouterTraces(cfg, 33, 60, 4, 1), sequential);
+  EXPECT_EQ(RouterTraces(cfg, 33, 60, 4, 4), sequential);
+}
+
+TEST(ShardRouterTest, HashPlacementIsEquallyDeterministic) {
+  const core::IuadConfig cfg = FastConfig();
+  const auto sequential = SequentialTraces(cfg, 34, 40);
+  EXPECT_EQ(RouterTraces(cfg, 34, 40, 3, 4, core::ShardPlacement::kHash),
+            sequential);
+}
+
+TEST(ShardRouterTest, TinyQueueAndRefreshWindowsStayLiveAndDeterministic) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.ingest_queue_capacity = 1;  // every out-of-turn producer must block
+  cfg.ingest_refresh_window = 3;
+  cfg.incremental_refresh_interval = 7;  // exercise mid-stream refreshes
+  const auto sequential = SequentialTraces(cfg, 35, 40);
+  EXPECT_EQ(RouterTraces(cfg, 35, 40, 4, 4), sequential);
+}
+
+TEST(ShardRouterTest, SubmitAssignsArrivalOrderSequences) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.num_shards = 3;
+  Fixture f = MakeFixture(36, 30, cfg);
+  const auto sequential = SequentialTraces(cfg, 36, 30);
+  ShardRouter router(&f.history, &f.result, cfg);
+  std::vector<std::future<ShardRouter::Assignments>> futures;
+  for (const auto& paper : f.stream) futures.push_back(router.Submit(paper));
+  router.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto r = futures[i].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(TraceOf(*r), sequential[i]);
+  }
+  const auto stats = router.Stats();
+  EXPECT_EQ(stats.ingest.papers_applied,
+            static_cast<int64_t>(f.stream.size()));
+  EXPECT_EQ(stats.ingest.queued_now, 0);
+  EXPECT_EQ(stats.ingest.reorder_held, 0);
+  router.Stop();
+}
+
+TEST(ShardRouterTest, ReadsRouteToOwningShardAndAggregateStats) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.num_shards = 4;
+  cfg.ingest_refresh_window = 5;
+  Fixture f = MakeFixture(37, 50, cfg);
+  const std::string name = f.history.paper(0).author_names[0];
+  ShardRouter router(&f.history, &f.result, cfg);
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const auto records = router.AuthorsByName(name);
+      for (const auto& rec : records) {
+        EXPECT_GE(static_cast<int>(router.PublicationsOf(rec.vertex).size()),
+                  rec.num_papers);
+      }
+      (void)router.Stats();
+      ++reads;
+    }
+  });
+  std::vector<std::future<ShardRouter::Assignments>> futures;
+  for (const auto& paper : f.stream) futures.push_back(router.Submit(paper));
+  router.Drain();
+  done = true;
+  reader.join();
+  for (auto& fut : futures) EXPECT_TRUE(fut.get().ok());
+  EXPECT_GT(reads.load(), 0);
+
+  const auto stats = router.Stats();
+  EXPECT_EQ(stats.num_shards, 4);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  EXPECT_EQ(stats.ingest.papers_applied,
+            static_cast<int64_t>(f.stream.size()));
+  EXPECT_GE(stats.ingest.epoch, 1);
+  EXPECT_EQ(stats.ingest.num_alive_vertices, f.result.graph.num_alive());
+  EXPECT_EQ(stats.ingest.num_edges, f.result.graph.num_edges());
+  // Per-shard counters are a partition of the totals.
+  int64_t bylines = 0, assignments = 0, new_authors = 0, blocks = 0;
+  for (const auto& s : stats.shards) {
+    bylines += s.bylines_scored;
+    assignments += s.assignments;
+    new_authors += s.new_authors;
+    blocks += s.owned_blocks;
+  }
+  EXPECT_EQ(bylines, stats.ingest.assignments);
+  EXPECT_EQ(assignments, stats.ingest.assignments);
+  EXPECT_EQ(new_authors, stats.ingest.new_authors);
+  EXPECT_GT(blocks, 0);
+  // AuthorsByName went to the owning shard's view and saw the vertex.
+  EXPECT_FALSE(router.AuthorsByName(name).empty());
+  EXPECT_GE(router.ShardOf(name), 0);
+  EXPECT_LT(router.ShardOf(name), 4);
+  router.Stop();
+}
+
+TEST(ShardRouterTest, BrandNewNameIsServedAfterIngestion) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.num_shards = 4;
+  Fixture f = MakeFixture(38, 5, cfg);
+  ShardRouter router(&f.history, &f.result, cfg);
+  const std::string unseen = "Qq. Unseen-Author";
+  ASSERT_TRUE(router.AuthorsByName(unseen).empty());
+  auto fut = router.Submit(
+      iuad::testing::MakePaper({unseen, "Some Coauthor"}, "fresh topic"));
+  router.Drain();
+  auto r = fut.get();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_TRUE((*r)[0].created_new);
+  // The unseen block routed through the hash fallback, and the published
+  // view on that shard now serves it.
+  const auto records = router.AuthorsByName(unseen);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].vertex, (*r)[0].vertex);
+  EXPECT_EQ(router.ShardOf(unseen),
+            static_cast<int>(NameHash(unseen) % 4));
+  router.Stop();
+}
+
+TEST(ShardRouterTest, DuplicateSequenceFailsThatSubmissionOnly) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.num_shards = 2;
+  Fixture f = MakeFixture(39, 10, cfg);
+  ShardRouter router(&f.history, &f.result, cfg);
+  auto ok1 = router.SubmitAt(0, f.stream[0]);
+  auto dup = router.SubmitAt(0, f.stream[1]);
+  auto r_dup = dup.get();
+  ASSERT_FALSE(r_dup.ok());
+  EXPECT_EQ(r_dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ok1.get().ok());
+  router.Stop();
+}
+
+TEST(ShardRouterTest, StopFailsStrandedSubmissionsAndRejectsNewOnes) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.num_shards = 2;
+  Fixture f = MakeFixture(40, 10, cfg);
+  ShardRouter router(&f.history, &f.result, cfg);
+  // Sequence 1 can never apply: sequence 0 is a hole we never fill.
+  auto stranded = router.SubmitAt(1, f.stream[0]);
+  {
+    const auto stats = router.Stats();
+    EXPECT_EQ(stats.ingest.queued_now, 1);
+    EXPECT_EQ(stats.ingest.reorder_held, 1);
+  }
+  router.Stop();
+  auto r = stranded.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  auto late = router.Submit(f.stream[1]);
+  auto r_late = late.get();
+  ASSERT_FALSE(r_late.ok());
+  EXPECT_EQ(r_late.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardRouterTest, BadPaperFailsItsFutureWithoutWedgingTheQueue) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.num_shards = 2;
+  Fixture f = MakeFixture(41, 10, cfg);
+  ShardRouter router(&f.history, &f.result, cfg);
+  auto good_before = router.Submit(f.stream[0]);
+  auto bad = router.Submit(data::Paper{});  // empty byline -> InvalidArgument
+  auto good_after = router.Submit(f.stream[1]);
+  router.Drain();
+  EXPECT_TRUE(good_before.get().ok());
+  auto r_bad = bad.get();
+  ASSERT_FALSE(r_bad.ok());
+  EXPECT_EQ(r_bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(good_after.get().ok());
+  EXPECT_EQ(router.Stats().ingest.papers_applied, 2);
+  router.Stop();
+}
+
+}  // namespace
+}  // namespace iuad::shard

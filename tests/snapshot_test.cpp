@@ -286,5 +286,146 @@ TEST_F(SnapshotRejectionTest, MissingFileIsIoError) {
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
+// --------------------------- Format v2 (sharded sections) -------------------
+
+/// Byte offsets of every v2 section, recovered from the on-disk table:
+/// {offset, size} per section, in table order.
+std::vector<std::pair<size_t, size_t>> SectionSpansOf(
+    const std::string& bytes) {
+  uint32_t num_sections = 0;
+  std::memcpy(&num_sections, bytes.data() + 40, sizeof(num_sections));
+  std::vector<std::pair<size_t, size_t>> spans;
+  size_t at = 40 + 4 + static_cast<size_t>(num_sections) * 20;  // past table
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    uint64_t size = 0;
+    std::memcpy(&size, bytes.data() + 40 + 4 + i * 20 + 4, sizeof(size));
+    spans.emplace_back(at, static_cast<size_t>(size));
+    at += size;
+  }
+  return spans;
+}
+
+TEST(SnapshotV2Test, MultiShardSectionsRoundTripExactly) {
+  Fitted f = FitOn(50);
+  f.config.num_shards = 3;  // 1 common + 3 shard sections
+  const std::string path = TempPath("v2_sharded.snap");
+  ASSERT_TRUE(SaveSnapshot(path, f.history, f.result, f.config).ok());
+  const std::string bytes = ReadFileBytes(path);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  EXPECT_EQ(version, kSnapshotFormatVersion);
+  EXPECT_EQ(SectionSpansOf(bytes).size(), 4u);
+
+  auto loaded = LoadSnapshot(path, f.history);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->config.num_shards, 3);
+  ExpectSameGraph(f.result.graph, loaded->result.graph);
+  for (const auto& p : f.history.papers()) {
+    for (const auto& name : p.author_names) {
+      EXPECT_EQ(f.result.occurrences.Lookup(p.id, name),
+                loaded->result.occurrences.Lookup(p.id, name));
+    }
+  }
+  ASSERT_TRUE(loaded->result.model != nullptr);
+  EXPECT_EQ(f.result.model->ToString(), loaded->result.model->ToString());
+
+  // The sharded sections feed the same byte-identical ingestion contract.
+  data::PaperDatabase db_mem = f.history;
+  data::PaperDatabase db_load = f.history;
+  const auto mem = IngestAll(&db_mem, &f.result, f.config, f.stream);
+  const auto rel =
+      IngestAll(&db_load, &loaded->result, loaded->config, f.stream);
+  ASSERT_EQ(mem.size(), rel.size());
+  for (size_t i = 0; i < mem.size(); ++i) {
+    EXPECT_EQ(mem[i].vertex, rel[i].vertex);
+    EXPECT_EQ(mem[i].best_score, rel[i].best_score);  // bitwise-equal double
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2Test, CorruptingAnySingleSectionIsDetectedAndNamed) {
+  Fitted f = FitOn(51, 10);
+  f.config.num_shards = 3;
+  const std::string path = TempPath("v2_corrupt.snap");
+  ASSERT_TRUE(SaveSnapshot(path, f.history, f.result, f.config).ok());
+  const std::string pristine = ReadFileBytes(path);
+  const auto spans = SectionSpansOf(pristine);
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    SCOPED_TRACE("section " + std::to_string(i));
+    ASSERT_GT(spans[i].second, 0u);
+    std::string corrupt = pristine;
+    corrupt[spans[i].first + spans[i].second / 2] ^= 0x5a;
+    WriteFileBytes(path, corrupt);
+    auto r = LoadSnapshot(path, f.history);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+    // The one bad section is identified by index; its neighbors verified
+    // clean — corruption never poisons the rest of the file.
+    EXPECT_NE(r.status().message().find("section " + std::to_string(i)),
+              std::string::npos)
+        << r.status().ToString();
+    EXPECT_NE(r.status().message().find("remaining sections verified clean"),
+              std::string::npos);
+  }
+  // And the pristine bytes still load after all that.
+  WriteFileBytes(path, pristine);
+  EXPECT_TRUE(LoadSnapshot(path, f.history).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2Test, CorruptedSectionTableIsRejected) {
+  Fitted f = FitOn(52, 10);
+  const std::string path = TempPath("v2_table.snap");
+  ASSERT_TRUE(SaveSnapshot(path, f.history, f.result, f.config).ok());
+  std::string corrupt = ReadFileBytes(path);
+  corrupt[44] ^= 0x5a;  // inside the section table (first entry's kind)
+  WriteFileBytes(path, corrupt);
+  auto r = LoadSnapshot(path, f.history);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("table"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2Test, LegacyV1FilesStillLoadAndIngestIdentically) {
+  Fitted f = FitOn(53);
+  const std::string path = TempPath("legacy_v1.snap");
+  SnapshotWriteOptions v1;
+  v1.format_version = kSnapshotFormatV1;
+  ASSERT_TRUE(SaveSnapshot(path, f.history, f.result, f.config, v1).ok());
+  const std::string bytes = ReadFileBytes(path);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  ASSERT_EQ(version, kSnapshotFormatV1);
+
+  auto loaded = LoadSnapshot(path, f.history);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Fields the v1 format predates fall back to their defaults.
+  EXPECT_EQ(loaded->config.num_shards, 1);
+  ExpectSameGraph(f.result.graph, loaded->result.graph);
+  data::PaperDatabase db_mem = f.history;
+  data::PaperDatabase db_load = f.history;
+  const auto mem = IngestAll(&db_mem, &f.result, f.config, f.stream);
+  const auto rel =
+      IngestAll(&db_load, &loaded->result, loaded->config, f.stream);
+  ASSERT_EQ(mem.size(), rel.size());
+  for (size_t i = 0; i < mem.size(); ++i) {
+    EXPECT_EQ(mem[i].vertex, rel[i].vertex);
+    EXPECT_EQ(mem[i].best_score, rel[i].best_score);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2Test, UnsupportedWriteVersionIsRejected) {
+  Fitted f = FitOn(54, 5);
+  SnapshotWriteOptions opts;
+  opts.format_version = 99;
+  auto st = SaveSnapshot(TempPath("never.snap"), f.history, f.result,
+                         f.config, opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace iuad::io
