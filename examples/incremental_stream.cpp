@@ -1,16 +1,26 @@
 /// Incremental ingestion: run IUAD once over a historical database, then
-/// stream newly published papers into the live network one at a time —
-/// Sec. V-E of the paper, and the reason IUAD can sit behind a digital
-/// library that receives new records continuously. No retraining happens;
-/// each occurrence is assigned by the fitted generative model's score.
+/// stream newly published papers into the live network — Sec. V-E of the
+/// paper, and the reason IUAD can sit behind a digital library that
+/// receives new records continuously. No retraining happens; each
+/// occurrence is assigned by the fitted generative model's score.
+///
+/// This example drives the redesigned serving surface: the stream goes
+/// through serve::Frontend — the one interface the IngestService, the
+/// sharded ShardRouter, and the networked query API (src/api) all share —
+/// as a single SubmitBatch call that reserves one contiguous sequence
+/// range for the whole batch, and the post-ingestion lookups use the
+/// frontend's published read views instead of poking the raw result.
 ///
 /// Build & run:  ./build/examples/incremental_stream
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
-#include "core/incremental.h"
 #include "core/pipeline.h"
 #include "data/corpus_generator.h"
+#include "serve/frontend.h"
+#include "serve/ingest_service.h"
 #include "util/stopwatch.h"
 
 using namespace iuad;
@@ -38,13 +48,16 @@ int main() {
   std::printf("built network: %d author vertices\n\n",
               result->graph.num_alive());
 
-  // Stream the new papers. The disambiguator mutates `history` (it appends
-  // the papers) and `result` (graph, occurrence index) in place.
-  core::IncrementalDisambiguator ingest(&history, &*result, config);
+  // Bring up the serving front end and ingest the whole stream as one
+  // batch. The futures resolve in sequence order with exactly the
+  // assignments sequential AddPaper calls would produce.
+  serve::IngestService service(&history, &*result, config);
+  serve::Frontend& frontend = service;
   int joined = 0, founded = 0;
   iuad::Stopwatch sw;
-  for (const auto& paper : stream) {
-    auto assignments = ingest.AddPaper(paper);
+  auto futures = frontend.SubmitBatch(stream);
+  for (auto& future : futures) {
+    auto assignments = future.get();
     if (!assignments.ok()) {
       std::printf("ingest failed: %s\n",
                   assignments.status().ToString().c_str());
@@ -64,16 +77,29 @@ int main() {
   std::printf("occurrences joining an existing author: %d\n", joined);
   std::printf("occurrences founding a new author:      %d\n", founded);
 
-  // Show one concrete decision trail.
+  // Resolved futures mean the papers are applied, not that a fresh read
+  // view is published (reads lag by up to one refresh window) — drain
+  // before reading stats and the decision trail below.
+  frontend.Drain();
+  const auto stats = frontend.Stats();
+  std::printf("service state: epoch %ld, %ld papers applied, "
+              "%d alive vertices\n",
+              static_cast<long>(stats.epoch),
+              static_cast<long>(stats.papers_applied),
+              stats.num_alive_vertices);
   const auto& last = stream.back();
   std::printf("\nlast paper: \"%s\" (%s, %d) by:\n", last.title.c_str(),
               last.venue.c_str(), last.year);
   for (const auto& name : last.author_names) {
-    const graph::VertexId v =
-        result->occurrences.Lookup(history.num_papers() - 1, name);
-    if (v < 0) continue;
-    std::printf("  %-24s -> author vertex %d (now %zu papers)\n", name.c_str(),
-                v, result->graph.vertex(v).papers.size());
+    for (const auto& rec : frontend.AuthorsByName(name)) {
+      const auto papers = frontend.PublicationsOf(rec.vertex);
+      if (papers.empty() || papers.back() != history.num_papers() - 1) {
+        continue;  // a same-name candidate that did not absorb this byline
+      }
+      std::printf("  %-24s -> author vertex %d (now %zu papers)\n",
+                  name.c_str(), rec.vertex, papers.size());
+    }
   }
+  frontend.Stop();
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Query/ingest API throughput trajectory (ROADMAP: accumulate BENCH_*.json).
+# Runs bench_api: fits the pipeline, serves the fitted state over
+# api::Server (TCP, newline-delimited JSON), streams the held-out papers
+# through the protocol in batches, and hammers query_authors from
+# BENCH_CLIENTS concurrent connections. Writes BENCH_api.json with end-to-end
+# ingest/s (direct Frontend vs API) and queries/s. The bench verifies the
+# API session's assignments are byte-identical to direct submission and
+# fails otherwise, so a recorded data point is also a protocol-correctness
+# check.
+#
+# Env knobs:
+#   BENCH_CLIENTS  query connection count (default: nproc)
+#   BENCH_PAPERS   corpus size (default: 6000)
+#   BENCH_STREAM   held-out stream size (default: 400)
+#   BENCH_BATCH    papers per ingest request (default: 16)
+#   BENCH_OUT      output path (default: BENCH_api.json in repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIENTS="${BENCH_CLIENTS:-$(nproc)}"
+PAPERS="${BENCH_PAPERS:-6000}"
+STREAM="${BENCH_STREAM:-400}"
+BATCH="${BENCH_BATCH:-16}"
+OUT="${BENCH_OUT:-BENCH_api.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build --target bench_bench_api -j "$(nproc)" >/dev/null
+./build/bench_bench_api --papers "$PAPERS" --stream "$STREAM" \
+  --batch "$BATCH" --clients "$CLIENTS" --json "$OUT"

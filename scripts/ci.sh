@@ -36,11 +36,40 @@ test -s "$SMOKE_DIR/post.snap" && test -s "$SMOKE_DIR/post.tsv"
   --load-snapshot "$SMOKE_DIR/post.snap"
 echo "sharded serve + checkpoint-on-stop smoke: OK"
 
+# Query-API smoke: drive a scripted NDJSON ingest+query session through
+# `iuad serve --stdio` (the socket-free transport of the same dispatcher the
+# TCP server uses) and assert on the responses. The ingest-response lines
+# must be byte-identical between the 1-shard and 2-shard front ends — the
+# serve::Frontend equivalence contract, end to end through the CLI.
+cat > "$SMOKE_DIR/session.ndjson" <<'EOF'
+{"id":1,"op":"stats"}
+{"id":2,"op":"ingest","papers":[{"title":"smoke paper one","venue":"VenueX","year":2024,"authors":["Api Smoke Author","Second Smoke Author"]},{"title":"smoke paper two","venue":"VenueY","year":2025,"authors":["Api Smoke Author"]}]}
+{"id":3,"op":"flush"}
+{"id":4,"op":"query_authors","name":"Api Smoke Author"}
+{"id":5,"op":"not_an_op"}
+EOF
+./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio \
+  < "$SMOKE_DIR/session.ndjson" > "$SMOKE_DIR/out1.txt"
+grep '"op":"ingest","ok":true,"assignments":' "$SMOKE_DIR/out1.txt" >/dev/null
+grep -F '{"id":3,"op":"flush","ok":true,"applied":2}' "$SMOKE_DIR/out1.txt" \
+  >/dev/null
+grep '"op":"query_authors","ok":true,"authors":\[{"vertex":' \
+  "$SMOKE_DIR/out1.txt" >/dev/null
+grep '"id":-1,.*"ok":false,.*InvalidArgument' "$SMOKE_DIR/out1.txt" >/dev/null
+./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio --shards 2 \
+  < "$SMOKE_DIR/session.ndjson" > "$SMOKE_DIR/out2.txt"
+diff <(grep '"op":"ingest"' "$SMOKE_DIR/out1.txt") \
+     <(grep '"op":"ingest"' "$SMOKE_DIR/out2.txt")
+echo "query API stdio smoke: OK"
+
 # Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json,
-# BENCH_shard.json). Off by default to keep CI time bounded; set
-# IUAD_RUN_BENCH=1 to record them.
+# BENCH_shard.json, BENCH_api.json). Off by default to keep CI time
+# bounded; set IUAD_RUN_BENCH=1 to record them.
 if [[ "${IUAD_RUN_BENCH:-0}" == "1" ]]; then
   scripts/bench_stages.sh
   scripts/bench_ingest.sh
   scripts/bench_shard.sh
+  scripts/bench_api.sh
 fi

@@ -1,0 +1,524 @@
+#include "api/codec.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace iuad::api {
+
+namespace {
+
+using util::JsonValue;
+using util::JsonWriter;
+
+// ---- Encoding ---------------------------------------------------------------
+
+/// JSON has no Inf/NaN, but assignment scores are legitimately -inf (a
+/// byline with zero candidates founds a new author, Sec. V-E condition
+/// (2)). Non-finite scores go over the wire as the canonical strings
+/// "inf" / "-inf" / "nan"; finite ones as shortest-exact numbers.
+void EncodeScore(JsonWriter* w, double score) {
+  if (std::isfinite(score)) {
+    w->FieldExact("score", score);
+  } else if (std::isnan(score)) {
+    w->Field("score", "nan");
+  } else {
+    w->Field("score", score > 0 ? "inf" : "-inf");
+  }
+}
+
+iuad::Result<double> DecodeScore(const JsonValue& v) {
+  if (v.is_number()) return v.as_double();
+  if (v.is_string()) {
+    if (v.as_string() == "inf") {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (v.as_string() == "-inf") {
+      return -std::numeric_limits<double>::infinity();
+    }
+    if (v.as_string() == "nan") {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return iuad::Status::InvalidArgument(
+      "api: \"score\" must be a number or \"inf\"/\"-inf\"/\"nan\"");
+}
+
+void EncodePaper(JsonWriter* w, const data::Paper& paper) {
+  w->BeginObjectElement()
+      .Field("title", paper.title)
+      .Field("venue", paper.venue)
+      .Field("year", paper.year);
+  w->BeginArray("authors");
+  for (const auto& name : paper.author_names) w->Element(name);
+  w->EndArray();
+  // Canonical form: ground-truth labels appear only when present (and the
+  // decoder rejects an explicit empty list, keeping encoding canonical).
+  if (!paper.true_author_ids.empty()) {
+    w->BeginArray("truth");
+    for (data::AuthorId id : paper.true_author_ids) w->Element(id);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+void EncodeStats(JsonWriter* w, const serve::ServiceStats& stats) {
+  w->BeginObject("stats")
+      .Field("epoch", stats.epoch)
+      .Field("papers_applied", stats.papers_applied)
+      .Field("assignments", stats.assignments)
+      .Field("new_authors", stats.new_authors)
+      .Field("alive_vertices", stats.num_alive_vertices)
+      .Field("edges", stats.num_edges)
+      .Field("queued_now", stats.queued_now)
+      .Field("reorder_held", stats.reorder_held)
+      .Field("queue_capacity", stats.queue_capacity)
+      .Field("num_shards", stats.num_shards);
+  w->BeginArray("shards");
+  for (const serve::ShardHealth& s : stats.shards) {
+    w->BeginObjectElement()
+        .Field("shard", s.shard)
+        .Field("owned_blocks", s.owned_blocks)
+        .Field("placement_weight", s.placement_weight)
+        .Field("papers_scored", s.papers_scored)
+        .Field("bylines_scored", s.bylines_scored)
+        .Field("assignments", s.assignments)
+        .Field("new_authors", s.new_authors)
+        .EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+// ---- Decoding ---------------------------------------------------------------
+
+/// Typed, consumed-key-tracking view of one JSON object: every getter marks
+/// its key consumed, Finish() rejects whatever the schema did not ask for —
+/// which is how "no unknown fields" falls out for free on every message
+/// shape.
+class ObjectReader {
+ public:
+  ObjectReader(const JsonValue& value, std::string what)
+      : value_(value), what_(std::move(what)),
+        consumed_(value.members().size(), false) {}
+
+  static iuad::Result<ObjectReader> For(const JsonValue& value,
+                                        std::string what) {
+    if (!value.is_object()) {
+      return iuad::Status::InvalidArgument("api: " + what +
+                                           " must be a JSON object");
+    }
+    return ObjectReader(value, std::move(what));
+  }
+
+  iuad::Result<int64_t> Int(const char* key) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
+    if (!v->is_int()) return WrongType(key, "an integer");
+    return v->as_int();
+  }
+
+  iuad::Result<bool> Bool(const char* key) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
+    if (!v->is_bool()) return WrongType(key, "a bool");
+    return v->as_bool();
+  }
+
+  iuad::Result<std::string> String(const char* key) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
+    if (!v->is_string()) return WrongType(key, "a string");
+    return v->as_string();
+  }
+
+  /// Required member of any type (the caller checks the shape).
+  iuad::Result<const JsonValue*> Any(const char* key) {
+    return Required(key);
+  }
+
+  iuad::Result<const JsonValue*> Array(const char* key) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
+    if (!v->is_array()) return WrongType(key, "an array");
+    return v;
+  }
+
+  iuad::Result<const JsonValue*> Object(const char* key) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
+    if (!v->is_object()) return WrongType(key, "an object");
+    return v;
+  }
+
+  /// Marks `key` consumed and returns it, or nullptr when absent.
+  const JsonValue* Optional(const char* key) {
+    return FindAndConsume(key);
+  }
+
+  /// Rejects members no getter asked for: strict schemas, no silent
+  /// tolerance of typo'd or future fields.
+  iuad::Status Finish() const {
+    for (size_t i = 0; i < consumed_.size(); ++i) {
+      if (!consumed_[i]) {
+        return iuad::Status::InvalidArgument(
+            "api: " + what_ + " has unknown field \"" +
+            value_.members()[i].first + "\"");
+      }
+    }
+    return iuad::Status::OK();
+  }
+
+ private:
+  const JsonValue* FindAndConsume(const char* key) {
+    const auto& members = value_.members();
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i].first == key) {
+        consumed_[i] = true;
+        return &members[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  iuad::Result<const JsonValue*> Required(const char* key) {
+    const JsonValue* v = FindAndConsume(key);
+    if (v == nullptr) {
+      return iuad::Status::InvalidArgument(
+          "api: " + what_ + " is missing required field \"" + key + "\"");
+    }
+    return v;
+  }
+
+  iuad::Status WrongType(const char* key, const char* expected) const {
+    return iuad::Status::InvalidArgument("api: " + what_ + " field \"" + key +
+                                         "\" must be " + expected);
+  }
+
+  const JsonValue& value_;
+  std::string what_;
+  std::vector<bool> consumed_;
+};
+
+iuad::Result<int> ToInt32(int64_t v, const char* what) {
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return iuad::Status::InvalidArgument(std::string("api: ") + what +
+                                         " out of 32-bit range");
+  }
+  return static_cast<int>(v);
+}
+
+iuad::Result<Op> OpFromName(const std::string& name) {
+  for (Op op : {Op::kIngest, Op::kQueryAuthors, Op::kQueryPublications,
+                Op::kFlush, Op::kStats}) {
+    if (name == OpName(op)) return op;
+  }
+  return iuad::Status::InvalidArgument("api: unknown op \"" + name + "\"");
+}
+
+iuad::Result<data::Paper> DecodePaper(const JsonValue& value) {
+  IUAD_ASSIGN_OR_RETURN(ObjectReader paper, ObjectReader::For(value, "paper"));
+  data::Paper p;
+  IUAD_ASSIGN_OR_RETURN(p.title, paper.String("title"));
+  IUAD_ASSIGN_OR_RETURN(p.venue, paper.String("venue"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t year, paper.Int("year"));
+  IUAD_ASSIGN_OR_RETURN(p.year, ToInt32(year, "paper year"));
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* authors, paper.Array("authors"));
+  if (authors->items().empty()) {
+    return iuad::Status::InvalidArgument(
+        "api: paper with empty \"authors\" byline");
+  }
+  for (const JsonValue& name : authors->items()) {
+    if (!name.is_string()) {
+      return iuad::Status::InvalidArgument(
+          "api: paper \"authors\" entries must be strings");
+    }
+    p.author_names.push_back(name.as_string());
+  }
+  if (const JsonValue* truth = paper.Optional("truth")) {
+    if (!truth->is_array() || truth->items().empty()) {
+      return iuad::Status::InvalidArgument(
+          "api: paper \"truth\" must be a non-empty array (omit it instead)");
+    }
+    for (const JsonValue& id : truth->items()) {
+      if (!id.is_int()) {
+        return iuad::Status::InvalidArgument(
+            "api: paper \"truth\" entries must be integers");
+      }
+      IUAD_ASSIGN_OR_RETURN(const int author, ToInt32(id.as_int(),
+                                                      "truth author id"));
+      p.true_author_ids.push_back(author);
+    }
+  }
+  IUAD_RETURN_NOT_OK(paper.Finish());
+  return p;
+}
+
+iuad::Result<serve::ServiceStats> DecodeStats(const JsonValue& value) {
+  IUAD_ASSIGN_OR_RETURN(ObjectReader r, ObjectReader::For(value, "stats"));
+  serve::ServiceStats stats;
+  IUAD_ASSIGN_OR_RETURN(stats.epoch, r.Int("epoch"));
+  IUAD_ASSIGN_OR_RETURN(stats.papers_applied, r.Int("papers_applied"));
+  IUAD_ASSIGN_OR_RETURN(stats.assignments, r.Int("assignments"));
+  IUAD_ASSIGN_OR_RETURN(stats.new_authors, r.Int("new_authors"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t alive, r.Int("alive_vertices"));
+  IUAD_ASSIGN_OR_RETURN(stats.num_alive_vertices,
+                        ToInt32(alive, "alive_vertices"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t edges, r.Int("edges"));
+  IUAD_ASSIGN_OR_RETURN(stats.num_edges, ToInt32(edges, "edges"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t queued, r.Int("queued_now"));
+  IUAD_ASSIGN_OR_RETURN(stats.queued_now, ToInt32(queued, "queued_now"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t held, r.Int("reorder_held"));
+  IUAD_ASSIGN_OR_RETURN(stats.reorder_held, ToInt32(held, "reorder_held"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t cap, r.Int("queue_capacity"));
+  IUAD_ASSIGN_OR_RETURN(stats.queue_capacity, ToInt32(cap, "queue_capacity"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t shards, r.Int("num_shards"));
+  IUAD_ASSIGN_OR_RETURN(stats.num_shards, ToInt32(shards, "num_shards"));
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* list, r.Array("shards"));
+  for (const JsonValue& item : list->items()) {
+    IUAD_ASSIGN_OR_RETURN(ObjectReader sr, ObjectReader::For(item, "shard"));
+    serve::ShardHealth h;
+    IUAD_ASSIGN_OR_RETURN(const int64_t shard, sr.Int("shard"));
+    IUAD_ASSIGN_OR_RETURN(h.shard, ToInt32(shard, "shard index"));
+    IUAD_ASSIGN_OR_RETURN(h.owned_blocks, sr.Int("owned_blocks"));
+    IUAD_ASSIGN_OR_RETURN(h.placement_weight, sr.Int("placement_weight"));
+    IUAD_ASSIGN_OR_RETURN(h.papers_scored, sr.Int("papers_scored"));
+    IUAD_ASSIGN_OR_RETURN(h.bylines_scored, sr.Int("bylines_scored"));
+    IUAD_ASSIGN_OR_RETURN(h.assignments, sr.Int("assignments"));
+    IUAD_ASSIGN_OR_RETURN(h.new_authors, sr.Int("new_authors"));
+    IUAD_RETURN_NOT_OK(sr.Finish());
+    stats.shards.push_back(h);
+  }
+  IUAD_RETURN_NOT_OK(r.Finish());
+  return stats;
+}
+
+util::JsonReaderOptions ReaderOptions(const WireLimits& limits) {
+  util::JsonReaderOptions options;
+  options.max_bytes = limits.max_bytes;
+  options.max_depth = limits.max_depth;
+  return options;
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& request) {
+  JsonWriter w(JsonWriter::Style::kCompact);
+  w.Field("id", request.id).Field("op", OpName(request.op));
+  switch (request.op) {
+    case Op::kIngest: {
+      w.BeginArray("papers");
+      for (const data::Paper& paper : request.ingest.papers) {
+        EncodePaper(&w, paper);
+      }
+      w.EndArray();
+      break;
+    }
+    case Op::kQueryAuthors:
+      w.Field("name", request.query_authors.name);
+      break;
+    case Op::kQueryPublications:
+      w.Field("vertex", request.query_publications.vertex);
+      break;
+    case Op::kFlush:
+    case Op::kStats:
+      break;
+  }
+  return w.str();
+}
+
+std::string EncodeResponse(const Response& response) {
+  JsonWriter w(JsonWriter::Style::kCompact);
+  w.Field("id", response.id)
+      .Field("op", OpName(response.op))
+      .Field("ok", response.status.ok());
+  if (!response.status.ok()) {
+    w.BeginObject("error")
+        .Field("code", StatusCodeName(response.status.code()))
+        .Field("message", response.status.message())
+        .EndObject();
+    return w.str();
+  }
+  switch (response.op) {
+    case Op::kIngest: {
+      w.BeginArray("assignments");
+      for (const auto& per_paper : response.assignments) {
+        w.BeginArrayElement();
+        for (const core::IncrementalAssignment& a : per_paper) {
+          w.BeginObjectElement()
+              .Field("name", a.name)
+              .Field("vertex", a.vertex)
+              .Field("new", a.created_new);
+          EncodeScore(&w, a.best_score);
+          w.Field("candidates", a.num_candidates).EndObject();
+        }
+        w.EndArray();
+      }
+      w.EndArray();
+      break;
+    }
+    case Op::kQueryAuthors: {
+      w.BeginArray("authors");
+      for (const serve::AuthorRecord& rec : response.authors) {
+        w.BeginObjectElement()
+            .Field("vertex", rec.vertex)
+            .Field("papers", rec.num_papers)
+            .EndObject();
+      }
+      w.EndArray();
+      break;
+    }
+    case Op::kQueryPublications: {
+      w.BeginArray("paper_ids");
+      for (int id : response.paper_ids) w.Element(id);
+      w.EndArray();
+      break;
+    }
+    case Op::kFlush:
+      w.Field("applied", response.applied);
+      break;
+    case Op::kStats:
+      EncodeStats(&w, response.stats);
+      break;
+  }
+  return w.str();
+}
+
+iuad::Result<Request> DecodeRequest(const std::string& line,
+                                    const WireLimits& limits) {
+  IUAD_ASSIGN_OR_RETURN(JsonValue root,
+                        util::ParseJson(line, ReaderOptions(limits)));
+  IUAD_ASSIGN_OR_RETURN(ObjectReader r, ObjectReader::For(root, "request"));
+  Request request;
+  IUAD_ASSIGN_OR_RETURN(request.id, r.Int("id"));
+  IUAD_ASSIGN_OR_RETURN(const std::string op_name, r.String("op"));
+  IUAD_ASSIGN_OR_RETURN(request.op, OpFromName(op_name));
+  switch (request.op) {
+    case Op::kIngest: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* papers, r.Array("papers"));
+      if (papers->items().empty()) {
+        return iuad::Status::InvalidArgument(
+            "api: ingest request with no papers");
+      }
+      for (const JsonValue& item : papers->items()) {
+        IUAD_ASSIGN_OR_RETURN(data::Paper paper, DecodePaper(item));
+        request.ingest.papers.push_back(std::move(paper));
+      }
+      break;
+    }
+    case Op::kQueryAuthors: {
+      IUAD_ASSIGN_OR_RETURN(request.query_authors.name, r.String("name"));
+      break;
+    }
+    case Op::kQueryPublications: {
+      IUAD_ASSIGN_OR_RETURN(request.query_publications.vertex,
+                            r.Int("vertex"));
+      break;
+    }
+    case Op::kFlush:
+    case Op::kStats:
+      break;
+  }
+  IUAD_RETURN_NOT_OK(r.Finish());
+  return request;
+}
+
+iuad::Result<Response> DecodeResponse(const std::string& line,
+                                      const WireLimits& limits) {
+  IUAD_ASSIGN_OR_RETURN(JsonValue root,
+                        util::ParseJson(line, ReaderOptions(limits)));
+  IUAD_ASSIGN_OR_RETURN(ObjectReader r, ObjectReader::For(root, "response"));
+  Response response;
+  IUAD_ASSIGN_OR_RETURN(response.id, r.Int("id"));
+  IUAD_ASSIGN_OR_RETURN(const std::string op_name, r.String("op"));
+  IUAD_ASSIGN_OR_RETURN(response.op, OpFromName(op_name));
+  IUAD_ASSIGN_OR_RETURN(const bool ok, r.Bool("ok"));
+  if (!ok) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* error, r.Object("error"));
+    IUAD_ASSIGN_OR_RETURN(ObjectReader er,
+                          ObjectReader::For(*error, "error"));
+    IUAD_ASSIGN_OR_RETURN(const std::string code, er.String("code"));
+    IUAD_ASSIGN_OR_RETURN(const std::string message, er.String("message"));
+    IUAD_RETURN_NOT_OK(er.Finish());
+    const StatusCode status_code = StatusCodeFromName(code);
+    if (status_code == StatusCode::kOk) {
+      return iuad::Status::InvalidArgument(
+          "api: error response cannot carry code \"OK\"");
+    }
+    response.status = iuad::Status(status_code, message);
+    IUAD_RETURN_NOT_OK(r.Finish());
+    return response;
+  }
+  switch (response.op) {
+    case Op::kIngest: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* outer, r.Array("assignments"));
+      for (const JsonValue& per_paper : outer->items()) {
+        if (!per_paper.is_array()) {
+          return iuad::Status::InvalidArgument(
+              "api: \"assignments\" entries must be arrays");
+        }
+        std::vector<core::IncrementalAssignment> decoded;
+        for (const JsonValue& item : per_paper.items()) {
+          IUAD_ASSIGN_OR_RETURN(ObjectReader ar,
+                                ObjectReader::For(item, "assignment"));
+          core::IncrementalAssignment a;
+          IUAD_ASSIGN_OR_RETURN(a.name, ar.String("name"));
+          IUAD_ASSIGN_OR_RETURN(const int64_t vertex, ar.Int("vertex"));
+          IUAD_ASSIGN_OR_RETURN(a.vertex, ToInt32(vertex, "vertex"));
+          IUAD_ASSIGN_OR_RETURN(a.created_new, ar.Bool("new"));
+          IUAD_ASSIGN_OR_RETURN(const JsonValue* score, ar.Any("score"));
+          IUAD_ASSIGN_OR_RETURN(a.best_score, DecodeScore(*score));
+          IUAD_ASSIGN_OR_RETURN(const int64_t cands, ar.Int("candidates"));
+          IUAD_ASSIGN_OR_RETURN(a.num_candidates,
+                                ToInt32(cands, "candidates"));
+          IUAD_RETURN_NOT_OK(ar.Finish());
+          decoded.push_back(std::move(a));
+        }
+        response.assignments.push_back(std::move(decoded));
+      }
+      break;
+    }
+    case Op::kQueryAuthors: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* authors, r.Array("authors"));
+      for (const JsonValue& item : authors->items()) {
+        IUAD_ASSIGN_OR_RETURN(ObjectReader ar,
+                              ObjectReader::For(item, "author"));
+        serve::AuthorRecord rec;
+        IUAD_ASSIGN_OR_RETURN(const int64_t vertex, ar.Int("vertex"));
+        IUAD_ASSIGN_OR_RETURN(rec.vertex, ToInt32(vertex, "vertex"));
+        IUAD_ASSIGN_OR_RETURN(const int64_t papers, ar.Int("papers"));
+        IUAD_ASSIGN_OR_RETURN(rec.num_papers, ToInt32(papers, "papers"));
+        IUAD_RETURN_NOT_OK(ar.Finish());
+        response.authors.push_back(rec);
+      }
+      break;
+    }
+    case Op::kQueryPublications: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* ids, r.Array("paper_ids"));
+      for (const JsonValue& item : ids->items()) {
+        if (!item.is_int()) {
+          return iuad::Status::InvalidArgument(
+              "api: \"paper_ids\" entries must be integers");
+        }
+        IUAD_ASSIGN_OR_RETURN(const int id, ToInt32(item.as_int(),
+                                                    "paper id"));
+        response.paper_ids.push_back(id);
+      }
+      break;
+    }
+    case Op::kFlush: {
+      IUAD_ASSIGN_OR_RETURN(response.applied, r.Int("applied"));
+      break;
+    }
+    case Op::kStats: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* stats, r.Object("stats"));
+      IUAD_ASSIGN_OR_RETURN(response.stats, DecodeStats(*stats));
+      break;
+    }
+  }
+  IUAD_RETURN_NOT_OK(r.Finish());
+  return response;
+}
+
+}  // namespace iuad::api

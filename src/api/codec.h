@@ -1,0 +1,65 @@
+#ifndef IUAD_API_CODEC_H_
+#define IUAD_API_CODEC_H_
+
+/// \file codec.h
+/// Newline-delimited JSON wire codec for the query/ingest protocol: one
+/// Request or Response per line, compact (whitespace-free) encoding, field
+/// order fixed. Encoding is canonical — encode(decode(encode(x))) is
+/// byte-identical to encode(x), property-tested in tests/api_test.cpp —
+/// and decoding is strict: unknown fields, wrong types, duplicate keys,
+/// truncated documents, and oversized payloads all fail with
+/// InvalidArgument instead of being guessed at.
+///
+/// Wire grammar (one JSON object per line; `?` marks optional fields):
+///
+///   request  := {"id": int, "op": op, ...op-payload}
+///   op       := "ingest" | "query_authors" | "query_publications"
+///             | "flush" | "stats"
+///   ingest payload             "papers": [paper, ...]
+///   query_authors payload      "name": string
+///   query_publications payload "vertex": int
+///   paper    := {"title": string, "venue": string, "year": int,
+///                "authors": [string, ...], "truth"?: [int, ...]}
+///
+///   response := {"id": int, "op": op, "ok": true, ...op-payload}
+///             | {"id": int, "op": op, "ok": false,
+///                "error": {"code": string, "message": string}}
+///   ingest payload             "assignments": [[assignment, ...], ...]
+///                              (one inner list per submitted paper)
+///   assignment := {"name": string, "vertex": int, "new": bool,
+///                  "score": number, "candidates": int}
+///   query_authors payload      "authors": [{"vertex": int, "papers": int}]
+///   query_publications payload "paper_ids": [int, ...]
+///   flush payload              "applied": int
+///   stats payload              "stats": {epoch, papers_applied,
+///                              assignments, new_authors, alive_vertices,
+///                              edges, queued_now, reorder_held,
+///                              queue_capacity, num_shards, shards: [...]}
+
+#include <string>
+
+#include "api/messages.h"
+#include "util/status.h"
+
+namespace iuad::api {
+
+/// Decoder guards against hostile input (the TCP transport reads untrusted
+/// bytes). Encoded documents this codec produces stay far inside both.
+struct WireLimits {
+  size_t max_bytes = 1 << 20;
+  int max_depth = 32;
+};
+
+/// One compact JSON line, without the trailing newline (the transport owns
+/// framing).
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+iuad::Result<Request> DecodeRequest(const std::string& line,
+                                    const WireLimits& limits = {});
+iuad::Result<Response> DecodeResponse(const std::string& line,
+                                      const WireLimits& limits = {});
+
+}  // namespace iuad::api
+
+#endif  // IUAD_API_CODEC_H_

@@ -1,0 +1,103 @@
+#include "api/dispatcher.h"
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iuad::api {
+
+Response Dispatcher::Execute(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.op = request.op;
+  switch (request.op) {
+    case Op::kIngest: {
+      const auto& papers = request.ingest.papers;
+      if (papers.empty()) {
+        response.status =
+            iuad::Status::InvalidArgument("ingest request with no papers");
+        return response;
+      }
+      if (papers.size() > static_cast<size_t>(options_.max_batch)) {
+        response.status = iuad::Status::ResourceExhausted(
+            "batch of " + std::to_string(papers.size()) +
+            " papers exceeds api_max_batch = " +
+            std::to_string(options_.max_batch));
+        return response;
+      }
+      // Protocol-level backpressure: when the bounded ingest queue is
+      // already at capacity (concurrent connections saturating the
+      // applier), refuse instead of parking this connection on the
+      // admission window for an unbounded time.
+      const serve::ServiceStats live = frontend_->Stats();
+      if (live.queued_now >= live.queue_capacity) {
+        response.status = iuad::Status::ResourceExhausted(
+            "ingest queue full (" + std::to_string(live.queued_now) + "/" +
+            std::to_string(live.queue_capacity) + " queued); retry");
+        return response;
+      }
+      auto futures = frontend_->SubmitBatch(papers);
+      response.assignments.reserve(futures.size());
+      for (size_t i = 0; i < futures.size(); ++i) {
+        auto applied = futures[i].get();
+        if (!applied.ok()) {
+          response.assignments.clear();
+          response.status = iuad::Status(
+              applied.status().code(),
+              "paper " + std::to_string(i) + ": " +
+                  applied.status().message());
+          return response;
+        }
+        response.assignments.push_back(std::move(*applied));
+      }
+      return response;
+    }
+    case Op::kQueryAuthors:
+      response.authors = frontend_->AuthorsByName(request.query_authors.name);
+      return response;
+    case Op::kQueryPublications: {
+      const int64_t vertex = request.query_publications.vertex;
+      if (vertex < 0) {
+        response.status =
+            iuad::Status::InvalidArgument("vertex must be >= 0");
+        return response;
+      }
+      response.paper_ids =
+          frontend_->PublicationsOf(static_cast<graph::VertexId>(vertex));
+      return response;
+    }
+    case Op::kFlush:
+      frontend_->Drain();
+      response.applied = frontend_->Stats().papers_applied;
+      return response;
+    case Op::kStats:
+      response.stats = frontend_->Stats();
+      return response;
+  }
+  response.status = iuad::Status::Internal("unhandled op");
+  return response;
+}
+
+std::string Dispatcher::HandleLine(const std::string& line) {
+  auto request = DecodeRequest(line, options_.limits);
+  if (!request.ok()) {
+    Response error;
+    error.id = -1;  // the request id never decoded
+    error.op = Op::kStats;
+    error.status = request.status();
+    return EncodeResponse(error);
+  }
+  return EncodeResponse(Execute(*request));
+}
+
+void Dispatcher::ServeStream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    out << HandleLine(line) << '\n' << std::flush;
+  }
+}
+
+}  // namespace iuad::api

@@ -1,0 +1,74 @@
+#ifndef IUAD_API_DISPATCHER_H_
+#define IUAD_API_DISPATCHER_H_
+
+/// \file dispatcher.h
+/// Executes typed protocol requests against any serve::Frontend — the one
+/// piece of request logic every transport shares. The TCP server, the
+/// stdio mode, tests, and benchmarks all funnel through Dispatcher, so a
+/// scripted NDJSON session and direct Frontend::Submit calls produce
+/// byte-identical assignments (pinned by tests/api_test.cpp).
+///
+/// Semantics:
+///  * Execute() is synchronous: ingest requests wait for their papers'
+///    futures, so the response carries the final assignments and responses
+///    go back in request order — which is what makes a single-connection
+///    session equivalent to sequential submission.
+///  * Backpressure is protocol-level, not TCP-level: a batch larger than
+///    api_max_batch, or an ingest arriving while the frontend's bounded
+///    queue is full (live queued_now at capacity, i.e. other connections
+///    already saturate the applier), is answered with ResourceExhausted
+///    instead of blocking the connection indefinitely. Clients retry;
+///    admission inside an accepted batch still blocks briefly as its own
+///    papers drain.
+///  * A batch is all-or-nothing at admission but not at application: if a
+///    paper fails mid-batch (e.g. the fitted model is absent), the
+///    response is that paper's error and the batch's other papers may
+///    still have been applied — exactly the sequential-AddPaper behavior.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "api/codec.h"
+#include "api/messages.h"
+#include "serve/frontend.h"
+
+namespace iuad::api {
+
+class Dispatcher {
+ public:
+  struct Options {
+    /// Largest paper batch one ingest request may carry
+    /// (core::IuadConfig::api_max_batch).
+    int max_batch = 64;
+    /// Wire-decoding limits for untrusted transports.
+    WireLimits limits;
+  };
+
+  /// `frontend` is caller-owned and must outlive the dispatcher.
+  Dispatcher(serve::Frontend* frontend, Options options)
+      : frontend_(frontend), options_(options) {}
+
+  /// Executes one typed request. Never throws; failures come back as the
+  /// response's status.
+  Response Execute(const Request& request);
+
+  /// Decodes one wire line, executes it, encodes the response line
+  /// (without trailing newline). Undecodable input yields an encoded
+  /// error response with id -1 — the transport always has one line to
+  /// send back per line received.
+  std::string HandleLine(const std::string& line);
+
+  /// NDJSON session loop: one request per input line, one response per
+  /// output line (flushed), until EOF. Blank lines are ignored. This is
+  /// the stdio transport (`iuad serve --stdio`) and the test harness.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+ private:
+  serve::Frontend* frontend_;
+  Options options_;
+};
+
+}  // namespace iuad::api
+
+#endif  // IUAD_API_DISPATCHER_H_

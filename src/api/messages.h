@@ -1,0 +1,110 @@
+#ifndef IUAD_API_MESSAGES_H_
+#define IUAD_API_MESSAGES_H_
+
+/// \file messages.h
+/// Typed request/response model of the query/ingest protocol. One Request
+/// maps to one Response, correlated by caller-chosen `id`; the wire form is
+/// newline-delimited JSON (codec.h), but everything above the codec —
+/// Dispatcher, Server, tests — works with these structs and
+/// util::Status-based errors only.
+///
+/// Operations (the serving surface of serve::Frontend):
+///   ingest              IngestPaper: one..api_max_batch papers, applied in
+///                       request order through Frontend::SubmitBatch; the
+///                       response carries the per-paper assignments.
+///   query_authors       QueryAuthors: author candidates bearing a name.
+///   query_publications  QueryPublications: paper ids of one author vertex.
+///   flush               Flush: barrier — everything admitted is applied
+///                       and published when the response comes back.
+///   stats               GetStats: the unified ServiceStats snapshot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "data/paper.h"
+#include "serve/frontend.h"
+#include "util/status.h"
+
+namespace iuad::api {
+
+enum class Op {
+  kIngest = 0,
+  kQueryAuthors,
+  kQueryPublications,
+  kFlush,
+  kStats,
+};
+
+/// Stable wire name of an operation ("ingest", "query_authors", ...).
+inline const char* OpName(Op op) {
+  switch (op) {
+    case Op::kIngest: return "ingest";
+    case Op::kQueryAuthors: return "query_authors";
+    case Op::kQueryPublications: return "query_publications";
+    case Op::kFlush: return "flush";
+    case Op::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+/// New papers for the live network. More than one paper makes the request
+/// a batch: the dispatcher reserves one contiguous sequence range for it
+/// (Frontend::SubmitBatch), so a producer streaming thousands of papers
+/// pays one round-trip per batch, not per paper.
+struct IngestPaper {
+  std::vector<data::Paper> papers;
+};
+
+/// Author candidates bearing `name` (routed to the owning shard when the
+/// frontend is sharded).
+struct QueryAuthors {
+  std::string name;
+};
+
+/// Paper ids attributed to author vertex `vertex`.
+struct QueryPublications {
+  int64_t vertex = -1;
+};
+
+/// Apply-and-publish barrier; carries no payload.
+struct Flush {};
+
+/// ServiceStats snapshot; carries no payload.
+struct GetStats {};
+
+/// One protocol request. `op` selects which payload member is meaningful;
+/// the others stay default-constructed (and are neither encoded nor
+/// compared).
+struct Request {
+  int64_t id = 0;  ///< Echoed verbatim in the response.
+  Op op = Op::kStats;
+  IngestPaper ingest;
+  QueryAuthors query_authors;
+  QueryPublications query_publications;
+};
+
+/// One protocol response. `status` is the outcome: non-OK responses carry
+/// no payload (the wire encodes the StatusCode by name plus the message),
+/// OK responses carry the payload member selected by `op`.
+struct Response {
+  int64_t id = 0;
+  Op op = Op::kStats;
+  iuad::Status status;
+
+  /// kIngest: per submitted paper, in request order.
+  std::vector<std::vector<core::IncrementalAssignment>> assignments;
+  /// kQueryAuthors.
+  std::vector<serve::AuthorRecord> authors;
+  /// kQueryPublications.
+  std::vector<int> paper_ids;
+  /// kFlush: papers applied once the barrier passed.
+  int64_t applied = 0;
+  /// kStats.
+  serve::ServiceStats stats;
+};
+
+}  // namespace iuad::api
+
+#endif  // IUAD_API_MESSAGES_H_

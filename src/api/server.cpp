@@ -1,0 +1,230 @@
+#include "api/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace iuad::api {
+
+namespace {
+
+/// Writes all of `data` to `fd`, absorbing short writes and EINTR. False
+/// on a dead peer (EPIPE & friends) — the caller just closes.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string TurnedAwayLine() {
+  Response busy;
+  busy.id = -1;
+  busy.op = Op::kStats;
+  busy.status = iuad::Status::ResourceExhausted(
+      "server at connection capacity; retry");
+  return EncodeResponse(busy) + "\n";
+}
+
+}  // namespace
+
+/// Accepted-connection hand-off queue plus live-connection registry (so
+/// Shutdown can unblock workers parked in recv on idle sessions).
+struct Server::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> pending;       ///< Accepted fds awaiting a worker.
+  std::set<int> live;            ///< Fds currently owned by a worker.
+  bool stopping = false;
+  size_t max_pending = 0;
+};
+
+Server::Server(serve::Frontend* frontend, ServerOptions options)
+    : frontend_(frontend),
+      options_(std::move(options)),
+      dispatcher_(frontend,
+                  Dispatcher::Options{options_.max_batch, options_.limits}),
+      state_(std::make_unique<State>()) {}
+
+Server::~Server() { Shutdown(); }
+
+iuad::Status Server::Start() {
+  const int num_workers = util::ResolveNumThreads(options_.num_workers);
+  state_->max_pending = static_cast<size_t>(2 * num_workers);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return iuad::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return iuad::Status::IoError("bind port " +
+                                 std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return iuad::Status::IoError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return iuad::Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (Shutdown) or fatal: stop accepting either way.
+      return;
+    }
+    bool turned_away = false;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->stopping || state_->pending.size() >= state_->max_pending) {
+        turned_away = true;
+      } else {
+        state_->pending.push_back(fd);
+        state_->cv.notify_one();
+      }
+    }
+    if (turned_away) {
+      // Backpressure surfaces in-protocol: one error line, then close.
+      WriteAll(fd, TurnedAwayLine());
+      ::close(fd);
+    }
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      state_->cv.wait(lock, [&] {
+        return state_->stopping || !state_->pending.empty();
+      });
+      if (state_->pending.empty()) return;  // stopping, nothing queued
+      fd = state_->pending.front();
+      state_->pending.pop_front();
+      state_->live.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->live.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    // Dispatch every complete line currently buffered.
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!WriteAll(fd, dispatcher_.HandleLine(line) + "\n")) return;
+    }
+    buffer.erase(0, start);
+    // A peer streaming garbage without newlines must not grow the buffer
+    // forever; past the wire limit the line could never decode anyway.
+    if (buffer.size() > options_.limits.max_bytes) {
+      Response overflow;
+      overflow.id = -1;
+      overflow.op = Op::kStats;
+      overflow.status = iuad::Status::InvalidArgument(
+          "request line exceeds " +
+          std::to_string(options_.limits.max_bytes) + " bytes");
+      WriteAll(fd, EncodeResponse(overflow) + "\n");
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF, error, or Shutdown's SHUT_RDWR
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->stopping) {
+      // A previous Shutdown already ran (or is running); Start-less
+      // servers also land here harmlessly.
+      if (!acceptor_.joinable() && workers_.empty()) return;
+    }
+    state_->stopping = true;
+    // Unblock workers parked in recv: in-flight HandleLine calls complete
+    // (the dispatcher waits on applied futures), then the read fails and
+    // the worker closes the session.
+    for (int fd : state_->live) ::shutdown(fd, SHUT_RDWR);
+    // Never-served connections get closed without a response.
+    for (int fd : state_->pending) ::close(fd);
+    state_->pending.clear();
+  }
+  state_->cv.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Drain, not Stop: every admitted paper is applied and published, and
+  // the caller keeps the frontend usable (the CLI still prints stats and
+  // checkpoints after the server goes down).
+  frontend_->Drain();
+}
+
+}  // namespace iuad::api

@@ -13,40 +13,51 @@
 ///       column (pairwise micro metrics over ambiguous names).
 ///   iuad serve <papers.tsv> --load-snapshot in.snap [--stream new.tsv]
 ///              [--shards S] [--producers N] [--queue C] [--window W]
-///              [--name "A. Name"] [--save-snapshot-on-stop out.snap]
+///              [--name "A. Name"] [--port P | --stdio] [--workers W]
+///              [--max-batch B] [--save-snapshot-on-stop out.snap]
 ///              [--save-corpus out.tsv]
 ///       Load a fitted snapshot next to the corpus it was saved against and
-///       bring up a serving front end: the single-applier IngestService
-///       (src/serve) by default, or — with --shards S > 1 — the
-///       name-block-sharded ShardRouter (src/shard). With --stream, feed
-///       every paper of the stream TSV through the service from N
-///       concurrent producers (assignments are identical at any N and any
-///       S); with --name, look the author up in the post-ingestion read
-///       view. --save-snapshot-on-stop persists the post-ingestion state
-///       (snapshot format v2) once the service drains — pair it with
+///       bring up a serving front end behind the one serve::Frontend
+///       interface: the single-applier IngestService (src/serve) by
+///       default, or — with --shards S > 1 — the name-block-sharded
+///       ShardRouter (src/shard). With --stream, feed every paper of the
+///       stream TSV through the service from N concurrent producers
+///       (assignments are identical at any N and any S); with --name, look
+///       the author up in the post-ingestion read view. --port P exposes
+///       the network query/ingest API (src/api): a TCP listener speaking
+///       newline-delimited JSON until SIGINT/SIGTERM; --stdio speaks the
+///       same protocol over stdin/stdout until EOF (the CI-scriptable
+///       transport). --save-snapshot-on-stop persists the post-ingestion
+///       state (snapshot format v2) once the service drains — pair it with
 ///       --save-corpus, which writes the post-ingestion corpus TSV the new
 ///       snapshot fingerprints against, to make the state reloadable. This
 ///       is the demo shape of the long-running system: fit once, reload in
-///       milliseconds, keep ingesting, checkpoint on the way down.
+///       milliseconds, serve queries and keep ingesting, checkpoint on the
+///       way down.
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/server.h"
 #include "core/pipeline.h"
 #include "data/corpus_generator.h"
 #include "eval/evaluator.h"
 #include "graph/graph_io.h"
 #include "io/snapshot.h"
+#include "serve/frontend.h"
 #include "serve/ingest_service.h"
 #include "shard/shard_router.h"
 #include "util/stopwatch.h"
@@ -77,7 +88,9 @@ void Usage() {
                " [--stream new.tsv]\n"
                "           [--shards S] [--producers N] [--queue C]"
                " [--window W]\n"
-               "           [--name \"A. Name\"]"
+               "           [--name \"A. Name\"] [--port P | --stdio]"
+               " [--workers W]\n"
+               "           [--max-batch B]"
                " [--save-snapshot-on-stop out.snap]\n"
                "           [--save-corpus out.tsv]\n"
                "(--threads 0 = all hardware threads; output is identical at"
@@ -93,13 +106,19 @@ void Usage() {
                " --producers count.)\n");
 }
 
-/// Tiny flag parser: --key value pairs after the positional arguments.
+/// Tiny flag parser after the positional arguments: `--key value` pairs
+/// plus valueless switches (`--stdio`) — a `--key` directly followed by
+/// another `--flag` (or by nothing) maps to the empty string.
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       flags[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      flags[argv[i] + 2] = "";
     }
   }
   return flags;
@@ -236,19 +255,19 @@ int CmdEvaluate(const std::string& in,
   return 0;
 }
 
-void PrintServiceStats(const serve::IngestStats& stats) {
-  std::printf(
+/// The one stats printer: the unified serve::ServiceStats covers every
+/// front end — the per-shard breakdown is simply empty when unsharded.
+void PrintServiceStats(std::FILE* info, const serve::ServiceStats& stats) {
+  std::fprintf(
+      info,
       "service state: epoch %ld, %ld papers applied, %d alive vertices, "
       "%d edges, queue %d/%d (%d reorder-held)\n",
       static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
       stats.num_alive_vertices, stats.num_edges, stats.queued_now,
       stats.queue_capacity, stats.reorder_held);
-}
-
-void PrintServiceStats(const shard::RouterStats& stats) {
-  PrintServiceStats(stats.ingest);
   for (const auto& s : stats.shards) {
-    std::printf(
+    std::fprintf(
+        info,
         "  shard %d: %ld blocks (weight %ld), %ld bylines scored, "
         "%ld assignments, %ld new authors\n",
         s.shard, static_cast<long>(s.owned_blocks),
@@ -258,20 +277,60 @@ void PrintServiceStats(const shard::RouterStats& stats) {
   }
 }
 
-/// The serve loop over either front end (IngestService or ShardRouter —
-/// identical submission/read surfaces): stream ingestion, stats, lookup,
-/// stop, and the optional shutdown checkpoint of the post-ingestion state.
-template <typename Service>
-int DriveService(Service& service, data::PaperDatabase* db,
+std::atomic<bool> g_interrupted{false};
+
+void OnTerminateSignal(int) { g_interrupted = true; }
+
+/// Runs the TCP API server until SIGINT/SIGTERM, then shuts it down
+/// gracefully (drain, not drop).
+int RunTcpServer(serve::Frontend& service, const core::IuadConfig& cfg) {
+  api::ServerOptions options;
+  options.port = cfg.api_port;
+  options.num_workers = cfg.api_num_workers;
+  options.max_batch = cfg.api_max_batch;
+  api::Server server(&service, options);
+  if (iuad::Status st = server.Start(); !st.ok()) return Fail(st.ToString());
+  std::printf("query API listening on port %d (%d workers) — "
+              "newline-delimited JSON; Ctrl-C to drain and stop\n",
+              server.port(), util::ResolveNumThreads(cfg.api_num_workers));
+  std::fflush(stdout);
+  struct sigaction action {};
+  action.sa_handler = OnTerminateSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // Block the shutdown signals while testing the flag: a signal landing
+  // between the check and the wait would otherwise be consumed before
+  // sigsuspend starts and the first Ctrl-C would hang until a second one.
+  // sigsuspend atomically restores the old mask for the wait itself.
+  sigset_t block, old;
+  sigemptyset(&block);
+  sigaddset(&block, SIGINT);
+  sigaddset(&block, SIGTERM);
+  sigprocmask(SIG_BLOCK, &block, &old);
+  while (!g_interrupted) sigsuspend(&old);
+  sigprocmask(SIG_SETMASK, &old, nullptr);
+  std::printf("\ndraining and shutting down the query API\n");
+  server.Shutdown();
+  return 0;
+}
+
+/// The serve loop over any front end through the one serve::Frontend
+/// interface: stream ingestion, the networked/stdio query API, stats,
+/// lookup, stop, and the optional shutdown checkpoint of the
+/// post-ingestion state.
+int DriveService(serve::Frontend& service, data::PaperDatabase* db,
                  core::DisambiguationResult* result,
                  const core::IuadConfig& cfg,
                  const std::map<std::string, std::string>& flags,
                  int producers) {
+  // In stdio mode stdout carries protocol lines only; everything
+  // informational goes to stderr so scripted clients see pure NDJSON.
+  std::FILE* info = flags.count("stdio") > 0 ? stderr : stdout;
   if (auto it = flags.find("stream"); it != flags.end()) {
     auto stream_db = data::PaperDatabase::LoadTsv(it->second);
     if (!stream_db.ok()) return Fail(stream_db.status().ToString());
     const std::vector<data::Paper> stream = stream_db->papers();
-    std::vector<std::future<typename Service::Assignments>> futures(
+    std::vector<std::future<serve::Frontend::Assignments>> futures(
         stream.size());
     iuad::Stopwatch sw;
     // Producers race over a shared index; SubmitAt pins each paper to its
@@ -300,7 +359,8 @@ int DriveService(Service& service, data::PaperDatabase* db,
       occurrences += static_cast<int64_t>(r->size());
       for (const auto& a : *r) new_authors += a.created_new ? 1 : 0;
     }
-    std::printf(
+    std::fprintf(
+        info,
         "ingested %zu papers (%ld occurrences, %ld new authors, %ld failed) "
         "from %d producers in %.2fs — %.1f papers/s, %.2f ms/paper\n",
         stream.size(), static_cast<long>(occurrences),
@@ -309,18 +369,29 @@ int DriveService(Service& service, data::PaperDatabase* db,
         stream.empty() ? 0.0 : 1e3 * seconds / stream.size());
   }
 
-  PrintServiceStats(service.Stats());
+  // The query/ingest API, over the same dispatcher for both transports.
+  if (flags.count("stdio") > 0) {
+    api::Dispatcher dispatcher(
+        &service, api::Dispatcher::Options{cfg.api_max_batch, {}});
+    dispatcher.ServeStream(std::cin, std::cout);
+    service.Drain();  // every paper the session admitted is applied
+  } else if (flags.count("port") > 0) {
+    if (int rc = RunTcpServer(service, cfg); rc != 0) return rc;
+  }
+
+  PrintServiceStats(info, service.Stats());
   if (auto it = flags.find("name"); it != flags.end()) {
     const auto records = service.AuthorsByName(it->second);
-    std::printf("\"%s\": %zu author candidate(s)\n", it->second.c_str(),
-                records.size());
+    std::fprintf(info, "\"%s\": %zu author candidate(s)\n",
+                 it->second.c_str(), records.size());
     for (const auto& rec : records) {
       const auto papers = service.PublicationsOf(rec.vertex);
-      std::printf("  vertex %d: %d papers (ids", rec.vertex, rec.num_papers);
+      std::fprintf(info, "  vertex %d: %d papers (ids", rec.vertex,
+                   rec.num_papers);
       for (size_t i = 0; i < papers.size() && i < 8; ++i) {
-        std::printf(" %d", papers[i]);
+        std::fprintf(info, " %d", papers[i]);
       }
-      std::printf(papers.size() > 8 ? " ...)\n" : ")\n");
+      std::fprintf(info, papers.size() > 8 ? " ...)\n" : ")\n");
     }
   }
   service.Stop();  // returns db/result ownership to this thread, drained
@@ -328,13 +399,14 @@ int DriveService(Service& service, data::PaperDatabase* db,
   if (auto it = flags.find("save-corpus"); it != flags.end()) {
     iuad::Status st = db->SaveTsv(it->second);
     if (!st.ok()) return Fail(st.ToString());
-    std::printf("wrote post-ingestion corpus (%d papers) to %s\n",
-                db->num_papers(), it->second.c_str());
+    std::fprintf(info, "wrote post-ingestion corpus (%d papers) to %s\n",
+                 db->num_papers(), it->second.c_str());
   }
   if (auto it = flags.find("save-snapshot-on-stop"); it != flags.end()) {
     iuad::Status st = io::SaveSnapshot(it->second, *db, *result, cfg);
     if (!st.ok()) return Fail(st.ToString());
-    std::printf(
+    std::fprintf(
+        info,
         "wrote post-ingestion snapshot to %s (reload next to the "
         "post-ingestion corpus; see --save-corpus)\n",
         it->second.c_str());
@@ -364,8 +436,19 @@ int CmdServe(const std::string& in,
   if (auto it = flags.find("shards"); it != flags.end()) {
     cfg.num_shards = std::atoi(it->second.c_str());
   }
+  if (auto it = flags.find("port"); it != flags.end() && !it->second.empty()) {
+    cfg.api_port = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("workers"); it != flags.end()) {
+    cfg.api_num_workers = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("max-batch"); it != flags.end()) {
+    cfg.api_max_batch = std::atoi(it->second.c_str());
+  }
   if (iuad::Status st = cfg.Validate(); !st.ok()) return Fail(st.ToString());
-  std::printf(
+  std::FILE* info = flags.count("stdio") > 0 ? stderr : stdout;
+  std::fprintf(
+      info,
       "loaded snapshot %s in %.0f ms: %d author vertices, %d edges, model %s\n",
       snap_it->second.c_str(), load_sw.ElapsedSeconds() * 1e3,
       snap->result.graph.num_alive(), snap->result.graph.num_edges(),
@@ -376,17 +459,23 @@ int CmdServe(const std::string& in,
     producers = util::ResolveNumThreads(std::atoi(it->second.c_str()));
   }
 
+  // One code path over the serving interface: the topology choice is the
+  // only branch, and everything downstream sees a serve::Frontend.
+  std::unique_ptr<serve::Frontend> service;
   if (cfg.num_shards > 1) {
-    std::printf("sharded serving: %d name-block shards (%s placement)\n",
+    std::fprintf(info,
+                 "sharded serving: %d name-block shards (%s placement)\n",
                 cfg.num_shards,
                 cfg.shard_placement == core::ShardPlacement::kHash
                     ? "hash"
                     : "size-aware");
-    shard::ShardRouter service(&*db, &snap->result, cfg);
-    return DriveService(service, &*db, &snap->result, cfg, flags, producers);
+    service =
+        std::make_unique<shard::ShardRouter>(&*db, &snap->result, cfg);
+  } else {
+    service =
+        std::make_unique<serve::IngestService>(&*db, &snap->result, cfg);
   }
-  serve::IngestService service(&*db, &snap->result, cfg);
-  return DriveService(service, &*db, &snap->result, cfg, flags, producers);
+  return DriveService(*service, &*db, &snap->result, cfg, flags, producers);
 }
 
 }  // namespace

@@ -141,6 +141,21 @@ struct IuadConfig {
   /// Block→shard placement policy (see ShardPlacement).
   ShardPlacement shard_placement = ShardPlacement::kSizeAware;
 
+  // --- Query/ingest API (src/api) ----------------------------------------
+  /// TCP port of api::Server (`iuad serve --port P`). 0 binds an ephemeral
+  /// port (the server reports the one it got); the stdio transport ignores
+  /// it. Must fit a uint16.
+  int api_port = 0;
+  /// Connection worker threads of api::Server: at most this many client
+  /// connections are served concurrently; further accepted connections are
+  /// turned away with a protocol-level ResourceExhausted response. 0 =
+  /// auto (hardware concurrency). CLI flag: --workers.
+  int api_num_workers = 0;
+  /// Largest paper batch one IngestPaper request may carry; bigger batches
+  /// are rejected with ResourceExhausted before touching the ingest queue.
+  /// CLI flag: --max-batch.
+  int api_max_batch = 64;
+
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
 
@@ -190,6 +205,11 @@ struct IuadConfig {
         shard_placement != ShardPlacement::kSizeAware) {
       return bad("shard_placement must be a known policy");
     }
+    if (api_port < 0 || api_port > 65535) {
+      return bad("api_port must be in [0, 65535]");
+    }
+    if (api_num_workers < 0) return bad("api_num_workers must be >= 0");
+    if (api_max_batch < 1) return bad("api_max_batch must be >= 1");
     if (persist_snapshot && snapshot_path.empty()) {
       return bad("snapshot_path must be non-empty when persistence is "
                  "requested");

@@ -1,0 +1,136 @@
+#ifndef IUAD_SERVE_FRONTEND_H_
+#define IUAD_SERVE_FRONTEND_H_
+
+/// \file frontend.h
+/// The one serving interface. A Frontend is a live, queryable collaboration
+/// network accepting newly published papers (Sec. V-E): the single-applier
+/// serve::IngestService and the name-block-sharded shard::ShardRouter both
+/// implement it, so everything above — the CLI serve loop, the typed
+/// src/api layer, benchmarks, examples — drives one `Frontend*` and never
+/// branches on the serving topology.
+///
+/// Shared contract (pinned by tests/serve_test.cpp, tests/shard_test.cpp,
+/// tests/api_test.cpp):
+///
+///  * WRITES are totally ordered by sequence number; the ingestion outcome
+///    equals sequential IncrementalDisambiguator::AddPaper calls in
+///    sequence order, byte-identical at any producer / shard count.
+///    Submit() takes the next free sequence; SubmitAt() pins one (the
+///    dense-sequence contract: every sequence in [0, N) exactly once);
+///    SubmitBatch() reserves one contiguous range for a whole vector under
+///    a single lock acquisition, so batch producers stop round-tripping
+///    the submission lock per paper.
+///  * ADMISSION is bounded by config.ingest_queue_capacity; submissions
+///    block past it. The next-to-apply sequence is always admissible,
+///    which keeps the bound deadlock-free.
+///  * READS (AuthorsByName / PublicationsOf / Stats) are wait-free against
+///    ingestion: they see the last published epoch, at most one refresh
+///    window behind.
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "data/paper.h"
+#include "graph/collab_graph.h"
+#include "util/status.h"
+
+namespace iuad::serve {
+
+/// One author candidate as seen by readers at the last published epoch.
+struct AuthorRecord {
+  graph::VertexId vertex = -1;
+  int num_papers = 0;
+};
+
+/// Per-shard health, published with the read views. The unsharded
+/// IngestService publishes none; the ShardRouter publishes one per shard.
+struct ShardHealth {
+  int shard = 0;
+  int64_t owned_blocks = 0;      ///< Blocks placed at fit time.
+  int64_t placement_weight = 0;  ///< Their summed placement weight.
+  int64_t papers_scored = 0;     ///< Papers with >= 1 byline scored here.
+  int64_t bylines_scored = 0;
+  int64_t assignments = 0;       ///< Bylines this shard's blocks absorbed.
+  int64_t new_authors = 0;       ///< Of those, newly-born vertices.
+};
+
+/// Service health counters, one shape for every Frontend. Snapshot
+/// semantics: all fields are from the same published epoch except
+/// queued_now and reorder_held, which are read live under the queue lock
+/// (they describe the queue, not the applied state, and would otherwise
+/// always publish as stale zeros).
+struct ServiceStats {
+  int64_t epoch = 0;             ///< Published-view epoch (0 = pre-ingest).
+  int64_t papers_applied = 0;    ///< Papers fully ingested.
+  int64_t assignments = 0;       ///< Byline occurrences decided.
+  int64_t new_authors = 0;       ///< Occurrences that founded a new vertex.
+  int num_alive_vertices = 0;
+  int num_edges = 0;
+  int queued_now = 0;            ///< Live queue depth (incl. reorder holds).
+  /// Live reorder-buffer occupancy: admitted papers waiting behind a
+  /// sequence hole (SubmitAt arrivals the applier cannot consume yet).
+  /// Persistently > 0 with an idle applier means a producer died holding a
+  /// sequence — the first thing on-call should look at.
+  int reorder_held = 0;
+  int queue_capacity = 0;        ///< config.ingest_queue_capacity, for UIs.
+  int num_shards = 1;            ///< Serving topology (1 = unsharded).
+  std::vector<ShardHealth> shards;  ///< Per-shard breakdown; empty at 1.
+};
+
+/// Abstract serving front end over one fitted disambiguation result.
+class Frontend {
+ public:
+  using Assignments = iuad::Result<std::vector<core::IncrementalAssignment>>;
+
+  virtual ~Frontend() = default;
+
+  /// Enqueues `paper` at the next free sequence number. Blocks while the
+  /// admission window is full. The future resolves once the paper is
+  /// applied, with the same assignments a sequential AddPaper call at that
+  /// position would return. Fails fast (immediately-resolved future) after
+  /// Stop().
+  virtual std::future<Assignments> Submit(data::Paper paper) = 0;
+
+  /// Enqueues `paper` at an explicit sequence slot (dense-sequence
+  /// contract; see the header comment). Blocks while `seq` is outside the
+  /// admission window. Duplicate sequences fail the returned future with
+  /// InvalidArgument.
+  virtual std::future<Assignments> SubmitAt(uint64_t seq,
+                                            data::Paper paper) = 0;
+
+  /// Enqueues every paper of `papers` at one contiguous, atomically
+  /// reserved sequence range (in vector order). Equivalent to |papers|
+  /// uncontended Submit calls, but the range reservation takes the
+  /// submission lock once — and no interleaving producer can split the
+  /// batch's sequences. Returns one future per paper, in order.
+  virtual std::vector<std::future<Assignments>> SubmitBatch(
+      std::vector<data::Paper> papers) = 0;
+
+  /// Blocks until every paper admitted at call time is applied and a fresh
+  /// read view is published.
+  virtual void Drain() = 0;
+
+  /// Drains, refuses further submissions, joins worker threads.
+  /// Idempotent. After Stop() the caller again owns the database/result
+  /// passed at construction.
+  virtual void Stop() = 0;
+
+  // ---- Read-only queries (epoch snapshot; safe during ingestion) ---------
+
+  /// Alive author candidates bearing `name`, in vertex-id order.
+  virtual std::vector<AuthorRecord> AuthorsByName(
+      const std::string& name) const = 0;
+
+  /// Paper ids attributed to vertex `v` at the last published epoch
+  /// (empty for unknown / dead / not-yet-published vertices).
+  virtual std::vector<int> PublicationsOf(graph::VertexId v) const = 0;
+
+  virtual ServiceStats Stats() const = 0;
+};
+
+}  // namespace iuad::serve
+
+#endif  // IUAD_SERVE_FRONTEND_H_

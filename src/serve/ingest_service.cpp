@@ -41,6 +41,23 @@ std::future<IngestService::Assignments> IngestService::SubmitAt(
   return SubmitLocked(seq, std::move(paper), &lock);
 }
 
+std::vector<std::future<IngestService::Assignments>>
+IngestService::SubmitBatch(std::vector<data::Paper> papers) {
+  std::vector<std::future<Assignments>> futures;
+  futures.reserve(papers.size());
+  if (papers.empty()) return futures;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Reserve the whole contiguous range up front: even when a later paper
+  // blocks on admission (releasing the lock), no interleaving producer can
+  // claim a sequence inside the batch.
+  uint64_t seq = next_ticket_;
+  next_ticket_ += static_cast<uint64_t>(papers.size());
+  for (auto& paper : papers) {
+    futures.push_back(SubmitLocked(seq++, std::move(paper), &lock));
+  }
+  return futures;
+}
+
 std::future<IngestService::Assignments> IngestService::SubmitLocked(
     uint64_t seq, data::Paper paper, std::unique_lock<std::mutex>* lock) {
   std::promise<Assignments> promise;
@@ -215,8 +232,8 @@ std::vector<int> IngestService::PublicationsOf(graph::VertexId v) const {
   return it == view->papers_of.end() ? std::vector<int>{} : it->second;
 }
 
-IngestStats IngestService::Stats() const {
-  IngestStats stats = CurrentView()->stats;
+ServiceStats IngestService::Stats() const {
+  ServiceStats stats = CurrentView()->stats;
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // Everything buffered beyond the contiguous run from the next consumable

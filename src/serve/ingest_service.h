@@ -55,41 +55,15 @@
 #include "core/incremental.h"
 #include "core/pipeline.h"
 #include "data/paper_database.h"
+#include "serve/frontend.h"
 #include "util/status.h"
 
 namespace iuad::serve {
 
-/// One author candidate as seen by readers at the last published epoch.
-struct AuthorRecord {
-  graph::VertexId vertex = -1;
-  int num_papers = 0;
-};
-
-/// Service health counters. Snapshot semantics: all fields are from the
-/// same published epoch except queued_now and reorder_held, which are read
-/// live under the queue lock (they describe the queue, not the applied
-/// state, and would otherwise always publish as stale zeros).
-struct IngestStats {
-  int64_t epoch = 0;             ///< Published-view epoch (0 = pre-ingest).
-  int64_t papers_applied = 0;    ///< Papers fully ingested.
-  int64_t assignments = 0;       ///< Byline occurrences decided.
-  int64_t new_authors = 0;       ///< Occurrences that founded a new vertex.
-  int num_alive_vertices = 0;
-  int num_edges = 0;
-  int queued_now = 0;            ///< Live queue depth (incl. reorder holds).
-  /// Live reorder-buffer occupancy: admitted papers waiting behind a
-  /// sequence hole (SubmitAt arrivals the applier cannot consume yet).
-  /// Persistently > 0 with an idle applier means a producer died holding a
-  /// sequence — the first thing on-call should look at.
-  int reorder_held = 0;
-  int queue_capacity = 0;        ///< config.ingest_queue_capacity, for UIs.
-};
-
-/// MPSC ingestion + concurrent read service over one disambiguation result.
-class IngestService {
+/// MPSC ingestion + concurrent read service over one disambiguation
+/// result: the single-applier implementation of serve::Frontend.
+class IngestService : public Frontend {
  public:
-  using Assignments = iuad::Result<std::vector<core::IncrementalAssignment>>;
-
   /// Starts the applier thread. `config` must already Validate() OK; the
   /// queue capacity / refresh window knobs are read from it (see config.h).
   IngestService(data::PaperDatabase* db, core::DisambiguationResult* result,
@@ -97,43 +71,32 @@ class IngestService {
 
   /// Stops accepting work, applies everything already admitted, joins the
   /// applier. Outstanding futures all complete.
-  ~IngestService();
+  ~IngestService() override;
 
   IngestService(const IngestService&) = delete;
   IngestService& operator=(const IngestService&) = delete;
 
-  /// Enqueues `paper` at the next free sequence number. Blocks while the
-  /// admission window is full. The future resolves once the paper is
-  /// applied, with the same assignments a sequential AddPaper call at that
-  /// position would return. Fails fast (immediately-resolved future) after
-  /// Stop().
-  std::future<Assignments> Submit(data::Paper paper);
-
-  /// Enqueues `paper` at an explicit sequence slot (see the header comment
-  /// for the dense-sequence contract). Blocks while `seq` is outside the
-  /// admission window. Duplicate sequences fail the returned future with
-  /// InvalidArgument.
-  std::future<Assignments> SubmitAt(uint64_t seq, data::Paper paper);
+  // Frontend — see frontend.h for the shared submission/read contract.
+  std::future<Assignments> Submit(data::Paper paper) override;
+  std::future<Assignments> SubmitAt(uint64_t seq, data::Paper paper) override;
+  std::vector<std::future<Assignments>> SubmitBatch(
+      std::vector<data::Paper> papers) override;
 
   /// Blocks until every admitted paper is applied, then publishes a fresh
   /// read view. Producers may keep submitting concurrently; the drain point
   /// is whatever sequence was admitted when the call began.
-  void Drain();
+  void Drain() override;
 
   /// Drains, refuses further submissions, joins the applier thread.
   /// Idempotent. After Stop() the caller again owns db/result exclusively.
-  void Stop();
+  void Stop() override;
 
-  // ---- Read-only queries (epoch snapshot; safe during ingestion) ---------
-
-  /// Alive author candidates bearing `name`, in vertex-id order.
-  std::vector<AuthorRecord> AuthorsByName(const std::string& name) const;
-
-  /// Paper ids attributed to vertex `v` at the last published epoch
-  /// (empty for unknown / dead / not-yet-published vertices).
-  std::vector<int> PublicationsOf(graph::VertexId v) const;
-
-  IngestStats Stats() const;
+  std::vector<AuthorRecord> AuthorsByName(
+      const std::string& name) const override;
+  std::vector<int> PublicationsOf(graph::VertexId v) const override;
+  /// num_shards is always 1 and the per-shard breakdown empty: this is the
+  /// unsharded front end.
+  ServiceStats Stats() const override;
 
  private:
   struct Request {
@@ -145,7 +108,7 @@ class IngestService {
   struct ReadView {
     std::unordered_map<std::string, std::vector<AuthorRecord>> by_name;
     std::unordered_map<graph::VertexId, std::vector<int>> papers_of;
-    IngestStats stats;
+    ServiceStats stats;
   };
 
   void ApplierLoop();

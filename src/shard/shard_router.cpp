@@ -56,6 +56,23 @@ std::future<ShardRouter::Assignments> ShardRouter::SubmitAt(
   return SubmitLocked(seq, std::move(paper), &lock);
 }
 
+std::vector<std::future<ShardRouter::Assignments>> ShardRouter::SubmitBatch(
+    std::vector<data::Paper> papers) {
+  std::vector<std::future<Assignments>> futures;
+  futures.reserve(papers.size());
+  if (papers.empty()) return futures;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Reserve the whole contiguous range up front (see
+  // IngestService::SubmitBatch): a paper blocking on admission releases the
+  // lock, but no interleaving producer can claim a sequence in the batch.
+  uint64_t seq = next_ticket_;
+  next_ticket_ += static_cast<uint64_t>(papers.size());
+  for (auto& paper : papers) {
+    futures.push_back(SubmitLocked(seq++, std::move(paper), &lock));
+  }
+  return futures;
+}
+
 std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
     uint64_t seq, data::Paper paper, std::unique_lock<std::mutex>* lock) {
   std::promise<Assignments> promise;
@@ -293,14 +310,14 @@ void ShardRouter::PublishView() {
         {v, static_cast<int>(vx.papers.size())});
     sv.papers_of.emplace(v, vx.papers);
   }
-  RouterStats& stats = view->stats;
-  stats.ingest.epoch = epoch_++;
-  stats.ingest.papers_applied = papers_applied_;
-  stats.ingest.assignments = assignments_;
-  stats.ingest.new_authors = new_authors_;
-  stats.ingest.num_alive_vertices = g.num_alive();
-  stats.ingest.num_edges = g.num_edges();
-  stats.ingest.queue_capacity = config_.ingest_queue_capacity;
+  serve::ServiceStats& stats = view->stats;
+  stats.epoch = epoch_++;
+  stats.papers_applied = papers_applied_;
+  stats.assignments = assignments_;
+  stats.new_authors = new_authors_;
+  stats.num_alive_vertices = g.num_alive();
+  stats.num_edges = g.num_edges();
+  stats.queue_capacity = config_.ingest_queue_capacity;
   stats.num_shards = placement_.num_shards();
   for (const Shard& s : shards_) stats.shards.push_back(s.health);
   since_publish_ = 0;
@@ -338,10 +355,10 @@ std::vector<int> ShardRouter::PublicationsOf(graph::VertexId v) const {
   return {};
 }
 
-RouterStats ShardRouter::Stats() const {
-  RouterStats stats = CurrentView()->stats;
+serve::ServiceStats ShardRouter::Stats() const {
+  serve::ServiceStats stats = CurrentView()->stats;
   std::lock_guard<std::mutex> lock(mu_);
-  stats.ingest.queued_now = static_cast<int>(pending_.size());
+  stats.queued_now = static_cast<int>(pending_.size());
   // See IngestService::Stats: the contiguous run starts after an in-flight
   // sequence, which sits in neither pending_ nor the applied range.
   uint64_t expect = next_apply_ + (apply_in_flight_ ? 1 : 0);
@@ -349,7 +366,7 @@ RouterStats ShardRouter::Stats() const {
     if (seq == expect) {
       ++expect;
     } else {
-      ++stats.ingest.reorder_held;
+      ++stats.reorder_held;
     }
   }
   return stats;

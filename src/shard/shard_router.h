@@ -67,30 +67,10 @@
 
 namespace iuad::shard {
 
-/// Per-shard health, published with the read views.
-struct ShardHealth {
-  int shard = 0;
-  int64_t owned_blocks = 0;      ///< Blocks placed at fit time.
-  int64_t placement_weight = 0;  ///< Their summed placement weight.
-  int64_t papers_scored = 0;     ///< Papers with >= 1 byline scored here.
-  int64_t bylines_scored = 0;
-  int64_t assignments = 0;       ///< Bylines this shard's blocks absorbed.
-  int64_t new_authors = 0;       ///< Of those, newly-born vertices.
-};
-
-/// Aggregated service counters: the IngestService-shaped totals plus the
-/// per-shard breakdown.
-struct RouterStats {
-  serve::IngestStats ingest;  ///< Totals; queue fields read live.
-  int num_shards = 1;
-  std::vector<ShardHealth> shards;
-};
-
-/// Name-block-sharded MPSC ingestion + concurrent read service.
-class ShardRouter {
+/// Name-block-sharded MPSC ingestion + concurrent read service: the
+/// N-shard implementation of serve::Frontend.
+class ShardRouter : public serve::Frontend {
  public:
-  using Assignments = iuad::Result<std::vector<core::IncrementalAssignment>>;
-
   /// Starts the router thread and its shard worker pool. `config` must
   /// already Validate() OK; num_shards / shard_placement / queue / window
   /// knobs are read from it. `db` and `result` are caller-owned, must
@@ -100,40 +80,38 @@ class ShardRouter {
               core::IuadConfig config);
 
   /// Stops accepting work, applies everything admitted, joins the router.
-  ~ShardRouter();
+  ~ShardRouter() override;
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Enqueues `paper` at the next free sequence number; blocks while the
-  /// admission window (config.ingest_queue_capacity) is full.
-  std::future<Assignments> Submit(data::Paper paper);
-
-  /// Enqueues at an explicit sequence slot. Sequences must be dense:
-  /// every sequence in [0, N) submitted exactly once (the IngestService
-  /// contract). Duplicates fail the returned future with InvalidArgument.
-  std::future<Assignments> SubmitAt(uint64_t seq, data::Paper paper);
+  // Frontend — see frontend.h for the shared submission/read contract.
+  std::future<Assignments> Submit(data::Paper paper) override;
+  std::future<Assignments> SubmitAt(uint64_t seq, data::Paper paper) override;
+  std::vector<std::future<Assignments>> SubmitBatch(
+      std::vector<data::Paper> papers) override;
 
   /// Blocks until everything admitted at call time is applied and
   /// published.
-  void Drain();
+  void Drain() override;
 
   /// Drains, refuses further submissions, joins. Idempotent.
-  void Stop();
+  void Stop() override;
 
   // ---- Read-only queries (epoch snapshot; safe during ingestion) ---------
 
   /// Routed to the one shard owning `name`'s block: alive author candidates
   /// bearing `name`, in vertex-id order.
-  std::vector<serve::AuthorRecord> AuthorsByName(const std::string& name) const;
+  std::vector<serve::AuthorRecord> AuthorsByName(
+      const std::string& name) const override;
 
   /// Paper ids attributed to vertex `v` (scatter-gather: the owning shard's
   /// view answers; empty for unknown / not-yet-published vertices).
-  std::vector<int> PublicationsOf(graph::VertexId v) const;
+  std::vector<int> PublicationsOf(graph::VertexId v) const override;
 
-  /// Aggregated totals + per-shard health at the last published epoch;
-  /// queue depth and reorder occupancy are read live.
-  RouterStats Stats() const;
+  /// Aggregated totals + per-shard health (stats.shards) at the last
+  /// published epoch; queue depth and reorder occupancy are read live.
+  serve::ServiceStats Stats() const override;
 
   /// The block→shard route for `name` (exposed for tests and ops).
   int ShardOf(const std::string& name) const {
@@ -151,7 +129,7 @@ class ShardRouter {
   /// itself between fences), never concurrently.
   struct Shard {
     std::unique_ptr<core::SimilarityComputer> sim;
-    ShardHealth health;
+    serve::ShardHealth health;
   };
 
   /// Immutable published read state, swapped atomically per epoch.
@@ -163,7 +141,7 @@ class ShardRouter {
       std::unordered_map<graph::VertexId, std::vector<int>> papers_of;
     };
     std::vector<ShardView> shards;
-    RouterStats stats;
+    serve::ServiceStats stats;
   };
 
   void RouterLoop();

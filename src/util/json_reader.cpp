@@ -1,0 +1,298 @@
+#include "util/json_reader.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+namespace iuad::util {
+
+namespace {
+
+/// Recursive-descent parser over one in-memory document. Every rejection
+/// carries the byte offset so protocol errors are debuggable from the
+/// error string alone.
+class Parser {
+ public:
+  Parser(const std::string& text, const JsonReaderOptions& options)
+      : text_(text), options_(options) {}
+
+  iuad::Result<JsonValue> Parse() {
+    SkipWhitespace();
+    IUAD_ASSIGN_OR_RETURN(JsonValue root, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after the document");
+    }
+    return root;
+  }
+
+ private:
+  iuad::Status Error(const std::string& msg) const {
+    return iuad::Status::InvalidArgument(
+        "json: " + msg + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  iuad::Result<JsonValue> ParseValue(int depth) {
+    if (depth > options_.max_depth) {
+      return Error("nesting deeper than " +
+                   std::to_string(options_.max_depth));
+    }
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        IUAD_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Error("invalid literal");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  iuad::Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    // Hash-set duplicate detection: a linear scan over prior members would
+    // be quadratic, which a hostile max_bytes-sized document with many
+    // common-prefix keys turns into seconds of CPU per request.
+    std::unordered_set<std::string> seen;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::Object(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      IUAD_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!seen.insert(key).second) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      IUAD_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::Object(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  iuad::Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    for (;;) {
+      SkipWhitespace();
+      IUAD_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::Array(std::move(items));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  iuad::Result<std::string> ParseString() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) break;
+      switch (text_[pos_]) {
+        case '"': out += '"'; ++pos_; break;
+        case '\\': out += '\\'; ++pos_; break;
+        case '/': out += '/'; ++pos_; break;
+        case 'b': out += '\b'; ++pos_; break;
+        case 'f': out += '\f'; ++pos_; break;
+        case 'n': out += '\n'; ++pos_; break;
+        case 'r': out += '\r'; ++pos_; break;
+        case 't': out += '\t'; ++pos_; break;
+        case 'u': {
+          ++pos_;
+          IUAD_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!Consume('\\') || !Consume('u')) {
+              return Error("unpaired surrogate in string");
+            }
+            IUAD_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("unpaired surrogate in string");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate in string");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default: return Error("invalid escape in string");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  iuad::Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  iuad::Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // fallthrough; digits checked below
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid number");
+    }
+    // Grammar per RFC 8259: int [frac] [exp], no leading zeros.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return JsonValue::Int(static_cast<int64_t>(v));
+      }
+      // Out of int64 range: fall through to double (still a valid JSON
+      // number; the codec's integer fields reject non-kInt anyway).
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || std::isnan(d) || std::isinf(d)) {
+      return Error("number out of range");
+    }
+    return JsonValue::Double(d);
+  }
+
+  const std::string& text_;
+  const JsonReaderOptions& options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+iuad::Result<JsonValue> ParseJson(const std::string& text,
+                                  const JsonReaderOptions& options) {
+  if (text.size() > options.max_bytes) {
+    return iuad::Status::InvalidArgument(
+        "json: document of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(options.max_bytes) +
+        "-byte limit");
+  }
+  return Parser(text, options).Parse();
+}
+
+}  // namespace iuad::util

@@ -1,0 +1,128 @@
+#ifndef IUAD_UTIL_JSON_READER_H_
+#define IUAD_UTIL_JSON_READER_H_
+
+/// \file json_reader.h
+/// Strict JSON parser for the src/api wire protocol. "Strict" is the
+/// contract tests/api_test.cpp pins down: one complete document per call,
+/// no trailing content, no duplicate object keys, no NaN/Inf, bounded
+/// input size and nesting depth (malformed or hostile input must fail with
+/// InvalidArgument, never crash or allocate unboundedly).
+///
+/// Numbers keep the int64/double distinction: a token without '.', 'e' or
+/// 'E' that fits int64 parses as kInt, everything else as kDouble — the
+/// wire codec needs integer fields (sequence numbers, vertex ids) exact at
+/// full 64-bit range, where a double round-trip would silently lose bits.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::util {
+
+/// One parsed JSON value (an object member, array element, or document
+/// root). Object member order is preserved — encode(decode(x)) depends
+/// on it.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  /// kInt or kDouble (JSON has one number type; the split is lossless).
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const { return int_; }
+  /// Numeric value as double regardless of the int/double split.
+  double as_double() const {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr (also for non-objects).
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  static JsonValue Null() { return JsonValue(Type::kNull); }
+  static JsonValue Bool(bool b) {
+    JsonValue v(Type::kBool);
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v(Type::kInt);
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v(Type::kDouble);
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v(Type::kString);
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array(std::vector<JsonValue> items) {
+    JsonValue v(Type::kArray);
+    v.items_ = std::move(items);
+    return v;
+  }
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> ms) {
+    JsonValue v(Type::kObject);
+    v.members_ = std::move(ms);
+    return v;
+  }
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonReaderOptions {
+  /// Documents longer than this are rejected up front (the api::Server
+  /// reads untrusted sockets; a hostile peer must not make it buffer an
+  /// unbounded line).
+  size_t max_bytes = 1 << 20;
+  /// Maximum container nesting (a 10k-deep '[[[[...' must not overflow the
+  /// parser's stack).
+  int max_depth = 64;
+};
+
+/// Parses exactly one JSON document from `text` (leading/trailing ASCII
+/// whitespace allowed, nothing else). InvalidArgument on any violation,
+/// with a byte offset in the message.
+iuad::Result<JsonValue> ParseJson(const std::string& text,
+                                  const JsonReaderOptions& options = {});
+
+}  // namespace iuad::util
+
+#endif  // IUAD_UTIL_JSON_READER_H_

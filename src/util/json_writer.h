@@ -2,12 +2,18 @@
 #define IUAD_UTIL_JSON_WRITER_H_
 
 /// \file json_writer.h
-/// Minimal pretty-printing JSON emitter for the BENCH_*.json convention
-/// (see ROADMAP): benchmarks record machine-readable trajectories without
-/// hand-rolled fprintf plumbing. Objects only (the convention nests objects
-/// keyed by stage/config name); values are strings, integers, fixed-
-/// precision doubles, and bools. Output is deterministic: fields appear in
-/// call order with two-space indentation and a trailing newline.
+/// Minimal deterministic JSON emitter, used two ways:
+///
+///  * Pretty style (the default): the BENCH_*.json convention (see ROADMAP)
+///    — benchmarks record machine-readable trajectories with two-space
+///    indentation, fields in call order, and a trailing newline.
+///  * Compact style: the src/api newline-delimited wire protocol — no
+///    whitespace at all, so one document is one line and encode→decode→
+///    encode round-trips byte-identically (tests/api_test.cpp).
+///
+/// Every document is one root object. Values are strings, integers,
+/// doubles (fixed precision for BENCH files, shortest-exact %.17g for the
+/// wire), bools, arrays, and nested objects.
 
 #include <cstdint>
 #include <cstdio>
@@ -20,21 +26,26 @@ namespace iuad::util {
 
 class JsonWriter {
  public:
+  enum class Style {
+    kPretty,   ///< Two-space indent, one field per line (BENCH files).
+    kCompact,  ///< No whitespace; one document is one wire line (src/api).
+  };
+
   /// Every document is one root object; nested objects open with the
-  /// keyed overload.
-  JsonWriter() { Open(""); }
+  /// keyed BeginObject overload.
+  explicit JsonWriter(Style style = Style::kPretty) : style_(style) {
+    OpenContainer("", /*array=*/false, /*keyed=*/false);
+  }
+
+  // ---- Object members ------------------------------------------------------
 
   JsonWriter& BeginObject(const std::string& key) {
-    Open(key);
+    OpenContainer(key, /*array=*/false, /*keyed=*/true);
     return *this;
   }
 
-  JsonWriter& EndObject() {
-    indent_ -= 2;
-    out_ += '\n';
-    out_.append(static_cast<size_t>(indent_), ' ');
-    out_ += '}';
-    open_.pop_back();
+  JsonWriter& BeginArray(const std::string& key) {
+    OpenContainer(key, /*array=*/true, /*keyed=*/true);
     return *this;
   }
 
@@ -51,6 +62,11 @@ class JsonWriter {
     out_ += std::to_string(value);
     return *this;
   }
+  JsonWriter& Field(const std::string& key, uint64_t value) {
+    Key(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
   JsonWriter& Field(const std::string& key, int value) {
     return Field(key, static_cast<int64_t>(value));
   }
@@ -63,17 +79,61 @@ class JsonWriter {
   /// locale-independent fixed notation diffs cleanly between runs).
   JsonWriter& Field(const std::string& key, double value, int precision = 4) {
     Key(key);
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-    out_ += buf;
+    out_ += FormatFixed(value, precision);
+    return *this;
+  }
+  /// Shortest-exact double: %.17g parses back to the identical bit pattern,
+  /// which the wire codec's round-trip guarantee requires.
+  JsonWriter& FieldExact(const std::string& key, double value) {
+    Key(key);
+    out_ += FormatExact(value);
     return *this;
   }
 
-  /// The finished document. Must be called with every nested object closed
-  /// (the root is closed here).
+  // ---- Array elements ------------------------------------------------------
+
+  JsonWriter& BeginObjectElement() {
+    OpenContainer("", /*array=*/false, /*keyed=*/false);
+    return *this;
+  }
+  JsonWriter& BeginArrayElement() {
+    OpenContainer("", /*array=*/true, /*keyed=*/false);
+    return *this;
+  }
+  JsonWriter& Element(const std::string& value) {
+    Separate();
+    out_ += Quote(value);
+    return *this;
+  }
+  JsonWriter& Element(const char* value) {
+    return Element(std::string(value));
+  }
+  JsonWriter& Element(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Element(int value) { return Element(static_cast<int64_t>(value)); }
+  JsonWriter& ElementExact(double value) {
+    Separate();
+    out_ += FormatExact(value);
+    return *this;
+  }
+
+  // ---- Closing -------------------------------------------------------------
+
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// The finished document. Must be called with every nested container
+  /// closed (the root object is closed here).
   std::string str() const {
     std::string s = out_;
-    s += "\n}\n";
+    if (style_ == Style::kPretty) {
+      s += "\n}\n";
+    } else {
+      s += '}';
+    }
     return s;
   }
 
@@ -91,24 +151,7 @@ class JsonWriter {
     return iuad::Status::OK();
   }
 
- private:
-  void Open(const std::string& key) {
-    if (!open_.empty()) Key(key);  // root opens bare, nested opens keyed
-    out_ += '{';
-    indent_ += 2;
-    open_.push_back(true);  // next entry in this object is the first
-  }
-
-  /// Separator + indentation + quoted key for the next entry of the
-  /// innermost open object.
-  void Key(const std::string& key) {
-    if (!open_.back()) out_ += ',';
-    open_.back() = false;
-    out_ += '\n';
-    out_.append(static_cast<size_t>(indent_), ' ');
-    out_ += Quote(key) + ": ";
-  }
-
+  /// JSON string quoting/escaping, shared with hand-rolled emitters.
   static std::string Quote(const std::string& s) {
     std::string q = "\"";
     for (char c : s) {
@@ -132,9 +175,70 @@ class JsonWriter {
     return q;
   }
 
+ private:
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+
+  static std::string FormatFixed(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+  }
+  static std::string FormatExact(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+
+  void OpenContainer(const std::string& key, bool array, bool keyed) {
+    if (!frames_.empty()) {
+      if (keyed) {
+        Key(key);
+      } else {
+        Separate();
+      }
+    }
+    out_ += array ? '[' : '{';
+    indent_ += 2;
+    frames_.push_back(Frame{array, true});
+  }
+
+  JsonWriter& Close(char bracket) {
+    indent_ -= 2;
+    if (style_ == Style::kPretty && !frames_.back().first) {
+      out_ += '\n';
+      out_.append(static_cast<size_t>(indent_), ' ');
+    }
+    out_ += bracket;
+    frames_.pop_back();
+    return *this;
+  }
+
+  /// Separator + indentation + quoted key for the next entry of the
+  /// innermost open object.
+  void Key(const std::string& key) {
+    Separate();
+    out_ += Quote(key);
+    out_ += style_ == Style::kPretty ? ": " : ":";
+  }
+
+  /// Separator + indentation for the next entry of the innermost open
+  /// container (array element or object key).
+  void Separate() {
+    if (!frames_.back().first) out_ += ',';
+    frames_.back().first = false;
+    if (style_ == Style::kPretty) {
+      out_ += '\n';
+      out_.append(static_cast<size_t>(indent_), ' ');
+    }
+  }
+
+  Style style_;
   std::string out_;
   int indent_ = 0;
-  std::vector<bool> open_;
+  std::vector<Frame> frames_;
 };
 
 }  // namespace iuad::util

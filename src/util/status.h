@@ -20,6 +20,7 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
   kIoError,
   kInternal,
 };
@@ -34,10 +35,26 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kAlreadyExists: return "AlreadyExists";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";
+}
+
+/// Inverse of StatusCodeName, for wire protocols that carry codes by name
+/// (src/api). Unrecognized names map to kInternal rather than failing: a
+/// peer speaking a newer protocol revision still surfaces as an error, just
+/// a generic one.
+inline StatusCode StatusCodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kIoError, StatusCode::kInternal}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 /// Success-or-error outcome of an operation. Cheap to copy in the OK case
@@ -64,6 +81,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));

@@ -104,6 +104,26 @@ TEST(ConfigValidateTest, RejectsBadShardingOptions) {
   EXPECT_TRUE(cfg.Validate().ok());
 }
 
+TEST(ConfigValidateTest, RejectsBadApiOptions) {
+  core::IuadConfig cfg;
+  cfg.api_port = -1;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.api_port = 65536;  // must fit a uint16
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.api_num_workers = -2;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.api_max_batch = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.api_port = 65535;   // boundary values are legal
+  cfg.api_num_workers = 0;  // 0 = auto
+  cfg.api_max_batch = 1;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
 TEST(ConfigValidateTest, SnapshotPersistenceRequiresAPath) {
   core::IuadConfig cfg;
   cfg.persist_snapshot = true;

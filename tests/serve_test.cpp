@@ -135,6 +135,32 @@ TEST(IngestServiceTest, SubmitAssignsArrivalOrderSequences) {
   service.Stop();
 }
 
+TEST(IngestServiceTest, SubmitBatchMatchesSequentialAndStaysContiguous) {
+  core::IuadConfig cfg = FastConfig();
+  cfg.ingest_queue_capacity = 4;  // the batch must block-and-drain mid-way
+  const auto sequential = SequentialTraces(cfg, 33, 60);
+  Fixture f = MakeFixture(33, 60, cfg);
+  IngestService service(&f.history, &f.result, cfg);
+  serve::Frontend& frontend = service;  // through the interface
+  // Two batches + a trailing single Submit: the second batch's range is
+  // reserved after the first, the single lands after both.
+  std::vector<data::Paper> first(f.stream.begin(), f.stream.begin() + 40);
+  std::vector<data::Paper> second(f.stream.begin() + 40, f.stream.end() - 1);
+  auto futures = frontend.SubmitBatch(std::move(first));
+  auto more = frontend.SubmitBatch(std::move(second));
+  for (auto& fut : more) futures.push_back(std::move(fut));
+  futures.push_back(frontend.Submit(f.stream.back()));
+  ASSERT_EQ(futures.size(), f.stream.size());
+  service.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(TraceOf(*r), sequential[i]);
+  }
+  EXPECT_TRUE(frontend.SubmitBatch({}).empty());
+  service.Stop();
+}
+
 TEST(IngestServiceTest, ReadsAreSafeDuringIngestion) {
   core::IuadConfig cfg = FastConfig();
   cfg.ingest_refresh_window = 5;  // republish often to exercise epoch swaps

@@ -218,10 +218,10 @@ TEST(ShardRouterTest, SubmitAssignsArrivalOrderSequences) {
     EXPECT_EQ(TraceOf(*r), sequential[i]);
   }
   const auto stats = router.Stats();
-  EXPECT_EQ(stats.ingest.papers_applied,
+  EXPECT_EQ(stats.papers_applied,
             static_cast<int64_t>(f.stream.size()));
-  EXPECT_EQ(stats.ingest.queued_now, 0);
-  EXPECT_EQ(stats.ingest.reorder_held, 0);
+  EXPECT_EQ(stats.queued_now, 0);
+  EXPECT_EQ(stats.reorder_held, 0);
   router.Stop();
 }
 
@@ -257,11 +257,11 @@ TEST(ShardRouterTest, ReadsRouteToOwningShardAndAggregateStats) {
   const auto stats = router.Stats();
   EXPECT_EQ(stats.num_shards, 4);
   ASSERT_EQ(stats.shards.size(), 4u);
-  EXPECT_EQ(stats.ingest.papers_applied,
+  EXPECT_EQ(stats.papers_applied,
             static_cast<int64_t>(f.stream.size()));
-  EXPECT_GE(stats.ingest.epoch, 1);
-  EXPECT_EQ(stats.ingest.num_alive_vertices, f.result.graph.num_alive());
-  EXPECT_EQ(stats.ingest.num_edges, f.result.graph.num_edges());
+  EXPECT_GE(stats.epoch, 1);
+  EXPECT_EQ(stats.num_alive_vertices, f.result.graph.num_alive());
+  EXPECT_EQ(stats.num_edges, f.result.graph.num_edges());
   // Per-shard counters are a partition of the totals.
   int64_t bylines = 0, assignments = 0, new_authors = 0, blocks = 0;
   for (const auto& s : stats.shards) {
@@ -270,9 +270,9 @@ TEST(ShardRouterTest, ReadsRouteToOwningShardAndAggregateStats) {
     new_authors += s.new_authors;
     blocks += s.owned_blocks;
   }
-  EXPECT_EQ(bylines, stats.ingest.assignments);
-  EXPECT_EQ(assignments, stats.ingest.assignments);
-  EXPECT_EQ(new_authors, stats.ingest.new_authors);
+  EXPECT_EQ(bylines, stats.assignments);
+  EXPECT_EQ(assignments, stats.assignments);
+  EXPECT_EQ(new_authors, stats.new_authors);
   EXPECT_GT(blocks, 0);
   // AuthorsByName went to the owning shard's view and saw the vertex.
   EXPECT_FALSE(router.AuthorsByName(name).empty());
@@ -328,8 +328,8 @@ TEST(ShardRouterTest, StopFailsStrandedSubmissionsAndRejectsNewOnes) {
   auto stranded = router.SubmitAt(1, f.stream[0]);
   {
     const auto stats = router.Stats();
-    EXPECT_EQ(stats.ingest.queued_now, 1);
-    EXPECT_EQ(stats.ingest.reorder_held, 1);
+    EXPECT_EQ(stats.queued_now, 1);
+    EXPECT_EQ(stats.reorder_held, 1);
   }
   router.Stop();
   auto r = stranded.get();
@@ -355,7 +355,7 @@ TEST(ShardRouterTest, BadPaperFailsItsFutureWithoutWedgingTheQueue) {
   ASSERT_FALSE(r_bad.ok());
   EXPECT_EQ(r_bad.status().code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE(good_after.get().ok());
-  EXPECT_EQ(router.Stats().ingest.papers_applied, 2);
+  EXPECT_EQ(router.Stats().papers_applied, 2);
   router.Stop();
 }
 
