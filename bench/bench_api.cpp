@@ -37,6 +37,7 @@
 #include "core/pipeline.h"
 #include "serve/ingest_service.h"
 #include "util/json_writer.h"
+#include "util/memory.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -250,6 +251,12 @@ int main(int argc, char** argv) {
   const double query_seconds = query_sw.ElapsedSeconds();
   server.Shutdown();
   service.Stop();
+  const size_t graph_bytes = fitted->graph.MemoryBytes();
+  const int num_alive = fitted->graph.num_alive();
+  const double bytes_per_author =
+      num_alive > 0
+          ? static_cast<double>(graph_bytes) / static_cast<double>(num_alive)
+          : 0.0;
   if (failed.load()) {
     std::fprintf(stderr, "query phase failed\n");
     return 1;
@@ -265,6 +272,8 @@ int main(int argc, char** argv) {
               ingest_direct_ps, batch, ingest_api_ps);
   std::printf("queries/s: %.0f over %d connections (%ld queries)\n",
               queries_ps, clients, static_cast<long>(completed.load()));
+  std::printf("memory: rss %.1f MiB, graph %.1f bytes/author (%d authors)\n",
+              util::CurrentRssMb(), bytes_per_author, num_alive);
 
   if (!json_path.empty()) {
     util::JsonWriter json;
@@ -280,6 +289,12 @@ int main(int argc, char** argv) {
         .EndObject();
     json.BeginObject("queries_per_s")
         .Field("query_authors", queries_ps, 1)
+        .EndObject();
+    json.BeginObject("memory")
+        .Field("rss_mb", util::CurrentRssMb(), 1)
+        .Field("graph_bytes", static_cast<int64_t>(graph_bytes))
+        .Field("num_alive_authors", num_alive)
+        .Field("bytes_per_author", bytes_per_author, 1)
         .EndObject();
     iuad::Status st = json.WriteFile(json_path);
     if (!st.ok()) {

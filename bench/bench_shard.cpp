@@ -39,6 +39,7 @@
 #include "io/snapshot.h"
 #include "shard/shard_router.h"
 #include "util/json_writer.h"
+#include "util/memory.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -63,8 +64,15 @@ std::string DigestOf(const std::vector<core::IncrementalAssignment>& as) {
 struct RunOutcome {
   double seconds = 0.0;
   std::vector<std::string> digests;  // per stream paper, in stream order
+  size_t graph_bytes = 0;            // post-ingestion CollabGraph footprint
+  int num_alive = 0;
   double papers_per_s(size_t n) const {
     return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+  }
+  double bytes_per_author() const {
+    return num_alive > 0
+               ? static_cast<double>(graph_bytes) / static_cast<double>(num_alive)
+               : 0.0;
   }
 };
 
@@ -103,6 +111,8 @@ bool RunSequential(const data::PaperDatabase& history,
     out->digests.push_back(DigestOf(*r));
   }
   out->seconds = sw.ElapsedSeconds();
+  out->graph_bytes = snap.result.graph.MemoryBytes();
+  out->num_alive = snap.result.graph.num_alive();
   return true;
 }
 
@@ -134,6 +144,8 @@ bool RunSharded(const data::PaperDatabase& history,
     router.Drain();
   }  // Stop() via destructor
   out->seconds = sw.ElapsedSeconds();
+  out->graph_bytes = snap.result.graph.MemoryBytes();
+  out->num_alive = snap.result.graph.num_alive();
   out->digests.reserve(stream.size());
   for (auto& f : futures) {
     auto r = f.get();
@@ -219,6 +231,9 @@ int main(int argc, char** argv) {
   std::printf("assignments identical across all three runs: %s\n",
               identical ? "yes" : "NO — DETERMINISM BROKEN");
   if (!identical) return 1;  // never record a lying BENCH_* data point
+  std::printf("memory: rss %.1f MiB, graph %.1f bytes/author (%d authors)\n",
+              util::CurrentRssMb(), shardN.bytes_per_author(),
+              shardN.num_alive);
 
   if (!json_path.empty()) {
     util::JsonWriter json;
@@ -237,6 +252,12 @@ int main(int argc, char** argv) {
         .Field("sequential", seq.seconds)
         .Field("router_1_shard", shard1.seconds)
         .Field("router_n_shards", shardN.seconds)
+        .EndObject();
+    json.BeginObject("memory")
+        .Field("rss_mb", util::CurrentRssMb(), 1)
+        .Field("graph_bytes", static_cast<int64_t>(shardN.graph_bytes))
+        .Field("num_alive_authors", shardN.num_alive)
+        .Field("bytes_per_author", shardN.bytes_per_author(), 1)
         .EndObject();
     iuad::Status st = json.WriteFile(json_path);
     if (!st.ok()) {

@@ -21,6 +21,7 @@
 #include "eval/evaluator.h"
 #include "eval/table_printer.h"
 #include "util/json_writer.h"
+#include "util/memory.h"
 #include "util/thread_pool.h"
 
 using namespace iuad;
@@ -31,6 +32,8 @@ struct StageSeconds {
   double embed = 0.0;
   double scn = 0.0;
   double gcn = 0.0;
+  size_t graph_bytes = 0;  // fitted CollabGraph footprint
+  int num_alive = 0;
   double total() const { return embed + scn + gcn; }
 };
 
@@ -47,6 +50,8 @@ bool TimeStages(const data::Corpus& corpus, int num_threads,
   out->embed = result->embed_seconds;
   out->scn = result->scn_seconds;
   out->gcn = result->gcn_seconds;
+  out->graph_bytes = result->graph.MemoryBytes();
+  out->num_alive = result->graph.num_alive();
   return true;
 }
 
@@ -77,6 +82,16 @@ bool WriteStagesJson(const std::string& path, int papers, int threads,
       .Field("serial_s", serial.total())
       .Field("parallel_s", par.total())
       .Field("speedup", speedup(serial.total(), par.total()), 3)
+      .EndObject();
+  json.BeginObject("memory")
+      .Field("rss_mb", util::CurrentRssMb(), 1)
+      .Field("graph_bytes", static_cast<int64_t>(par.graph_bytes))
+      .Field("num_alive_authors", par.num_alive)
+      .Field("bytes_per_author",
+             par.num_alive > 0 ? static_cast<double>(par.graph_bytes) /
+                                     static_cast<double>(par.num_alive)
+                               : 0.0,
+             1)
       .EndObject();
   return json.WriteFile(path).ok();
 }

@@ -42,7 +42,7 @@ void PrintAuthorCard(const data::PaperDatabase& db,
   std::vector<std::pair<int, std::string>> collaborators;
   for (const auto& [nbr, papers] : graph.NeighborsOf(v)) {
     collaborators.emplace_back(static_cast<int>(papers.size()),
-                               graph.vertex(nbr).name);
+                               std::string(graph.NameOf(nbr)));
   }
   std::sort(collaborators.rbegin(), collaborators.rend());
 

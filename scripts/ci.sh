@@ -4,20 +4,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+# IUAD_SANITIZE=1 switches the whole gate to an ASan+UBSan build (its own
+# build tree, so the regular ./build stays warm). Heavier and slower — run
+# it when touching memory layout, concurrency, or raw-byte io paths.
+BUILD_DIR=build
+CMAKE_EXTRA=()
+if [[ "${IUAD_SANITIZE:-0}" == "1" ]]; then
+  BUILD_DIR=build-asan
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  CMAKE_EXTRA=(
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  )
+  echo "ci: ASan+UBSan preset (IUAD_SANITIZE=1) -> $BUILD_DIR"
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
 # Snapshot persistence smoke: a pipeline run saved with --save-snapshot must
 # reload cleanly into the serving path and ingest a stream (end-to-end check
 # of src/io + src/serve through the CLI, beyond the unit suites).
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-./build/iuad_main generate "$SMOKE_DIR/corpus.tsv" --papers 1500 --seed 5
-./build/iuad_main generate "$SMOKE_DIR/stream.tsv" --papers 60 --seed 55
-./build/iuad_main run "$SMOKE_DIR/corpus.tsv" \
+"./$BUILD_DIR"/iuad_main generate "$SMOKE_DIR/corpus.tsv" --papers 1500 --seed 5
+"./$BUILD_DIR"/iuad_main generate "$SMOKE_DIR/stream.tsv" --papers 60 --seed 55
+"./$BUILD_DIR"/iuad_main run "$SMOKE_DIR/corpus.tsv" \
   --save-snapshot "$SMOKE_DIR/corpus.snap"
-./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
   --load-snapshot "$SMOKE_DIR/corpus.snap" \
   --stream "$SMOKE_DIR/stream.tsv" --producers 4
 echo "snapshot save/load smoke: OK"
@@ -26,13 +42,13 @@ echo "snapshot save/load smoke: OK"
 # ShardRouter, checkpoints the post-ingestion state on stop (snapshot v2 +
 # post-ingestion corpus), and that checkpoint must reload cleanly — the
 # fit-once / serve / checkpoint / resume loop through the CLI.
-./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
   --load-snapshot "$SMOKE_DIR/corpus.snap" \
   --stream "$SMOKE_DIR/stream.tsv" --shards 4 --producers 4 \
   --save-snapshot-on-stop "$SMOKE_DIR/post.snap" \
   --save-corpus "$SMOKE_DIR/post.tsv"
 test -s "$SMOKE_DIR/post.snap" && test -s "$SMOKE_DIR/post.tsv"
-./build/iuad_main serve "$SMOKE_DIR/post.tsv" \
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/post.tsv" \
   --load-snapshot "$SMOKE_DIR/post.snap"
 echo "sharded serve + checkpoint-on-stop smoke: OK"
 
@@ -48,7 +64,7 @@ cat > "$SMOKE_DIR/session.ndjson" <<'EOF'
 {"id":4,"op":"query_authors","name":"Api Smoke Author"}
 {"id":5,"op":"not_an_op"}
 EOF
-./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
   --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio \
   < "$SMOKE_DIR/session.ndjson" > "$SMOKE_DIR/out1.txt"
 grep '"op":"ingest","ok":true,"assignments":' "$SMOKE_DIR/out1.txt" >/dev/null
@@ -57,7 +73,7 @@ grep -F '{"id":3,"op":"flush","ok":true,"applied":2}' "$SMOKE_DIR/out1.txt" \
 grep '"op":"query_authors","ok":true,"authors":\[{"vertex":' \
   "$SMOKE_DIR/out1.txt" >/dev/null
 grep '"id":-1,.*"ok":false,.*InvalidArgument' "$SMOKE_DIR/out1.txt" >/dev/null
-./build/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
   --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio --shards 2 \
   < "$SMOKE_DIR/session.ndjson" > "$SMOKE_DIR/out2.txt"
 diff <(grep '"op":"ingest"' "$SMOKE_DIR/out1.txt") \

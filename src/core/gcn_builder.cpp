@@ -28,11 +28,15 @@ iuad::Result<VertexId> SplitVertexForAugmentation(graph::CollabGraph* graph,
   std::sort(moved.begin(), moved.end());
   std::sort(kept.begin(), kept.end());
 
-  const VertexId v2 = graph->AddVertex(graph->vertex(v).name, moved);
+  const VertexId v2 = graph->AddVertexWithId(graph->vertex(v).name_id, moved);
   graph->SetVertexPapers(v, kept);
 
   // Edge surgery: an incident edge's papers follow the half they belong to.
-  const auto neighbors = graph->NeighborsOf(v);  // copy: we mutate below
+  // Materialize first: NeighborsOf is a view into rows we mutate below.
+  std::vector<std::pair<VertexId, std::vector<int>>> neighbors;
+  for (const auto& [nbr, eps] : graph->NeighborsOf(v)) {
+    neighbors.emplace_back(nbr, eps);
+  }
   for (const auto& [nbr, edge_papers] : neighbors) {
     std::vector<int> stay, go;
     for (int pid : edge_papers) {
@@ -52,11 +56,11 @@ iuad::Result<VertexId> SplitVertexForAugmentation(graph::CollabGraph* graph,
 std::vector<std::pair<VertexId, VertexId>> GcnBuilder::CandidatePairs(
     const graph::CollabGraph& graph, util::ThreadPool* pool,
     int64_t* names_with_candidates) const {
-  // Name blocks in sorted-name order (Names() is sorted); only names shared
-  // by >= 2 alive vertices produce pairs.
+  // Name blocks in sorted-name order (NameIdsSorted is sorted by the name
+  // string); only names shared by >= 2 alive vertices produce pairs.
   std::vector<const std::vector<VertexId>*> blocks;
-  for (const auto& name : graph.Names()) {
-    const auto& verts = graph.VerticesWithName(name);
+  for (util::NameId id : graph.NameIdsSorted()) {
+    const auto& verts = graph.VerticesWithId(id);
     if (verts.size() >= 2) blocks.push_back(&verts);
   }
   // Each block is generated independently with an RNG derived from

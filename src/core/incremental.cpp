@@ -73,6 +73,10 @@ IncrementalDisambiguator::IncrementalDisambiguator(
 }
 
 void IncrementalDisambiguator::Refresh() {
+  // Fold the adjacency overflow log into the packed base arrays while the
+  // caches are being rebuilt anyway. Purely a storage change: neighbor
+  // iteration order and content are identical before and after.
+  result_->graph.Compact();
   sim_ = std::make_unique<SimilarityComputer>(*db_, result_->graph,
                                               result_->embeddings, config_);
   since_refresh_ = 0;

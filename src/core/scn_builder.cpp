@@ -71,6 +71,15 @@ iuad::Result<ScnStats> ScnBuilder::Build(const data::PaperDatabase& db,
   // refers to: reuse vertex `v` of name `self` iff some neighbor u of v
   // forms an η-SCR with the *other* endpoint's name (Fig. 4 (ii)); with the
   // gate disabled (ablation), any same-name vertex is reused.
+  // Interned-name-id -> Item memo: the encoder is string-keyed, so resolve
+  // each distinct vertex name at most once instead of per neighbor visit.
+  std::unordered_map<util::NameId, Item> item_of_name_id;
+  auto item_of = [&](VertexId v) -> Item {
+    const util::NameId id = graph->vertex(v).name_id;
+    auto [it, inserted] = item_of_name_id.try_emplace(id, -1);
+    if (inserted) it->second = encoder.Find(std::string(graph->NameOf(v)));
+    return it->second;
+  };
   auto resolve_endpoint = [&](const std::string& self_name,
                               Item other_item) -> VertexId {
     const auto& candidates = graph->VerticesWithName(self_name);
@@ -78,7 +87,7 @@ iuad::Result<ScnStats> ScnBuilder::Build(const data::PaperDatabase& db,
     if (!config_.triangle_gated_insertion) return candidates.front();
     for (VertexId v : candidates) {
       for (const auto& [nbr, papers] : graph->NeighborsOf(v)) {
-        const Item nbr_item = encoder.Find(graph->vertex(nbr).name);
+        const Item nbr_item = item_of(nbr);
         if (nbr_item >= 0 && is_scr(nbr_item, other_item)) return v;
       }
     }

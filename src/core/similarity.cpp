@@ -142,12 +142,12 @@ const SimilarityComputer::Profile& SimilarityComputer::ProfileOf(
 SimilarityComputer::Profile SimilarityComputer::BuildFullProfile(
     graph::VertexId v) const {
   Profile p = BuildProfileFromPapers(graph_.vertex(v).papers);
-  // Incident triangles by co-author names (L(v) of Eq. 5).
+  // Incident triangles by co-author names (L(v) of Eq. 5), as id pairs.
   for (const auto& [a, b] : graph::TrianglesOf(graph_, v)) {
-    std::string na = graph_.vertex(a).name;
-    std::string nb = graph_.vertex(b).name;
+    util::NameId na = graph_.vertex(a).name_id;
+    util::NameId nb = graph_.vertex(b).name_id;
     if (nb < na) std::swap(na, nb);
-    p.triangle_names.emplace_back(std::move(na), std::move(nb));
+    p.triangle_names.emplace_back(na, nb);
   }
   std::sort(p.triangle_names.begin(), p.triangle_names.end());
   p.triangle_names.erase(
@@ -261,7 +261,7 @@ SimilarityVector SimilarityComputer::Compute(graph::VertexId u,
   gamma[0] = wl_.NormalizedKernel(u, v);
 
   // γ2 (Eq. 5): common co-author cliques (triangles, by name) over τ.
-  std::vector<std::pair<std::string, std::string>> common;
+  std::vector<std::pair<util::NameId, util::NameId>> common;
   std::set_intersection(pu.triangle_names.begin(), pu.triangle_names.end(),
                         pv.triangle_names.begin(), pv.triangle_names.end(),
                         std::back_inserter(common));

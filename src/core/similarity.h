@@ -107,10 +107,11 @@ class SimilarityComputer {
     std::unordered_map<std::string, int> venue_counts;
     std::string representative_venue;
     text::Vec mean_embedding;
-    /// Incident triangles as sorted name pairs (identity by *name*: two
-    /// same-name vertices never share neighbor vertices in an SCN, so the
-    /// clique comparison of Eq. 5 is necessarily nominal).
-    std::vector<std::pair<std::string, std::string>> triangle_names;  // sorted
+    /// Incident triangles as sorted interned-name-id pairs (identity by
+    /// *name*: two same-name vertices never share neighbor vertices in an
+    /// SCN, so the clique comparison of Eq. 5 is necessarily nominal —
+    /// and name equality is exactly NameId equality).
+    std::vector<std::pair<util::NameId, util::NameId>> triangle_names;
   };
 
   const Profile& ProfileOf(graph::VertexId v) const;

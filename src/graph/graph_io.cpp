@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <charconv>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -20,13 +21,15 @@ std::string JoinPapers(const std::vector<int>& papers) {
 iuad::Result<std::vector<int>> ParsePapers(const std::string& field) {
   std::vector<int> out;
   if (field.empty()) return out;
-  for (const auto& part : Split(field, '|')) {
-    char* end = nullptr;
-    const long v = std::strtol(part.c_str(), &end, 10);
-    if (end == part.c_str() || *end != '\0') {
-      return iuad::Status::InvalidArgument("bad paper id: " + part);
+  for (std::string_view part : SplitView(field, '|')) {
+    int v = 0;
+    const auto [end, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), v);
+    if (ec != std::errc() || end != part.data() + part.size()) {
+      return iuad::Status::InvalidArgument("bad paper id: " +
+                                           std::string(part));
     }
-    out.push_back(static_cast<int>(v));
+    out.push_back(v);
   }
   return out;
 }
@@ -40,7 +43,7 @@ iuad::Status SaveGraphTsv(const CollabGraph& graph, const std::string& path) {
   for (VertexId v : graph.AliveVertices()) {
     const int id = static_cast<int>(dense.size());
     dense.emplace(v, id);
-    rows.push_back({"V", std::to_string(id), graph.vertex(v).name,
+    rows.push_back({"V", std::to_string(id), std::string(graph.NameOf(v)),
                     JoinPapers(graph.vertex(v).papers)});
   }
   for (VertexId v : graph.AliveVertices()) {

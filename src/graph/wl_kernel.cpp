@@ -21,7 +21,7 @@ WlVertexKernel::WlVertexKernel(const CollabGraph& graph, int h,
   for (VertexId v = 0; v < n; ++v) {
     if (!graph.alive(v)) continue;
     auto [it, inserted] = name_labels_.try_emplace(
-        graph.vertex(v).name, static_cast<int>(name_labels_.size()));
+        graph.vertex(v).name_id, static_cast<int>(name_labels_.size()));
     labels_[0][static_cast<size_t>(v)] = it->second;
   }
 
@@ -142,7 +142,9 @@ double WlVertexKernel::NormalizedKernelVsNameSet(
   if (fv.empty()) return 0.0;
   double cross = 0.0;
   for (const auto& name : names) {
-    auto it = name_labels_.find(name);
+    const util::NameId id = graph_.interner().Lookup(name);
+    if (id == util::kInvalidNameId) continue;
+    auto it = name_labels_.find(id);
     if (it == name_labels_.end()) continue;
     auto fit = fv.find(it->second);
     if (fit != fv.end()) cross += fit->second;

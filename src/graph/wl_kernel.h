@@ -88,9 +88,10 @@ class WlVertexKernel {
   int h_;
   /// labels_[i][v]: compressed label of v at iteration i (i = 0..h).
   std::vector<std::vector<int>> labels_;
-  /// Iteration-0 dictionary (author name -> label id), kept for the
-  /// isolated-vertex kernel.
-  std::unordered_map<std::string, int> name_labels_;
+  /// Iteration-0 dictionary (interned author name id -> label id), kept for
+  /// the isolated-vertex kernel. Keyed by util::NameId: names are resolved
+  /// through the graph's interner, so no strings are hashed after build.
+  std::unordered_map<util::NameId, int> name_labels_;
   mutable std::vector<std::unordered_map<int, double>> feature_cache_;
   mutable std::vector<bool> feature_cached_;
 };

@@ -61,7 +61,7 @@ class Writer {
   void I64(int64_t x) { Raw(x); }
   void F64(double x) { Raw(x); }
   void Bool(bool x) { U8(x ? 1 : 0); }
-  void Str(const std::string& s) {
+  void Str(std::string_view s) {
     U64(s.size());
     buf_.append(s);
   }
@@ -317,7 +317,7 @@ void WriteGraph(const graph::CollabGraph& g, Writer* w) {
   w->U64(static_cast<uint64_t>(g.num_vertices()));
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     const graph::Vertex& vx = g.vertex(v);
-    w->Str(vx.name);
+    w->Str(g.NameOf(v));
     w->Bool(vx.alive);
     w->IntVec(vx.papers);
   }
@@ -332,9 +332,9 @@ void WriteGraph(const graph::CollabGraph& g, Writer* w) {
 
 iuad::Result<graph::CollabGraph> ReadGraph(Reader* r) {
   const uint64_t n = r->U64();
-  std::vector<graph::Vertex> vertices;
+  std::vector<graph::VertexRecord> vertices;
   for (uint64_t i = 0; i < n && r->ok(); ++i) {
-    graph::Vertex vx;
+    graph::VertexRecord vx;
     vx.name = r->Str();
     vx.alive = r->Bool();
     vx.papers = r->IntVec();
@@ -513,15 +513,22 @@ void ReadStats(Reader* r, core::DisambiguationResult* res) {
   res->gcn_seconds = r->F64();
 }
 
-// ---- v2 section assembly --------------------------------------------------
+// ---- v2/v3 section assembly -----------------------------------------------
 
-/// Common section: everything global — config, embeddings, fitted model,
-/// stats, and the total vertex count the shard-slice merge pre-sizes with.
+/// Common section: everything global — config, the total vertex count the
+/// shard-slice merge pre-sizes with, (v3) the interned author-name table,
+/// embeddings, fitted model, and stats.
 std::string BuildCommonSection(const core::DisambiguationResult& result,
-                               const core::IuadConfig& config) {
+                               const core::IuadConfig& config,
+                               uint32_t version) {
   Writer w;
-  WriteConfig(config, kSnapshotFormatVersion, &w);
+  WriteConfig(config, version, &w);
   w.U64(static_cast<uint64_t>(result.graph.num_vertices()));
+  if (version >= 3) {
+    const util::StringInterner& names = result.graph.interner();
+    w.U64(static_cast<uint64_t>(names.size()));
+    for (util::NameId id = 0; id < names.size(); ++id) w.Str(names.View(id));
+  }
   WriteEmbeddings(result.embeddings, &w);
   WriteModel(result.model.get(), &w);
   WriteStats(result, &w);
@@ -549,7 +556,8 @@ std::vector<ShardBucket> BucketByShard(
   // per-edge name hash.
   std::vector<int> owner(static_cast<size_t>(g.num_vertices()));
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    owner[static_cast<size_t>(v)] = placement.ShardOf(g.vertex(v).name);
+    owner[static_cast<size_t>(v)] =
+        placement.ShardOf(g.vertex(v).name_id, g.NameOf(v));
     buckets[static_cast<size_t>(owner[static_cast<size_t>(v)])]
         .vertices.push_back(v);
   }
@@ -565,7 +573,8 @@ std::vector<ShardBucket> BucketByShard(
 }
 
 std::string BuildShardSection(const core::DisambiguationResult& result,
-                              int s, const ShardBucket& bucket) {
+                              int s, const ShardBucket& bucket,
+                              uint32_t version) {
   const graph::CollabGraph& g = result.graph;
   Writer w;
   w.U32(static_cast<uint32_t>(s));
@@ -573,7 +582,11 @@ std::string BuildShardSection(const core::DisambiguationResult& result,
   for (graph::VertexId v : bucket.vertices) {
     const graph::Vertex& vx = g.vertex(v);
     w.U32(static_cast<uint32_t>(v));
-    w.Str(vx.name);
+    if (version >= 3) {
+      w.I32(vx.name_id);
+    } else {
+      w.Str(g.NameOf(v));
+    }
     w.Bool(vx.alive);
     w.IntVec(vx.papers);
   }
@@ -586,31 +599,54 @@ std::string BuildShardSection(const core::DisambiguationResult& result,
   w.U64(bucket.occurrences.size());
   for (const core::OccurrenceIndex::Entry* e : bucket.occurrences) {
     w.I32(e->paper_id);
-    w.Str(e->name);
+    if (version >= 3) {
+      // Occurrence names are vertex names in every normal run; the id=-1
+      // escape keeps the format total if one ever isn't interned.
+      const util::NameId id = g.interner().Lookup(e->name);
+      w.I32(id);
+      if (id == util::kInvalidNameId) w.Str(e->name);
+    } else {
+      w.Str(e->name);
+    }
     w.I32(e->vertex);
   }
   return w.buffer();
 }
 
-/// Parsed-but-unmerged content of one shard section.
+/// Parsed-but-unmerged content of one shard section. v2 fills `name`
+/// (string per vertex); v3 fills `name_id` (table reference).
+struct SliceVertex {
+  uint32_t id = 0;
+  util::NameId name_id = util::kInvalidNameId;
+  std::string name;
+  bool alive = true;
+  std::vector<int> papers;
+};
+
 struct ShardSlice {
-  std::vector<std::pair<uint32_t, graph::Vertex>> vertices;
+  std::vector<SliceVertex> vertices;
   std::vector<graph::EdgeRecord> edges;
   std::vector<core::OccurrenceIndex::Entry> occurrences;
 };
 
-iuad::Result<ShardSlice> ParseShardSection(const char* data, size_t size) {
+iuad::Result<ShardSlice> ParseShardSection(
+    const char* data, size_t size, uint32_t version,
+    const std::vector<std::string>& name_table) {
   Reader r(data, size);
   ShardSlice slice;
   (void)r.U32();  // shard index: self-description only; order is the table's
   const uint64_t nv = r.U64();
   for (uint64_t i = 0; i < nv && r.ok(); ++i) {
-    const uint32_t id = r.U32();
-    graph::Vertex vx;
-    vx.name = r.Str();
+    SliceVertex vx;
+    vx.id = r.U32();
+    if (version >= 3) {
+      vx.name_id = r.I32();
+    } else {
+      vx.name = r.Str();
+    }
     vx.alive = r.Bool();
     vx.papers = r.IntVec();
-    slice.vertices.emplace_back(id, std::move(vx));
+    slice.vertices.push_back(std::move(vx));
   }
   const uint64_t ne = r.U64();
   for (uint64_t i = 0; i < ne && r.ok(); ++i) {
@@ -624,7 +660,19 @@ iuad::Result<ShardSlice> ParseShardSection(const char* data, size_t size) {
   for (uint64_t i = 0; i < no && r.ok(); ++i) {
     core::OccurrenceIndex::Entry e;
     e.paper_id = r.I32();
-    e.name = r.Str();
+    if (version >= 3) {
+      const util::NameId id = r.I32();
+      if (id == util::kInvalidNameId) {
+        e.name = r.Str();
+      } else if (static_cast<size_t>(id) < name_table.size()) {
+        e.name = name_table[static_cast<size_t>(id)];
+      } else {
+        return iuad::Status::IoError(
+            "occurrence name id outside the snapshot name table");
+      }
+    } else {
+      e.name = r.Str();
+    }
     e.vertex = r.I32();
     slice.occurrences.push_back(std::move(e));
   }
@@ -673,10 +721,12 @@ std::string BuildHeader(uint32_t version, uint64_t fingerprint,
   return header.buffer();
 }
 
-// ---- v2 load --------------------------------------------------------------
+// ---- v2/v3 load -----------------------------------------------------------
 
-iuad::Result<Snapshot> LoadV2(const std::string& path, const char* payload,
-                              size_t payload_size, uint64_t table_checksum) {
+iuad::Result<Snapshot> LoadSectioned(const std::string& path,
+                                     uint32_t version, const char* payload,
+                                     size_t payload_size,
+                                     uint64_t table_checksum) {
   // Section table.
   if (payload_size < sizeof(uint32_t)) {
     return iuad::Status::IoError(path + ": snapshot payload truncated");
@@ -754,11 +804,20 @@ iuad::Result<Snapshot> LoadV2(const std::string& path, const char* payload,
   // but the result shell (config, embeddings, model, stats) lives here.
   Snapshot snap;
   uint64_t num_vertices = 0;
+  std::vector<std::string> name_table;
   {
     Reader r(sections[0].data, sections[0].size);
-    snap.config = ReadConfig(kSnapshotFormatVersion, &r);
+    snap.config = ReadConfig(version, &r);
     IUAD_RETURN_NOT_OK(r.status());
     num_vertices = r.U64();
+    if (version >= 3) {
+      const uint64_t num_names = r.U64();
+      name_table.reserve(
+          static_cast<size_t>(std::min<uint64_t>(num_names, 1u << 16)));
+      for (uint64_t i = 0; i < num_names && r.ok(); ++i) {
+        name_table.push_back(r.Str());
+      }
+    }
     IUAD_ASSIGN_OR_RETURN(snap.result.embeddings,
                           ReadEmbeddings(snap.config.word2vec, &r));
     IUAD_ASSIGN_OR_RETURN(snap.result.model, ReadModel(snap.config, &r));
@@ -777,7 +836,8 @@ iuad::Result<Snapshot> LoadV2(const std::string& path, const char* payload,
     slices.push_back(iuad::Status::IoError("shard section not parsed"));
   }
   pool.ParallelFor(num_slices, [&](size_t i) {
-    slices[i] = ParseShardSection(sections[i + 1].data, sections[i + 1].size);
+    slices[i] = ParseShardSection(sections[i + 1].data, sections[i + 1].size,
+                                  version, name_table);
   });
   for (size_t i = 0; i < num_slices; ++i) {
     if (!slices[i].ok()) {
@@ -792,18 +852,36 @@ iuad::Result<Snapshot> LoadV2(const std::string& path, const char* payload,
   if (num_vertices > (1u << 30)) {
     return iuad::Status::IoError(path + ": implausible snapshot vertex count");
   }
-  std::vector<graph::Vertex> vertices(num_vertices);
+  std::vector<graph::VertexRecord> v2_vertices;
+  std::vector<graph::Vertex> v3_vertices;
+  if (version >= 3) {
+    v3_vertices.resize(num_vertices);
+  } else {
+    v2_vertices.resize(num_vertices);
+  }
   std::vector<uint8_t> seen(num_vertices, 0);
   std::vector<graph::EdgeRecord> edges;
   std::vector<core::OccurrenceIndex::Entry> occurrences;
   for (auto& slice : slices) {
-    for (auto& [id, vx] : slice->vertices) {
-      if (id >= num_vertices || seen[id]) {
+    for (SliceVertex& vx : slice->vertices) {
+      if (vx.id >= num_vertices || seen[vx.id]) {
         return iuad::Status::IoError(
             path + ": snapshot shard sections disagree on vertex ids");
       }
-      seen[id] = 1;
-      vertices[id] = std::move(vx);
+      seen[vx.id] = 1;
+      if (version >= 3) {
+        if (vx.name_id < 0 ||
+            static_cast<size_t>(vx.name_id) >= name_table.size()) {
+          return iuad::Status::IoError(
+              path + ": vertex name id outside the snapshot name table");
+        }
+        v3_vertices[vx.id] =
+            graph::Vertex{vx.name_id, std::move(vx.papers), vx.alive};
+      } else {
+        v2_vertices[vx.id] = graph::VertexRecord{std::move(vx.name),
+                                                 std::move(vx.papers),
+                                                 vx.alive};
+      }
     }
     std::move(slice->edges.begin(), slice->edges.end(),
               std::back_inserter(edges));
@@ -820,9 +898,16 @@ iuad::Result<Snapshot> LoadV2(const std::string& path, const char* payload,
             [](const graph::EdgeRecord& a, const graph::EdgeRecord& b) {
               return a.u != b.u ? a.u < b.u : a.v < b.v;
             });
-  IUAD_ASSIGN_OR_RETURN(snap.result.graph,
-                        graph::CollabGraph::Restore(std::move(vertices),
-                                                    edges));
+  if (version >= 3) {
+    IUAD_ASSIGN_OR_RETURN(
+        snap.result.graph,
+        graph::CollabGraph::Restore(name_table, std::move(v3_vertices),
+                                    edges));
+  } else {
+    IUAD_ASSIGN_OR_RETURN(snap.result.graph,
+                          graph::CollabGraph::Restore(std::move(v2_vertices),
+                                                      edges));
+  }
   std::sort(occurrences.begin(), occurrences.end(),
             [](const core::OccurrenceIndex::Entry& a,
                const core::OccurrenceIndex::Entry& b) {
@@ -885,13 +970,15 @@ iuad::Status SaveSnapshot(const std::string& path,
                     Fnv1a(body.data(), body.size())),
         body);
   }
-  if (options.format_version != kSnapshotFormatVersion) {
+  if (options.format_version != kSnapshotFormatVersion &&
+      options.format_version != kSnapshotFormatV2) {
     return iuad::Status::InvalidArgument(
         "snapshot: unsupported write version " +
         std::to_string(options.format_version));
   }
+  const uint32_t version = options.format_version;
 
-  // v2: common section + one slice per shard, sectioned with the same
+  // v2/v3: common section + one slice per shard, sectioned with the same
   // placement the serving router uses so a shard's state is one contiguous
   // checksummed span.
   int num_shards = options.num_shard_sections > 0 ? options.num_shard_sections
@@ -905,10 +992,11 @@ iuad::Status SaveSnapshot(const std::string& path,
       BucketByShard(result, placement, edges, occurrences);
 
   std::vector<std::string> blobs;
-  blobs.push_back(BuildCommonSection(result, config));
+  blobs.push_back(BuildCommonSection(result, config, version));
   for (int s = 0; s < num_shards; ++s) {
-    blobs.push_back(
-        BuildShardSection(result, s, buckets[static_cast<size_t>(s)]));
+    blobs.push_back(BuildShardSection(result, s,
+                                      buckets[static_cast<size_t>(s)],
+                                      version));
   }
 
   Writer table;
@@ -923,7 +1011,7 @@ iuad::Status SaveSnapshot(const std::string& path,
 
   return WriteFileAtomically(
       path,
-      BuildHeader(kSnapshotFormatVersion, db.Fingerprint(), body,
+      BuildHeader(version, db.Fingerprint(), body,
                   Fnv1a(table.buffer().data(), table.buffer().size())),
       body);
 }
@@ -956,11 +1044,12 @@ iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
       header_checksum) {
     return iuad::Status::IoError(path + ": snapshot header checksum mismatch");
   }
-  if (version != kSnapshotFormatVersion && version != kSnapshotFormatV1) {
+  if (version != kSnapshotFormatVersion && version != kSnapshotFormatV2 &&
+      version != kSnapshotFormatV1) {
     return iuad::Status::InvalidArgument(
         path + ": unsupported snapshot format version " +
         std::to_string(version) + " (this build reads versions " +
-        std::to_string(kSnapshotFormatV1) + " and " +
+        std::to_string(kSnapshotFormatV1) + " through " +
         std::to_string(kSnapshotFormatVersion) + ")");
   }
   if (bytes.size() - kHeaderSize != payload_size) {
@@ -980,7 +1069,8 @@ iuad::Result<Snapshot> LoadSnapshot(const std::string& path,
     }
     return LoadV1(path, bytes.data() + kHeaderSize, payload_size);
   }
-  return LoadV2(path, bytes.data() + kHeaderSize, payload_size, check_field);
+  return LoadSectioned(path, version, bytes.data() + kHeaderSize,
+                       payload_size, check_field);
 }
 
 }  // namespace iuad::io

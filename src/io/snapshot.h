@@ -7,7 +7,12 @@
 /// (Sec. V-E): fit once, save, and any later process reloads the model in
 /// milliseconds instead of re-running the two-stage pipeline.
 ///
-/// Format v2 (written by default) shards the payload by name block so a
+/// Format v3 (written by default) adds an interned author-name table to
+/// the common section: every distinct name is stored exactly once and
+/// vertex records reference it by dense i32 id, matching the in-memory
+/// util::StringInterner representation of graph::CollabGraph.
+///
+/// Format v2 shards the payload by name block so a
 /// large corpus never needs one contiguous checksummed payload: the graph
 /// slice, occurrence slice, and read-side state of each serving shard
 /// (shard/placement.h decides ownership, so sections mirror the
@@ -36,9 +41,10 @@
 /// section is detected by that section's checksum and reported by section
 /// index without poisoning the others (pinned in tests/snapshot_test.cpp).
 ///
-/// LoadSnapshot reads both versions: v1 files load through the legacy
-/// monolithic parser, so snapshots written before the sharded format keep
-/// working. Verification order: magic, header checksum, format version,
+/// LoadSnapshot reads all three versions: v1 files load through the legacy
+/// monolithic parser and v2 files through the sectioned parser (names are
+/// interned on read), so snapshots written before the name-table format
+/// keep working. Verification order: magic, header checksum, format version,
 /// payload size, then the corpus fingerprint against the caller's
 /// PaperDatabase (the O(1) pairing check — a snapshot is only meaningful
 /// next to the exact corpus it was fitted on — comes before any payload
@@ -65,8 +71,16 @@
 
 namespace iuad::io {
 
-/// Format version written by default.
-constexpr uint32_t kSnapshotFormatVersion = 2;
+/// Format version written by default. v3 keeps the v2 sectioned container
+/// but stores author names once, in an interned name table in the common
+/// section; shard-slice vertex records (and occurrence entries whose name
+/// is in the table) reference names by dense i32 id instead of repeating
+/// the string, mirroring the in-memory util::StringInterner layout.
+constexpr uint32_t kSnapshotFormatVersion = 3;
+/// The sectioned format with per-vertex name strings; still readable and
+/// writable on request (SnapshotWriteOptions) for compatibility tooling
+/// and tests.
+constexpr uint32_t kSnapshotFormatV2 = 2;
 /// The legacy monolithic-payload format; still readable, writable on
 /// request (SnapshotWriteOptions) for compatibility tooling and tests.
 constexpr uint32_t kSnapshotFormatV1 = 1;
@@ -80,10 +94,10 @@ struct Snapshot {
 
 /// Writer knobs for SaveSnapshot.
 struct SnapshotWriteOptions {
-  /// kSnapshotFormatVersion or kSnapshotFormatV1; anything else is
-  /// InvalidArgument.
+  /// kSnapshotFormatVersion, kSnapshotFormatV2, or kSnapshotFormatV1;
+  /// anything else is InvalidArgument.
   uint32_t format_version = kSnapshotFormatVersion;
-  /// v2 shard-section count; 0 means config.num_shards. Ignored for v1.
+  /// v2/v3 shard-section count; 0 means config.num_shards. Ignored for v1.
   int num_shard_sections = 0;
 };
 

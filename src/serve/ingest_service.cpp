@@ -191,7 +191,7 @@ void IngestService::PublishView() {
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     if (!g.alive(v)) continue;
     const graph::Vertex& vx = g.vertex(v);
-    view->by_name[vx.name].push_back(
+    view->by_name[vx.name_id].push_back(
         {v, static_cast<int>(vx.papers.size())});
     view->papers_of.emplace(v, vx.papers);
   }
@@ -215,8 +215,11 @@ std::shared_ptr<const IngestService::ReadView> IngestService::CurrentView()
 
 std::vector<AuthorRecord> IngestService::AuthorsByName(
     const std::string& name) const {
+  // Protocol boundary: resolve the string once, then the view is id-keyed.
+  const util::NameId id = result_->graph.interner().Lookup(name);
+  if (id == util::kInvalidNameId) return {};
   const auto view = CurrentView();
-  auto it = view->by_name.find(name);
+  auto it = view->by_name.find(id);
   if (it == view->by_name.end()) return {};
   std::vector<AuthorRecord> out = it->second;
   std::sort(out.begin(), out.end(),

@@ -104,9 +104,13 @@ class IngestService : public Frontend {
     std::promise<Assignments> promise;
   };
 
-  /// Immutable published state; readers hold it by shared_ptr.
+  /// Immutable published state; readers hold it by shared_ptr. Author
+  /// lookup is keyed by interned name id — the protocol-boundary string
+  /// resolves once through the graph interner (safe concurrent with the
+  /// applier: the interner is a single-writer/many-reader structure and
+  /// ids are never reused), so the view stores no per-name string copies.
   struct ReadView {
-    std::unordered_map<std::string, std::vector<AuthorRecord>> by_name;
+    std::unordered_map<util::NameId, std::vector<AuthorRecord>> by_name;
     std::unordered_map<graph::VertexId, std::vector<int>> papers_of;
     ServiceStats stats;
   };

@@ -6,7 +6,7 @@
 
 namespace iuad::shard {
 
-uint64_t NameHash(const std::string& name) {
+uint64_t NameHash(std::string_view name) {
   uint64_t h = 1469598103934665603ULL;
   for (unsigned char c : name) {
     h ^= c;
@@ -21,28 +21,31 @@ BlockPlacement BlockPlacement::Build(const graph::CollabGraph& graph,
   BlockPlacement p;
   p.num_shards_ = num_shards < 1 ? 1 : num_shards;
   p.shard_weights_.assign(static_cast<size_t>(p.num_shards_), 0);
+  p.names_ = graph.interner();  // deep copy; ids coincide with the graph's
+  p.shard_of_id_.assign(static_cast<size_t>(p.names_.size()), -1);
 
   // Block weight ~ scoring cost: one candidate comparison per vertex plus
   // profile builds proportional to the papers behind them.
   struct Block {
-    std::string name;
+    util::NameId id = util::kInvalidNameId;
     int64_t weight = 0;
   };
   std::vector<Block> blocks;
-  for (const std::string& name : graph.Names()) {  // sorted → deterministic
+  for (util::NameId id : graph.NameIdsSorted()) {  // sorted → deterministic
     int64_t weight = 1;
-    for (graph::VertexId v : graph.VerticesWithName(name)) {
+    for (graph::VertexId v : graph.VerticesWithId(id)) {
       weight += 1 + static_cast<int64_t>(graph.vertex(v).papers.size());
     }
-    blocks.push_back({name, weight});
+    blocks.push_back({id, weight});
   }
+  p.num_blocks_ = static_cast<int64_t>(blocks.size());
 
   if (p.num_shards_ == 1 || policy == core::ShardPlacement::kHash) {
     // Hash placement is stateless; materialize it only to expose weights.
     for (const Block& b : blocks) {
-      const int s = static_cast<int>(NameHash(b.name) %
+      const int s = static_cast<int>(NameHash(p.names_.View(b.id)) %
                                      static_cast<uint64_t>(p.num_shards_));
-      p.block_shard_.emplace(b.name, s);
+      p.shard_of_id_[static_cast<size_t>(b.id)] = s;
       p.shard_weights_[static_cast<size_t>(s)] += b.weight;
     }
     return p;
@@ -51,17 +54,18 @@ BlockPlacement BlockPlacement::Build(const graph::CollabGraph& graph,
   // Size-aware: longest-processing-time greedy — heaviest block onto the
   // currently lightest shard, ties by shard id. Deterministic given the
   // (weight desc, name asc) block order.
-  std::sort(blocks.begin(), blocks.end(), [](const Block& a, const Block& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
-    return a.name < b.name;
-  });
+  std::sort(blocks.begin(), blocks.end(),
+            [&p](const Block& a, const Block& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return p.names_.View(a.id) < p.names_.View(b.id);
+            });
   using Load = std::pair<int64_t, int>;  // (weight, shard id)
   std::priority_queue<Load, std::vector<Load>, std::greater<Load>> lightest;
   for (int s = 0; s < p.num_shards_; ++s) lightest.emplace(0, s);
   for (const Block& b : blocks) {
     auto [load, s] = lightest.top();
     lightest.pop();
-    p.block_shard_.emplace(b.name, s);
+    p.shard_of_id_[static_cast<size_t>(b.id)] = s;
     p.shard_weights_[static_cast<size_t>(s)] = load + b.weight;
     lightest.emplace(load + b.weight, s);
   }

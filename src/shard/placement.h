@@ -19,20 +19,25 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "core/config.h"
 #include "graph/collab_graph.h"
+#include "util/interner.h"
 
 namespace iuad::shard {
 
 /// FNV-1a over the block name: the stateless fallback route shared by every
 /// policy for blocks born after placement was built.
-uint64_t NameHash(const std::string& name);
+uint64_t NameHash(std::string_view name);
 
 /// Immutable block → shard map. Thread-safe for concurrent ShardOf calls
-/// once built.
+/// once built. Internally the map is a flat array indexed by the graph's
+/// interned util::NameId (the placement snapshots the interner at build
+/// time, so its ids coincide with the graph's for every name known then):
+/// routing an interned block is one bounds check + one array load, no
+/// string hashing.
 class BlockPlacement {
  public:
   /// Builds the placement over the name blocks of `graph` (names with at
@@ -42,18 +47,30 @@ class BlockPlacement {
   static BlockPlacement Build(const graph::CollabGraph& graph, int num_shards,
                               core::ShardPlacement policy);
 
-  /// Owner shard of a name block, in [0, num_shards). Blocks unknown at
-  /// build time route through the hash rule.
-  int ShardOf(const std::string& name) const {
+  /// Owner shard of a name block, in [0, num_shards). The hot path: `id` is
+  /// the block's interned id in the graph the placement was built from
+  /// (kInvalidNameId is fine). Blocks unknown at build time — new ids, or
+  /// names that had no alive vertex — route through the hash rule applied
+  /// to `name`.
+  int ShardOf(util::NameId id, std::string_view name) const {
     if (num_shards_ == 1) return 0;
-    auto it = block_shard_.find(name);
-    if (it != block_shard_.end()) return it->second;
+    if (id >= 0 && static_cast<size_t>(id) < shard_of_id_.size() &&
+        shard_of_id_[static_cast<size_t>(id)] >= 0) {
+      return shard_of_id_[static_cast<size_t>(id)];
+    }
     return static_cast<int>(NameHash(name) %
                             static_cast<uint64_t>(num_shards_));
   }
 
+  /// String-keyed route for callers at the protocol boundary (and tests):
+  /// resolves the id through the placement's own interner snapshot.
+  int ShardOf(std::string_view name) const {
+    if (num_shards_ == 1) return 0;
+    return ShardOf(names_.Lookup(name), name);
+  }
+
   int num_shards() const { return num_shards_; }
-  int64_t num_blocks() const { return static_cast<int64_t>(block_shard_.size()); }
+  int64_t num_blocks() const { return num_blocks_; }
 
   /// Per-shard sum of placed block weights (candidate vertices + attributed
   /// papers) — the balance the size-aware policy optimizes, surfaced for
@@ -62,7 +79,11 @@ class BlockPlacement {
 
  private:
   int num_shards_ = 1;
-  std::unordered_map<std::string, int> block_shard_;
+  /// Copy of the build-time graph interner; ids match the graph's.
+  util::StringInterner names_;
+  /// NameId -> shard, -1 for ids that were not placed (no alive vertex).
+  std::vector<int32_t> shard_of_id_;
+  int64_t num_blocks_ = 0;
   std::vector<int64_t> shard_weights_;
 };
 

@@ -28,8 +28,10 @@ ShardRouter::ShardRouter(data::PaperDatabase* db,
     shards_[s].health.placement_weight = placement_.shard_weights()[s];
   }
   // Owned-block counts for health: one deterministic pass over the blocks.
-  for (const std::string& name : result_->graph.Names()) {
-    ++shards_[static_cast<size_t>(placement_.ShardOf(name))]
+  const graph::CollabGraph& g = result_->graph;
+  for (util::NameId id : g.NameIdsSorted()) {
+    ++shards_[static_cast<size_t>(
+                  placement_.ShardOf(id, g.interner().View(id)))]
           .health.owned_blocks;
   }
   pool_ = std::make_unique<util::ThreadPool>(placement_.num_shards());
@@ -165,7 +167,8 @@ ShardRouter::Assignments ShardRouter::ProcessPaper(const data::Paper& paper) {
   auto applied = core::ApplyDecisions(paper, decisions, db_, result_,
                                       &touched);
   for (graph::VertexId v : touched) {
-    const int s = placement_.ShardOf(result_->graph.vertex(v).name);
+    const int s = placement_.ShardOf(result_->graph.vertex(v).name_id,
+                                     result_->graph.NameOf(v));
     shards_[static_cast<size_t>(s)].sim->InvalidateProfile(v);
   }
   if (applied.ok()) {
@@ -192,6 +195,10 @@ ShardRouter::Assignments ShardRouter::ProcessPaper(const data::Paper& paper) {
 }
 
 void ShardRouter::RefreshShards() {
+  // Same storage hygiene as the sequential path's Refresh(): fold the
+  // adjacency overflow log into the packed base arrays between fences (the
+  // router is the only graph mutator; published views never read it).
+  result_->graph.Compact();
   // One snapshot-bound build — the WL refinement sweep runs across the
   // shard pool, byte-identical to the serial build the sequential path
   // does — then per-shard copies: every shard needs its OWN lazily-filled
@@ -304,9 +311,9 @@ void ShardRouter::PublishView() {
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     if (!g.alive(v)) continue;
     const graph::Vertex& vx = g.vertex(v);
-    ReadView::ShardView& sv =
-        view->shards[static_cast<size_t>(placement_.ShardOf(vx.name))];
-    sv.by_name[vx.name].push_back(
+    ReadView::ShardView& sv = view->shards[static_cast<size_t>(
+        placement_.ShardOf(vx.name_id, g.NameOf(v)))];
+    sv.by_name[vx.name_id].push_back(
         {v, static_cast<int>(vx.papers.size())});
     sv.papers_of.emplace(v, vx.papers);
   }
@@ -333,10 +340,12 @@ std::shared_ptr<const ShardRouter::ReadView> ShardRouter::CurrentView()
 
 std::vector<serve::AuthorRecord> ShardRouter::AuthorsByName(
     const std::string& name) const {
+  // Protocol boundary: resolve the string once, then the view is id-keyed.
+  const util::NameId id = result_->graph.interner().Lookup(name);
+  if (id == util::kInvalidNameId) return {};
   const auto view = CurrentView();
-  const auto& sv =
-      view->shards[static_cast<size_t>(placement_.ShardOf(name))];
-  auto it = sv.by_name.find(name);
+  const auto& sv = view->shards[static_cast<size_t>(placement_.ShardOf(id, name))];
+  auto it = sv.by_name.find(id);
   if (it == sv.by_name.end()) return {};
   std::vector<serve::AuthorRecord> out = it->second;
   std::sort(out.begin(), out.end(),

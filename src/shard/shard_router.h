@@ -132,11 +132,14 @@ class ShardRouter : public serve::Frontend {
     serve::ShardHealth health;
   };
 
-  /// Immutable published read state, swapped atomically per epoch.
+  /// Immutable published read state, swapped atomically per epoch. Author
+  /// lookup keys are interned name ids, not strings: the protocol-boundary
+  /// name resolves through the graph interner (concurrent-reader safe, and
+  /// ids are never reused) so the view itself stores no string copies.
   struct ReadView {
     /// Per shard: owned-block author lookup + publication lists.
     struct ShardView {
-      std::unordered_map<std::string, std::vector<serve::AuthorRecord>>
+      std::unordered_map<util::NameId, std::vector<serve::AuthorRecord>>
           by_name;
       std::unordered_map<graph::VertexId, std::vector<int>> papers_of;
     };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <deque>
 
 #include "util/thread_pool.h"
 
@@ -21,6 +23,48 @@ inline double Sigmoid(double x) {
 /// training schedule) never depends on the executing thread count.
 constexpr size_t kAutoShardGrain = 2048;
 constexpr int kMaxAutoShards = 16;
+
+/// Copy-on-write row store for one shard's epoch pass: reads through to the
+/// shared base matrix and materializes a (pristine, working) row pair the
+/// first time a row is written. Training only ever touches the rows its
+/// sentences and negative samples hit, so per-shard memory is O(dirty rows
+/// * dim) instead of O(vocab * dim), and the merge can skip everything
+/// else. Deques keep row references stable across first-touch insertions —
+/// TrainRange holds a `Vec&` into one store while faulting rows into the
+/// other (and, between negative samples, into the same one).
+class CowRows {
+ public:
+  explicit CowRows(const std::vector<Vec>* base)
+      : base_(base), slot_(base->size(), -1) {}
+
+  /// Mutable row access; faults in a copy of the base row on first touch.
+  Vec& operator[](size_t w) {
+    int32_t s = slot_[w];
+    if (s < 0) {
+      s = static_cast<int32_t>(dirty_.size());
+      slot_[w] = s;
+      dirty_.push_back(w);
+      pristine_.push_back((*base_)[w]);
+      working_.push_back((*base_)[w]);
+    }
+    return working_[static_cast<size_t>(s)];
+  }
+
+  /// Rows this shard wrote, in first-touch order. The order is a function
+  /// of the shard's deterministic training stream, never of thread count —
+  /// and within one shard the merge touches each (row, k) once, so the
+  /// visit order does not affect the float sums anyway.
+  const std::vector<size_t>& dirty() const { return dirty_; }
+  const Vec& pristine(size_t i) const { return pristine_[i]; }
+  const Vec& working(size_t i) const { return working_[i]; }
+
+ private:
+  const std::vector<Vec>* base_;
+  std::vector<int32_t> slot_;  ///< vocab id -> dirty index, -1 = clean.
+  std::vector<size_t> dirty_;
+  std::deque<Vec> pristine_;  ///< Base rows as of first touch.
+  std::deque<Vec> working_;   ///< The shard's trained rows.
+};
 
 }  // namespace
 
@@ -172,32 +216,39 @@ iuad::Status Word2Vec::Train(
     shard_rngs.emplace_back(iuad::DeriveStreamSeed(config_.seed, s));
   }
   std::vector<double> shard_last_lr(S, config_.learning_rate);
-  std::vector<std::vector<Vec>> local_in(S), local_out(S);
   util::ThreadPool pool(util::ResolveNumThreads(config_.num_threads));
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    const std::vector<Vec> base_in = in_vectors_;
-    const std::vector<Vec> base_out = out_vectors_;
+    // The live matrices ARE the epoch snapshot: they stay read-only while
+    // the shards run, and each shard copies just the rows it touches.
+    std::vector<CowRows> local_in(S, CowRows(&in_vectors_));
+    std::vector<CowRows> local_out(S, CowRows(&out_vectors_));
     const double epoch_base =
         static_cast<double>(epoch) * static_cast<double>(total_tokens);
     pool.ParallelFor(S, [&](size_t s) {
-      local_in[s] = base_in;
-      local_out[s] = base_out;
       TrainRange(encoded, sent_begin[s], sent_begin[s + 1],
                  epoch_base + static_cast<double>(token_offset[s]), total_steps,
                  &shard_rngs[s], &local_in[s], &local_out[s],
                  &shard_last_lr[s]);
     });
-    // Merge the per-shard weight deltas in fixed shard order. Float sums in
-    // a fixed order are deterministic; sparse SGNS updates make the deltas
-    // near-disjoint, so summing (not averaging) keeps per-word step sizes.
+    // Merge the per-shard weight deltas in fixed shard order, visiting only
+    // each shard's dirty rows. Float sums in a fixed order are
+    // deterministic; sparse SGNS updates make the deltas near-disjoint, so
+    // summing (not averaging) keeps per-word step sizes. Clean rows have an
+    // exactly-zero delta, so skipping them is bit-identical to the dense
+    // merge. Deltas are computed against each row's pristine copy, not the
+    // live matrix — earlier shards' merges must not leak into later deltas.
     for (size_t s = 0; s < S; ++s) {
-      for (size_t w = 0; w < in_vectors_.size(); ++w) {
-        for (size_t k = 0; k < d; ++k) {
-          in_vectors_[w][k] += local_in[s][w][k] - base_in[w][k];
-          out_vectors_[w][k] += local_out[s][w][k] - base_out[w][k];
+      auto merge = [d](const CowRows& rows, std::vector<Vec>* into) {
+        for (size_t i = 0; i < rows.dirty().size(); ++i) {
+          Vec& dst = (*into)[rows.dirty()[i]];
+          const Vec& pristine = rows.pristine(i);
+          const Vec& working = rows.working(i);
+          for (size_t k = 0; k < d; ++k) dst[k] += working[k] - pristine[k];
         }
-      }
+      };
+      merge(local_in[s], &in_vectors_);
+      merge(local_out[s], &out_vectors_);
     }
   }
   final_lr_ = shard_last_lr[S - 1];
@@ -205,11 +256,11 @@ iuad::Status Word2Vec::Train(
   return iuad::Status::OK();
 }
 
+template <typename Rows>
 void Word2Vec::TrainRange(const std::vector<std::vector<int>>& encoded,
                           size_t begin, size_t end, double steps_base,
-                          double total_steps, iuad::Rng* rng,
-                          std::vector<Vec>* in, std::vector<Vec>* out,
-                          double* last_lr) const {
+                          double total_steps, iuad::Rng* rng, Rows* in,
+                          Rows* out, double* last_lr) const {
   const size_t d = static_cast<size_t>(config_.dim);
   std::vector<float> grad_in(d);
   double steps_done = 0.0;

@@ -41,13 +41,19 @@ struct Word2VecConfig {
   /// thread count). 1 forces the legacy single-stream SGD schedule.
   ///
   /// Schedule change vs. the serial trainer: with S > 1 shards, each epoch
-  /// snapshots the weights, trains every shard independently against that
-  /// snapshot (shard s sees sentence range ShardRange(n, s, S), an RNG
-  /// seeded DeriveStreamSeed(seed, s), and the learning-rate segment its
-  /// tokens would occupy in the sequential sweep), then sums the per-shard
-  /// weight deltas into the snapshot in fixed shard order. With S == 1 the
-  /// trainer degenerates to exactly the sequential schedule (one RNG stream
-  /// continuing from initialization, in-place updates).
+  /// treats the weights as a read-only snapshot, trains every shard
+  /// independently against it (shard s sees sentence range ShardRange(n, s,
+  /// S), an RNG seeded DeriveStreamSeed(seed, s), and the learning-rate
+  /// segment its tokens would occupy in the sequential sweep), then sums the
+  /// per-shard weight deltas into the snapshot in fixed shard order. Shards
+  /// copy weights row-by-row on first touch (a pristine/working pair per
+  /// dirty row), so per-shard memory is proportional to the rows a shard
+  /// actually updates, not to the vocabulary — and the merge visits only
+  /// those dirty rows. Sparse SGNS updates leave untouched rows with an
+  /// exactly-zero delta, so skipping them is bit-identical to the dense
+  /// full-matrix merge. With S == 1 the trainer degenerates to exactly the
+  /// sequential schedule (one RNG stream continuing from initialization,
+  /// in-place updates).
   int num_shards = 0;
 };
 
@@ -114,11 +120,14 @@ class Word2Vec {
   /// into *in / *out. `steps_base` positions the segment on the global
   /// learning-rate schedule (lr decays with (steps_base + local step) /
   /// total_steps). Reads only immutable members (vocab, negative table), so
-  /// distinct ranges with distinct buffers may run concurrently.
+  /// distinct ranges with distinct buffers may run concurrently. Rows is
+  /// any row store exposing `Vec& operator[](size_t)` — a plain
+  /// std::vector<Vec> for the in-place S == 1 path, or the copy-on-write
+  /// per-shard store (see word2vec.cpp) for the sharded path.
+  template <typename Rows>
   void TrainRange(const std::vector<std::vector<int>>& encoded, size_t begin,
                   size_t end, double steps_base, double total_steps,
-                  iuad::Rng* rng, std::vector<Vec>* in, std::vector<Vec>* out,
-                  double* last_lr) const;
+                  iuad::Rng* rng, Rows* in, Rows* out, double* last_lr) const;
 
   Word2VecConfig config_;
   Vocabulary vocab_;

@@ -1,0 +1,23 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace iuad::util {
+
+double CurrentRssMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%lf", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb / 1024.0;
+}
+
+}  // namespace iuad::util

@@ -1,0 +1,18 @@
+#ifndef IUAD_UTIL_MEMORY_H_
+#define IUAD_UTIL_MEMORY_H_
+
+/// \file memory.h
+/// Process-memory introspection for the BENCH_*.json convention: every
+/// bench records `rss_mb` (resident set at measurement time) next to its
+/// throughput numbers, so the memory trajectory is tracked alongside
+/// papers/s across PRs.
+
+namespace iuad::util {
+
+/// Resident set size of the current process in MiB, read from
+/// /proc/self/status (VmRSS). Returns 0.0 where procfs is unavailable.
+double CurrentRssMb();
+
+}  // namespace iuad::util
+
+#endif  // IUAD_UTIL_MEMORY_H_

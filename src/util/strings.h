@@ -17,6 +17,15 @@ std::vector<std::string> Split(std::string_view s, char sep);
 /// Splits `s` on any run of whitespace, dropping empty tokens.
 std::vector<std::string> SplitWhitespace(std::string_view s);
 
+/// Zero-copy variant of Split: the returned views alias `s`, which must
+/// outlive them. Same semantics (empty fields kept). Used on hot parse
+/// paths (TSV rows, paper-id lists) to avoid one allocation per field.
+std::vector<std::string_view> SplitView(std::string_view s, char sep);
+
+/// Zero-copy variant of SplitWhitespace (empty tokens dropped); the views
+/// alias `s`, which must outlive them.
+std::vector<std::string_view> SplitWhitespaceView(std::string_view s);
+
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 

@@ -29,7 +29,7 @@ TEST(SplitVertexTest, SplitsPapersAndEdges) {
   auto v2 = SplitVertexForAugmentation(&g, v, &rng);
   ASSERT_TRUE(v2.ok());
   EXPECT_TRUE(g.alive(*v2));
-  EXPECT_EQ(g.vertex(*v2).name, "X");
+  EXPECT_EQ(g.NameOf(*v2), "X");
   // Paper sets partition the original.
   std::vector<int> all = g.vertex(v).papers;
   all.insert(all.end(), g.vertex(*v2).papers.begin(),
@@ -119,7 +119,7 @@ TEST_F(PipelineTest, EveryOccurrenceRemainsAttributed) {
       const VertexId v = result_->occurrences.Lookup(p.id, name);
       ASSERT_GE(v, 0);
       ASSERT_TRUE(result_->graph.alive(v));
-      EXPECT_EQ(result_->graph.vertex(v).name, name);
+      EXPECT_EQ(result_->graph.NameOf(v), name);
     }
   }
 }

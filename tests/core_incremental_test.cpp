@@ -67,7 +67,7 @@ TEST_F(IncrementalStreamTest, IngestsWholeStreamMaintainingInvariants) {
     for (const auto& a : *assignments) {
       EXPECT_GE(a.vertex, 0);
       EXPECT_TRUE(result_->graph.alive(a.vertex));
-      EXPECT_EQ(result_->graph.vertex(a.vertex).name, a.name);
+      EXPECT_EQ(result_->graph.NameOf(a.vertex), a.name);
     }
   }
   EXPECT_EQ(inc.papers_ingested(), static_cast<int>(stream_.size()));

@@ -99,7 +99,7 @@ TEST_F(Fig2ScnTest, EveryOccurrenceIsAttributed) {
       const VertexId v = occ_.Lookup(p.id, name);
       ASSERT_GE(v, 0) << "paper " << p.id << " name " << name;
       EXPECT_TRUE(graph_.alive(v));
-      EXPECT_EQ(graph_.vertex(v).name, name);
+      EXPECT_EQ(graph_.NameOf(v), name);
       // The vertex's paper set contains the paper.
       const auto& papers = graph_.vertex(v).papers;
       EXPECT_TRUE(std::binary_search(papers.begin(), papers.end(), p.id));
@@ -223,7 +223,7 @@ TEST(ScnBuilderTest, OccurrenceInvariantsOnSyntheticCorpus) {
       const VertexId v = occ.Lookup(p.id, name);
       ASSERT_GE(v, 0);
       ASSERT_TRUE(g.alive(v));
-      EXPECT_EQ(g.vertex(v).name, name);
+      EXPECT_EQ(g.NameOf(v), name);
     }
   }
   EXPECT_GT(stats->num_scrs, 100);
@@ -245,7 +245,8 @@ TEST(ScnBuilderTest, ScnEdgesAreHighPrecisionOnSyntheticCorpus) {
     if (vertex.papers.size() < 2) continue;
     std::set<data::AuthorId> authors;
     for (int pid : vertex.papers) {
-      const auto a = corpus.db.paper(pid).TrueAuthorOfName(vertex.name);
+      const auto a =
+          corpus.db.paper(pid).TrueAuthorOfName(std::string(g.NameOf(v)));
       if (a != data::kUnknownAuthor) authors.insert(a);
     }
     if (authors.size() <= 1) {

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 #include <set>
+#include <string>
 
 #include "cluster/hac.h"
 #include "core/pipeline.h"
@@ -52,7 +54,7 @@ TEST_P(ScnInvariantTest, CoverageNameConsistencyAndEtaMonotonicity) {
         const graph::VertexId v = occ.Lookup(p.id, name);
         ASSERT_GE(v, 0);
         ASSERT_TRUE(g.alive(v));
-        ASSERT_EQ(g.vertex(v).name, name);
+        ASSERT_EQ(g.NameOf(v), name);
         const auto& papers = g.vertex(v).papers;
         ASSERT_TRUE(std::binary_search(papers.begin(), papers.end(), p.id));
       }
@@ -121,7 +123,7 @@ TEST_P(WlPropertyTest, DisjointIsomorphicCopyScoresOne) {
   auto g = RandomGraph(static_cast<uint64_t>(GetParam()) + 100, 14, 0.2);
   const int n = g.num_vertices();
   for (int i = 0; i < n; ++i) {
-    g.AddVertex(g.vertex(i).name, {5000 + i});
+    g.AddVertex(g.NameOf(i), {5000 + i});
   }
   for (int i = 0; i < n; ++i) {
     for (const auto& [j, eps] : g.NeighborsOf(i)) {
@@ -239,7 +241,7 @@ TEST_P(GraphIoTest, SaveLoadRoundTripsAliveSubgraph) {
   auto signature = [](const graph::CollabGraph& gr) {
     std::multiset<std::pair<std::string, std::vector<int>>> sig;
     for (graph::VertexId v : gr.AliveVertices()) {
-      sig.emplace(gr.vertex(v).name, gr.vertex(v).papers);
+      sig.emplace(std::string(gr.NameOf(v)), gr.vertex(v).papers);
     }
     return sig;
   };
@@ -309,6 +311,211 @@ TEST_P(PipelinePropertyTest, OccurrencePartitionSurvivesBothStages) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
                          ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// CollabGraph CSR adjacency vs. a trivially-correct reference model.
+// ---------------------------------------------------------------------------
+
+/// The simplest possible implementation of the CollabGraph contract: plain
+/// maps and sets. Random op sequences must leave the CSR graph (base rows +
+/// overflow log + tombstones + amortized and explicit compaction) observably
+/// identical to this model at every step.
+struct ReferenceGraph {
+  struct V {
+    std::string name;
+    std::set<int> papers;
+    bool alive = true;
+  };
+  std::vector<V> verts;
+  std::map<std::pair<int, int>, std::set<int>> edges;  // key u < v
+  std::map<std::string, std::vector<int>> by_name;     // alive, insert order
+
+  static std::pair<int, int> Key(int u, int v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+  int AddVertex(const std::string& name, const std::vector<int>& papers) {
+    verts.push_back({name, {papers.begin(), papers.end()}, true});
+    by_name[name].push_back(static_cast<int>(verts.size()) - 1);
+    return static_cast<int>(verts.size()) - 1;
+  }
+  void AddEdgePapers(int u, int v, const std::vector<int>& papers) {
+    edges[Key(u, v)].insert(papers.begin(), papers.end());
+  }
+  void SetEdgePapers(int u, int v, const std::vector<int>& papers) {
+    if (papers.empty()) {
+      edges.erase(Key(u, v));
+    } else {
+      edges[Key(u, v)] = {papers.begin(), papers.end()};
+    }
+  }
+  void Merge(int kept, int absorbed) {
+    verts[static_cast<size_t>(kept)].papers.insert(
+        verts[static_cast<size_t>(absorbed)].papers.begin(),
+        verts[static_cast<size_t>(absorbed)].papers.end());
+    verts[static_cast<size_t>(absorbed)].papers.clear();
+    verts[static_cast<size_t>(absorbed)].alive = false;
+    std::vector<std::pair<int, std::set<int>>> rewire;
+    for (auto it = edges.begin(); it != edges.end();) {
+      if (it->first.first == absorbed || it->first.second == absorbed) {
+        const int other =
+            it->first.first == absorbed ? it->first.second : it->first.first;
+        if (other != kept) rewire.emplace_back(other, it->second);
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [other, papers] : rewire) {
+      edges[Key(kept, other)].insert(papers.begin(), papers.end());
+    }
+    auto& ids = by_name[verts[static_cast<size_t>(absorbed)].name];
+    ids.erase(std::remove(ids.begin(), ids.end(), absorbed), ids.end());
+  }
+  int NumAlive() const {
+    int n = 0;
+    for (const auto& v : verts) n += v.alive ? 1 : 0;
+    return n;
+  }
+};
+
+void ExpectGraphMatchesModel(const graph::CollabGraph& g,
+                             const ReferenceGraph& m) {
+  ASSERT_EQ(g.num_vertices(), static_cast<int>(m.verts.size()));
+  EXPECT_EQ(g.num_alive(), m.NumAlive());
+  EXPECT_EQ(g.num_edges(), static_cast<int>(m.edges.size()));
+
+  // Per-vertex state and adjacency.
+  std::map<int, std::map<int, std::set<int>>> model_adj;
+  for (const auto& [key, papers] : m.edges) {
+    model_adj[key.first][key.second] = papers;
+    model_adj[key.second][key.first] = papers;
+  }
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& mv = m.verts[static_cast<size_t>(v)];
+    ASSERT_EQ(g.alive(v), mv.alive) << "vertex " << v;
+    EXPECT_EQ(g.NameOf(v), mv.name);
+    EXPECT_EQ(std::set<int>(g.vertex(v).papers.begin(),
+                            g.vertex(v).papers.end()),
+              mv.papers);
+    EXPECT_TRUE(std::is_sorted(g.vertex(v).papers.begin(),
+                               g.vertex(v).papers.end()));
+
+    const auto& row = model_adj[v];
+    const auto view = g.NeighborsOf(v);
+    ASSERT_EQ(static_cast<size_t>(g.DegreeOf(v)),
+              mv.alive ? row.size() : size_t{0});
+    EXPECT_EQ(view.size(), static_cast<size_t>(g.DegreeOf(v)));
+    int prev = -1;
+    size_t seen = 0;
+    for (const auto& [nbr, papers] : view) {
+      EXPECT_GT(nbr, prev) << "ascending neighbor order, vertex " << v;
+      prev = nbr;
+      auto it = row.find(nbr);
+      ASSERT_NE(it, row.end()) << "edge " << v << "-" << nbr;
+      EXPECT_EQ(std::set<int>(papers.begin(), papers.end()), it->second);
+      EXPECT_EQ(view.count(nbr), 1u);
+      EXPECT_EQ(&view.at(nbr), &papers);
+      ++seen;
+    }
+    EXPECT_EQ(seen, view.size());
+    if (!row.empty()) {
+      EXPECT_EQ(view.count(g.num_vertices() + 7), 0u);  // absent neighbor
+    }
+  }
+
+  // Canonical edge list.
+  const auto edge_list = g.Edges();
+  ASSERT_EQ(edge_list.size(), m.edges.size());
+  auto mit = m.edges.begin();
+  for (const auto& e : edge_list) {
+    EXPECT_EQ(std::make_pair(e.u, e.v), mit->first);
+    EXPECT_EQ(std::set<int>(e.papers.begin(), e.papers.end()), mit->second);
+    ++mit;
+  }
+
+  // Name index: same ids, same (insertion) order.
+  for (const auto& [name, ids] : m.by_name) {
+    EXPECT_EQ(g.VerticesWithName(name), ids) << "name " << name;
+  }
+}
+
+class GraphModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphModelTest, RandomOpSequencesMatchReferenceModel) {
+  iuad::Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  graph::CollabGraph g;
+  ReferenceGraph m;
+  int next_paper = 0;
+
+  auto random_papers = [&] {
+    std::vector<int> papers;
+    const int k = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < k; ++i) papers.push_back(next_paper++);
+    if (!papers.empty() && rng.Bernoulli(0.3)) {
+      papers.push_back(papers.front());  // duplicates must be deduplicated
+    }
+    return papers;
+  };
+  auto random_alive = [&]() -> int {
+    std::vector<int> alive;
+    for (int v = 0; v < static_cast<int>(m.verts.size()); ++v) {
+      if (m.verts[static_cast<size_t>(v)].alive) alive.push_back(v);
+    }
+    if (alive.empty()) return -1;
+    return alive[rng.NextBounded(alive.size())];
+  };
+
+  for (int i = 0; i < 8; ++i) {  // seed population
+    const std::string name = "blk" + std::to_string(rng.NextBounded(4));
+    auto papers = random_papers();
+    ASSERT_EQ(g.AddVertex(name, papers), m.AddVertex(name, papers));
+  }
+
+  for (int step = 0; step < 600; ++step) {
+    const int op = static_cast<int>(rng.NextBounded(10));
+    if (op == 0) {
+      const std::string name = "blk" + std::to_string(rng.NextBounded(4));
+      auto papers = random_papers();
+      ASSERT_EQ(g.AddVertex(name, papers), m.AddVertex(name, papers));
+    } else if (op <= 4) {  // grow/extend edges — the common mutation
+      const int u = random_alive(), v = random_alive();
+      if (u < 0 || v < 0 || u == v) continue;
+      auto papers = random_papers();
+      ASSERT_TRUE(g.AddEdgePapers(u, v, papers).ok());
+      m.AddEdgePapers(u, v, papers);
+    } else if (op <= 6) {  // replace or remove an existing edge
+      if (m.edges.empty()) continue;
+      auto it = m.edges.begin();
+      std::advance(it, rng.NextBounded(m.edges.size()));
+      const auto [u, v] = it->first;
+      auto papers = rng.Bernoulli(0.4) ? std::vector<int>{} : random_papers();
+      ASSERT_TRUE(g.SetEdgePapers(u, v, papers).ok());
+      m.SetEdgePapers(u, v, papers);
+    } else if (op == 7) {  // merge (GCN-style vertex absorption)
+      const int kept = random_alive(), absorbed = random_alive();
+      if (kept < 0 || absorbed < 0 || kept == absorbed) continue;
+      ASSERT_TRUE(g.MergeVertices(kept, absorbed).ok());
+      m.Merge(kept, absorbed);
+    } else if (op == 8) {  // vertex paper updates
+      const int v = random_alive();
+      if (v < 0) continue;
+      auto papers = random_papers();
+      g.AddVertexPapers(v, papers);
+      m.verts[static_cast<size_t>(v)].papers.insert(papers.begin(),
+                                                    papers.end());
+    } else {  // explicit compaction at a random point
+      g.Compact();
+    }
+    if (step % 25 == 0) ExpectGraphMatchesModel(g, m);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  ExpectGraphMatchesModel(g, m);
+  g.Compact();  // final fold must change nothing observable
+  ExpectGraphMatchesModel(g, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace iuad

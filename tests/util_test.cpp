@@ -3,7 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
+#include "util/interner.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -98,6 +103,33 @@ TEST(StringsTest, SplitWhitespaceDropsRuns) {
   auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
   ASSERT_EQ(parts.size(), 3u);
   EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringsTest, SplitViewMatchesSplitAndAliasesInput) {
+  const std::string inputs[] = {"a\t\tb", "abc", "", "\t", "x\ty\tz\t"};
+  for (const std::string& s : inputs) {
+    const auto owned = Split(s, '\t');
+    const auto views = SplitView(s, '\t');
+    ASSERT_EQ(views.size(), owned.size()) << "input: " << s;
+    for (size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_EQ(views[i], owned[i]);
+      if (!views[i].empty()) {
+        // Views alias the input buffer — no copies.
+        EXPECT_GE(views[i].data(), s.data());
+        EXPECT_LE(views[i].data() + views[i].size(), s.data() + s.size());
+      }
+    }
+  }
+}
+
+TEST(StringsTest, SplitWhitespaceViewMatchesSplitWhitespace) {
+  const std::string inputs[] = {"  foo \t bar\nbaz  ", "", "   ", "one"};
+  for (const std::string& s : inputs) {
+    const auto owned = SplitWhitespace(s);
+    const auto views = SplitWhitespaceView(s);
+    ASSERT_EQ(views.size(), owned.size()) << "input: " << s;
+    for (size_t i = 0; i < owned.size(); ++i) EXPECT_EQ(views[i], owned[i]);
+  }
 }
 
 TEST(StringsTest, JoinRoundTrips) {
@@ -357,6 +389,92 @@ TEST(TsvTest, ReadMissingFileIsIoError) {
   auto r = ReadTsvFile("/nonexistent/dir/definitely_missing.tsv");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// ------------------------------ StringInterner -------------------------------
+
+TEST(InternerTest, IdsAreDenseStableAndIdempotent) {
+  util::StringInterner in;
+  EXPECT_EQ(in.size(), 0);
+  const util::NameId a = in.Intern("alice");
+  const util::NameId b = in.Intern("bob");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(in.Intern("alice"), a);  // re-intern returns the same id
+  EXPECT_EQ(in.size(), 2);
+  EXPECT_EQ(in.View(a), "alice");
+  EXPECT_EQ(in.View(b), "bob");
+  EXPECT_EQ(in.Lookup("alice"), a);
+  EXPECT_EQ(in.Lookup("carol"), util::kInvalidNameId);
+}
+
+TEST(InternerTest, ViewsStayValidAcrossArenaGrowth) {
+  util::StringInterner in;
+  const std::string_view first = in.View(in.Intern("pinned-first-entry"));
+  const char* first_data = first.data();
+  // Enough material to roll over several 64 KiB arena blocks.
+  std::vector<util::NameId> ids;
+  for (int i = 0; i < 20000; ++i) {
+    ids.push_back(in.Intern("author-" + std::to_string(i)));
+  }
+  EXPECT_EQ(first.data(), first_data);  // the arena never relocates strings
+  EXPECT_EQ(in.View(ids.front()), "author-0");
+  EXPECT_EQ(in.View(ids.back()), "author-19999");
+  EXPECT_EQ(in.size(), 20001);
+  EXPECT_GT(in.MemoryBytes(), size_t{20000 * 8});
+}
+
+TEST(InternerTest, OversizedStringsDoNotDisturbTheArena) {
+  util::StringInterner in;
+  const util::NameId small_before = in.Intern("before");
+  const std::string huge(3u << 16, 'x');  // 3 blocks worth, one string
+  const util::NameId big = in.Intern(huge);
+  const util::NameId small_after = in.Intern("after");
+  EXPECT_EQ(in.View(big), huge);
+  EXPECT_EQ(in.View(small_before), "before");
+  EXPECT_EQ(in.View(small_after), "after");
+  EXPECT_EQ(in.Lookup(huge), big);
+}
+
+TEST(InternerTest, DeepCopyPreservesIdsWithIndependentStorage) {
+  util::StringInterner in;
+  for (int i = 0; i < 100; ++i) in.Intern("name-" + std::to_string(i));
+  util::StringInterner copy(in);
+  ASSERT_EQ(copy.size(), in.size());
+  for (util::NameId id = 0; id < in.size(); ++id) {
+    EXPECT_EQ(copy.View(id), in.View(id));
+    EXPECT_NE(copy.View(id).data(), in.View(id).data());  // own arena
+  }
+  // Divergence after the copy is independent.
+  const util::NameId fresh = copy.Intern("only-in-copy");
+  EXPECT_EQ(in.Lookup("only-in-copy"), util::kInvalidNameId);
+  EXPECT_EQ(copy.View(fresh), "only-in-copy");
+}
+
+TEST(InternerTest, RandomizedRoundTripAgainstReferenceMap) {
+  // Property: the interner behaves exactly like first-encounter-order
+  // enumeration of distinct strings, for any interleaving of duplicates.
+  iuad::Rng rng(1234);
+  util::StringInterner in;
+  std::unordered_map<std::string, util::NameId> expected;
+  std::vector<std::string> order;
+  for (int step = 0; step < 5000; ++step) {
+    std::string s = "w" + std::to_string(rng.NextBounded(700));
+    const util::NameId id = in.Intern(s);
+    auto [it, fresh] = expected.emplace(s, id);
+    if (fresh) {
+      EXPECT_EQ(id, static_cast<util::NameId>(order.size()));
+      order.push_back(s);
+    } else {
+      EXPECT_EQ(id, it->second);
+    }
+    EXPECT_EQ(in.Lookup(s), it->second);
+    EXPECT_EQ(in.View(it->second), s);
+  }
+  ASSERT_EQ(in.size(), static_cast<int32_t>(order.size()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(in.View(static_cast<util::NameId>(i)), order[i]);
+  }
 }
 
 }  // namespace
