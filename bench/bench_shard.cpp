@@ -22,13 +22,25 @@
 /// per-byline scoring fan-out + parallel refresh — multi-author papers
 /// over hot blocks gain the most, and single-core CI hovers near 1.0x.
 ///
+/// Beyond throughput, each run records per-paper commit-latency
+/// percentiles (p50/p95/p99 ms): the sequential run times each AddPaper;
+/// the router runs observe the gaps between successive in-order future
+/// resolutions (commits are strictly sequence-ordered, so the gap IS the
+/// per-paper commit cadence as a client would see it). The router runs
+/// also record the pipeline counters (windows, occupancy, conflict
+/// stalls, speculative rescores) from ServiceStats.
+///
 /// Flags: --papers P (corpus size), --stream S (held-out papers),
-///        --shards N, --producers M, --json PATH.
+///        --shards N, --producers M, --depth D (pipeline_depth),
+///        --json PATH.
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +49,7 @@
 #include "core/incremental.h"
 #include "core/pipeline.h"
 #include "io/snapshot.h"
+#include "serve/frontend.h"
 #include "shard/shard_router.h"
 #include "util/json_writer.h"
 #include "util/memory.h"
@@ -64,6 +77,8 @@ std::string DigestOf(const std::vector<core::IncrementalAssignment>& as) {
 struct RunOutcome {
   double seconds = 0.0;
   std::vector<std::string> digests;  // per stream paper, in stream order
+  std::vector<double> latencies_ms;  // per-paper commit latency, unsorted
+  serve::ServiceStats stats;         // router runs only (pipeline counters)
   size_t graph_bytes = 0;            // post-ingestion CollabGraph footprint
   int num_alive = 0;
   double papers_per_s(size_t n) const {
@@ -75,6 +90,15 @@ struct RunOutcome {
                : 0.0;
   }
 };
+
+/// Nearest-rank percentile over a copy (input left unsorted).
+double PercentileMs(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(rank, v.size() - 1)];
+}
 
 /// DisambiguationResult is move-only (it owns the fitted model), so each
 /// run gets a pristine copy of the fitted state by reloading the snapshot —
@@ -100,7 +124,9 @@ bool RunSequential(const data::PaperDatabase& history,
   if (!ReloadFitted(snapshot_path, db, &snap)) return false;
   core::IncrementalDisambiguator inc(&db, &snap.result, snap.config);
   out->digests.reserve(stream.size());
+  out->latencies_ms.reserve(stream.size());
   Stopwatch sw;
+  double last = 0.0;
   for (const auto& paper : stream) {
     auto r = inc.AddPaper(paper);
     if (!r.ok()) {
@@ -108,6 +134,9 @@ bool RunSequential(const data::PaperDatabase& history,
                    r.status().ToString().c_str());
       return false;
     }
+    const double now = sw.ElapsedSeconds();
+    out->latencies_ms.push_back((now - last) * 1e3);
+    last = now;
     out->digests.push_back(DigestOf(*r));
   }
   out->seconds = sw.ElapsedSeconds();
@@ -116,17 +145,27 @@ bool RunSequential(const data::PaperDatabase& history,
   return true;
 }
 
-/// Router run with `num_shards` shards and `producers` submitting threads.
+/// Router run with `num_shards` shards, `producers` submitting threads and
+/// the given pipeline depth. A collector thread observes commit latency as
+/// the gap between successive in-order future resolutions.
 bool RunSharded(const data::PaperDatabase& history,
                 const std::string& snapshot_path,
                 const std::vector<data::Paper>& stream, int num_shards,
-                int producers, RunOutcome* out) {
+                int producers, int depth, RunOutcome* out) {
   data::PaperDatabase db = history;
   io::Snapshot snap;
   if (!ReloadFitted(snapshot_path, db, &snap)) return false;
   snap.config.num_shards = num_shards;
+  snap.config.pipeline_depth = depth;
   std::vector<std::future<shard::ShardRouter::Assignments>> futures(
       stream.size());
+  // Producer -> collector handoff: futures[i] is only touched by the
+  // collector once its producer has marked it filled (std::future itself
+  // is not safe to poll while being assigned).
+  std::mutex hand_mu;
+  std::condition_variable hand_cv;
+  std::vector<char> filled(stream.size(), 0);
+  out->latencies_ms.assign(stream.size(), 0.0);
   Stopwatch sw;
   {
     shard::ShardRouter router(&db, &snap.result, snap.config);
@@ -134,14 +173,33 @@ bool RunSharded(const data::PaperDatabase& history,
     auto producer = [&] {
       for (size_t i = next.fetch_add(1); i < stream.size();
            i = next.fetch_add(1)) {
-        futures[i] = router.SubmitAt(i, stream[i]);
+        auto f = router.SubmitAt(i, stream[i]);
+        std::lock_guard<std::mutex> lock(hand_mu);
+        futures[i] = std::move(f);
+        filled[i] = 1;
+        hand_cv.notify_all();
       }
     };
+    std::thread collector([&] {
+      double last = 0.0;
+      for (size_t i = 0; i < stream.size(); ++i) {
+        {
+          std::unique_lock<std::mutex> lock(hand_mu);
+          hand_cv.wait(lock, [&] { return filled[i] == 1; });
+        }
+        futures[i].wait();  // resolves in sequence order; value kept for later
+        const double now = sw.ElapsedSeconds();
+        out->latencies_ms[i] = (now - last) * 1e3;
+        last = now;
+      }
+    });
     std::vector<std::thread> threads;
     for (int t = 1; t < producers; ++t) threads.emplace_back(producer);
     producer();
     for (auto& t : threads) t.join();
     router.Drain();
+    collector.join();
+    out->stats = router.Stats();
   }  // Stop() via destructor
   out->seconds = sw.ElapsedSeconds();
   out->graph_bytes = snap.result.graph.MemoryBytes();
@@ -166,6 +224,7 @@ int main(int argc, char** argv) {
   int stream_size = 400;
   int num_shards = 0;  // 0 = hardware concurrency
   int producers = 4;
+  int depth = 4;  // core::IuadConfig default
   std::string json_path;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--papers") == 0) papers = std::atoi(argv[i + 1]);
@@ -178,6 +237,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--producers") == 0) {
       producers = std::atoi(argv[i + 1]);
     }
+    if (std::strcmp(argv[i], "--depth") == 0) depth = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
   }
   num_shards = util::ResolveNumThreads(num_shards);
@@ -188,8 +248,9 @@ int main(int argc, char** argv) {
   auto corpus = bench::BenchCorpus(2022, papers);
   auto [history, stream] = corpus.db.HoldOutLatest(stream_size);
   std::printf(
-      "corpus: %d papers history, %zu-paper stream, %d shards, %d producers\n",
-      history.num_papers(), stream.size(), num_shards, producers);
+      "corpus: %d papers history, %zu-paper stream, %d shards, %d producers, "
+      "pipeline depth %d\n",
+      history.num_papers(), stream.size(), num_shards, producers, depth);
 
   core::IuadConfig cfg = bench::BenchIuadConfig();
   auto fitted = core::IuadPipeline(cfg).Run(history);
@@ -216,8 +277,9 @@ int main(int argc, char** argv) {
   RunOutcome seq, shard1, shardN;
   const bool ran =
       RunSequential(history, snapshot_path, stream, &seq) &&
-      RunSharded(history, snapshot_path, stream, 1, producers, &shard1) &&
-      RunSharded(history, snapshot_path, stream, num_shards, producers,
+      RunSharded(history, snapshot_path, stream, 1, producers, depth,
+                 &shard1) &&
+      RunSharded(history, snapshot_path, stream, num_shards, producers, depth,
                  &shardN);
   std::remove(snapshot_path.c_str());
   if (!ran) return 1;
@@ -231,6 +293,22 @@ int main(int argc, char** argv) {
   std::printf("assignments identical across all three runs: %s\n",
               identical ? "yes" : "NO — DETERMINISM BROKEN");
   if (!identical) return 1;  // never record a lying BENCH_* data point
+  for (const auto& [label, run] :
+       {std::pair<const char*, const RunOutcome*>{"sequential", &seq},
+        {"router@1", &shard1}, {"router@N", &shardN}}) {
+    std::printf("commit latency %-10s p50 %.2f ms | p95 %.2f ms | p99 %.2f ms\n",
+                label, PercentileMs(run->latencies_ms, 50),
+                PercentileMs(run->latencies_ms, 95),
+                PercentileMs(run->latencies_ms, 99));
+  }
+  std::printf(
+      "pipeline (shard@%d): depth %d, %ld windows, occupancy %.2f, "
+      "%ld conflict stalls, %ld speculative rescores\n",
+      num_shards, shardN.stats.pipeline_depth,
+      static_cast<long>(shardN.stats.pipeline_windows),
+      shardN.stats.pipeline_occupancy,
+      static_cast<long>(shardN.stats.conflict_stalls),
+      static_cast<long>(shardN.stats.speculative_rescores));
   std::printf("memory: rss %.1f MiB, graph %.1f bytes/author (%d authors)\n",
               util::CurrentRssMb(), shardN.bytes_per_author(),
               shardN.num_alive);
@@ -242,6 +320,7 @@ int main(int argc, char** argv) {
         .Field("stream", static_cast<int>(stream.size()))
         .Field("shards", num_shards)
         .Field("producers", producers)
+        .Field("pipeline_depth", depth)
         .Field("identical_assignments", identical);
     json.BeginObject("papers_per_s")
         .Field("sequential", seq.papers_per_s(stream.size()), 1)
@@ -252,6 +331,24 @@ int main(int argc, char** argv) {
         .Field("sequential", seq.seconds)
         .Field("router_1_shard", shard1.seconds)
         .Field("router_n_shards", shardN.seconds)
+        .EndObject();
+    json.BeginObject("commit_latency_ms");
+    for (const auto& [label, run] :
+         {std::pair<const char*, const RunOutcome*>{"sequential", &seq},
+          {"router_1_shard", &shard1}, {"router_n_shards", &shardN}}) {
+      json.BeginObject(label)
+          .Field("p50", PercentileMs(run->latencies_ms, 50), 2)
+          .Field("p95", PercentileMs(run->latencies_ms, 95), 2)
+          .Field("p99", PercentileMs(run->latencies_ms, 99), 2)
+          .EndObject();
+    }
+    json.EndObject();
+    json.BeginObject("pipeline")
+        .Field("depth", shardN.stats.pipeline_depth)
+        .Field("windows", shardN.stats.pipeline_windows)
+        .Field("occupancy", shardN.stats.pipeline_occupancy, 2)
+        .Field("conflict_stalls", shardN.stats.conflict_stalls)
+        .Field("speculative_rescores", shardN.stats.speculative_rescores)
         .EndObject();
     json.BeginObject("memory")
         .Field("rss_mb", util::CurrentRssMb(), 1)

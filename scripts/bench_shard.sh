@@ -3,15 +3,17 @@
 # Runs bench_shard: fits the pipeline on a history corpus, saves/reloads a
 # sharded (v2) snapshot, then streams the held-out papers through
 # shard::ShardRouter — sequentially, with 1 shard, and with BENCH_SHARDS
-# shards — and writes BENCH_shard.json with papers/s for each. The bench
-# itself verifies all three runs produce identical assignments and fails
-# otherwise, so a recorded data point is also a determinism check. Note:
-# single-core CI hovers near 1.0x; rerun on multicore hardware for real
-# scaling numbers.
+# shards at BENCH_DEPTH pipeline depth — and writes BENCH_shard.json with
+# papers/s, commit-latency percentiles, and the pipeline counters for each.
+# The bench itself verifies all three runs produce identical assignments
+# and fails otherwise, so a recorded data point is also a determinism
+# check. Note: single-core CI hovers near 1.0x; rerun on multicore
+# hardware for real scaling numbers.
 #
 # Env knobs:
 #   BENCH_SHARDS     shard count (default: nproc)
 #   BENCH_PRODUCERS  producer thread count (default: 4)
+#   BENCH_DEPTH      pipeline depth for the N-shard run (default: 4)
 #   BENCH_PAPERS     corpus size (default: 6000)
 #   BENCH_STREAM     held-out stream size (default: 400)
 #   BENCH_OUT        output path (default: BENCH_shard.json in repo root)
@@ -20,6 +22,7 @@ cd "$(dirname "$0")/.."
 
 SHARDS="${BENCH_SHARDS:-$(nproc)}"
 PRODUCERS="${BENCH_PRODUCERS:-4}"
+DEPTH="${BENCH_DEPTH:-4}"
 PAPERS="${BENCH_PAPERS:-6000}"
 STREAM="${BENCH_STREAM:-400}"
 OUT="${BENCH_OUT:-BENCH_shard.json}"
@@ -27,4 +30,5 @@ OUT="${BENCH_OUT:-BENCH_shard.json}"
 cmake -B build -S . >/dev/null
 cmake --build build --target bench_bench_shard -j "$(nproc)" >/dev/null
 ./build/bench_bench_shard --papers "$PAPERS" --stream "$STREAM" \
-  --shards "$SHARDS" --producers "$PRODUCERS" --json "$OUT"
+  --shards "$SHARDS" --producers "$PRODUCERS" --depth "$DEPTH" \
+  --json "$OUT"

@@ -4,11 +4,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# IUAD_SANITIZE=1 switches the whole gate to an ASan+UBSan build (its own
-# build tree, so the regular ./build stays warm). Heavier and slower — run
-# it when touching memory layout, concurrency, or raw-byte io paths.
+# IUAD_SANITIZE=1 switches the whole gate to an ASan+UBSan build;
+# IUAD_SANITIZE=tsan to a ThreadSanitizer build. Each sanitizer gets its own
+# build tree, so the regular ./build stays warm. Heavier and slower — run
+# them when touching memory layout, concurrency, or raw-byte io paths. The
+# TSan preset runs only the concurrent suites (the pipelined shard router,
+# the single-applier service, and the API server) rather than the whole
+# gate: that is where the thread schedules live, and TSan's ~10x slowdown on
+# the fit-heavy suites buys nothing.
 BUILD_DIR=build
 CMAKE_EXTRA=()
+TSAN_ONLY=0
 if [[ "${IUAD_SANITIZE:-0}" == "1" ]]; then
   BUILD_DIR=build-asan
   SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
@@ -18,9 +24,27 @@ if [[ "${IUAD_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
   )
   echo "ci: ASan+UBSan preset (IUAD_SANITIZE=1) -> $BUILD_DIR"
+elif [[ "${IUAD_SANITIZE:-0}" == "tsan" ]]; then
+  BUILD_DIR=build-tsan
+  TSAN_ONLY=1
+  SAN_FLAGS="-fsanitize=thread -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+  CMAKE_EXTRA=(
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS"
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  )
+  echo "ci: ThreadSanitizer preset (IUAD_SANITIZE=tsan) -> $BUILD_DIR"
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
+if [[ "$TSAN_ONLY" == "1" ]]; then
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target shard_test serve_test api_test
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
+    -R '^(shard_test|serve_test|api_test)$')
+  echo "tsan gate (shard_test serve_test api_test): OK"
+  exit 0
+fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 

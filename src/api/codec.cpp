@@ -78,7 +78,12 @@ void EncodeStats(JsonWriter* w, const serve::ServiceStats& stats) {
       .Field("queued_now", stats.queued_now)
       .Field("reorder_held", stats.reorder_held)
       .Field("queue_capacity", stats.queue_capacity)
-      .Field("num_shards", stats.num_shards);
+      .Field("num_shards", stats.num_shards)
+      .Field("pipeline_depth", stats.pipeline_depth)
+      .Field("pipeline_windows", stats.pipeline_windows)
+      .FieldExact("pipeline_occupancy", stats.pipeline_occupancy)
+      .Field("conflict_stalls", stats.conflict_stalls)
+      .Field("speculative_rescores", stats.speculative_rescores);
   w->BeginArray("shards");
   for (const serve::ShardHealth& s : stats.shards) {
     w->BeginObjectElement()
@@ -120,6 +125,12 @@ class ObjectReader {
     IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
     if (!v->is_int()) return WrongType(key, "an integer");
     return v->as_int();
+  }
+
+  iuad::Result<double> Number(const char* key) {
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* v, Required(key));
+    if (!v->is_number()) return WrongType(key, "a number");
+    return v->as_double();
   }
 
   iuad::Result<bool> Bool(const char* key) {
@@ -275,6 +286,15 @@ iuad::Result<serve::ServiceStats> DecodeStats(const JsonValue& value) {
   IUAD_ASSIGN_OR_RETURN(stats.queue_capacity, ToInt32(cap, "queue_capacity"));
   IUAD_ASSIGN_OR_RETURN(const int64_t shards, r.Int("num_shards"));
   IUAD_ASSIGN_OR_RETURN(stats.num_shards, ToInt32(shards, "num_shards"));
+  IUAD_ASSIGN_OR_RETURN(const int64_t depth, r.Int("pipeline_depth"));
+  IUAD_ASSIGN_OR_RETURN(stats.pipeline_depth,
+                        ToInt32(depth, "pipeline_depth"));
+  IUAD_ASSIGN_OR_RETURN(stats.pipeline_windows, r.Int("pipeline_windows"));
+  IUAD_ASSIGN_OR_RETURN(stats.pipeline_occupancy,
+                        r.Number("pipeline_occupancy"));
+  IUAD_ASSIGN_OR_RETURN(stats.conflict_stalls, r.Int("conflict_stalls"));
+  IUAD_ASSIGN_OR_RETURN(stats.speculative_rescores,
+                        r.Int("speculative_rescores"));
   IUAD_ASSIGN_OR_RETURN(const JsonValue* list, r.Array("shards"));
   for (const JsonValue& item : list->items()) {
     IUAD_ASSIGN_OR_RETURN(ObjectReader sr, ObjectReader::For(item, "shard"));

@@ -211,12 +211,16 @@ void Server::Shutdown() {
     state_->pending.clear();
   }
   state_->cv.notify_all();
+  // Unblock the acceptor with shutdown() only; close() and the fd reset
+  // wait until it has joined — the acceptor reads listen_fd_ around every
+  // accept() call, and closing under it both races the read and risks the
+  // kernel reusing the fd number for a live connection mid-accept.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (acceptor_.joinable()) acceptor_.join();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

@@ -13,6 +13,7 @@
 ///       column (pairwise micro metrics over ambiguous names).
 ///   iuad serve <papers.tsv> --load-snapshot in.snap [--stream new.tsv]
 ///              [--shards S] [--producers N] [--queue C] [--window W]
+///              [--pipeline-depth D]
 ///              [--name "A. Name"] [--port P | --stdio] [--workers W]
 ///              [--max-batch B] [--save-snapshot-on-stop out.snap]
 ///              [--save-corpus out.tsv]
@@ -88,7 +89,8 @@ void Usage() {
                " [--stream new.tsv]\n"
                "           [--shards S] [--producers N] [--queue C]"
                " [--window W]\n"
-               "           [--name \"A. Name\"] [--port P | --stdio]"
+               "           [--pipeline-depth D]"
+               " [--name \"A. Name\"] [--port P | --stdio]"
                " [--workers W]\n"
                "           [--max-batch B]"
                " [--save-snapshot-on-stop out.snap]\n"
@@ -265,6 +267,15 @@ void PrintServiceStats(std::FILE* info, const serve::ServiceStats& stats) {
       static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
       stats.num_alive_vertices, stats.num_edges, stats.queued_now,
       stats.queue_capacity, stats.reorder_held);
+  if (stats.pipeline_depth > 1) {
+    std::fprintf(
+        info,
+        "  pipeline: depth %d, %ld windows, occupancy %.2f, "
+        "%ld conflict stalls, %ld speculative rescores\n",
+        stats.pipeline_depth, static_cast<long>(stats.pipeline_windows),
+        stats.pipeline_occupancy, static_cast<long>(stats.conflict_stalls),
+        static_cast<long>(stats.speculative_rescores));
+  }
   for (const auto& s : stats.shards) {
     std::fprintf(
         info,
@@ -435,6 +446,9 @@ int CmdServe(const std::string& in,
   }
   if (auto it = flags.find("shards"); it != flags.end()) {
     cfg.num_shards = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("pipeline-depth"); it != flags.end()) {
+    cfg.pipeline_depth = std::atoi(it->second.c_str());
   }
   if (auto it = flags.find("port"); it != flags.end() && !it->second.empty()) {
     cfg.api_port = std::atoi(it->second.c_str());

@@ -140,6 +140,17 @@ struct IuadConfig {
   int num_shards = 1;
   /// Block→shard placement policy (see ShardPlacement).
   ShardPlacement shard_placement = ShardPlacement::kSizeAware;
+  /// Bound on the ShardRouter's ingestion pipeline: up to this many
+  /// consecutive-sequence papers may be in flight at once, with phase-1
+  /// scoring overlapped across them and commits strictly in sequence order.
+  /// Papers whose name blocks collide with an uncommitted predecessor have
+  /// exactly the conflicted bylines rescored after that predecessor commits,
+  /// so assignments are byte-identical to sequential AddPaper at every
+  /// depth; 1 degenerates to the pre-pipeline one-paper-at-a-time router.
+  /// The effective window is additionally capped by the refresh cadence
+  /// (a similarity-cache refresh is a full pipeline barrier) and by what is
+  /// actually queued. CLI flag: --pipeline-depth on `serve`.
+  int pipeline_depth = 4;
 
   // --- Query/ingest API (src/api) ----------------------------------------
   /// TCP port of api::Server (`iuad serve --port P`). 0 binds an ephemeral
@@ -204,6 +215,9 @@ struct IuadConfig {
     if (shard_placement != ShardPlacement::kHash &&
         shard_placement != ShardPlacement::kSizeAware) {
       return bad("shard_placement must be a known policy");
+    }
+    if (pipeline_depth < 1 || pipeline_depth > 1024) {
+      return bad("pipeline_depth must be in [1, 1024]");
     }
     if (api_port < 0 || api_port > 65535) {
       return bad("api_port must be in [0, 65535]");

@@ -8,8 +8,10 @@ OccurrenceDecision ScoreOccurrence(const SimilarityComputer& sim,
                                    const em::MixtureModel& model,
                                    const graph::CollabGraph& graph,
                                    const data::Paper& paper,
-                                   const std::string& name, double delta) {
+                                   const std::string& name, double delta,
+                                   uint64_t snapshot_version) {
   OccurrenceDecision d;
+  d.snapshot_version = snapshot_version;
   // Two calibration differences vs the batch score (both documented in
   // DESIGN.md §5): γ2 is structurally 0 for a not-yet-inserted occurrence
   // and is marginalized out, and the candidate-pair class prior does not
@@ -79,6 +81,17 @@ void IncrementalDisambiguator::Refresh() {
   result_->graph.Compact();
   sim_ = std::make_unique<SimilarityComputer>(*db_, result_->graph,
                                               result_->embeddings, config_);
+  // Freeze γ1 at the refresh snapshot: compute every alive vertex's WL ball
+  // now instead of on first score, so a score between refreshes does not
+  // depend on how many papers committed before the ball was first
+  // enumerated. Same values as the sharded/pipelined serving paths, which
+  // prewarm the identical snapshot partitioned by shard ownership.
+  std::vector<graph::VertexId> alive;
+  alive.reserve(static_cast<size_t>(result_->graph.num_alive()));
+  for (graph::VertexId v = 0; v < result_->graph.num_vertices(); ++v) {
+    if (result_->graph.alive(v)) alive.push_back(v);
+  }
+  sim_->PrewarmStructure(alive);
   since_refresh_ = 0;
 }
 
@@ -99,7 +112,8 @@ IncrementalDisambiguator::AddPaper(const data::Paper& paper) {
   std::vector<OccurrenceDecision> decisions(paper.author_names.size());
   for (size_t i = 0; i < paper.author_names.size(); ++i) {
     decisions[i] = ScoreOccurrence(*sim_, *result_->model, result_->graph,
-                                   paper, paper.author_names[i], config_.delta);
+                                   paper, paper.author_names[i], config_.delta,
+                                   static_cast<uint64_t>(papers_ingested_));
   }
 
   // Phase 2: mutate database and graph; drop stale profiles either way.

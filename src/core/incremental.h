@@ -9,6 +9,7 @@
 /// new author is born. No retraining happens — this is the paper's headline
 /// efficiency claim (< 50 ms/paper in Table VI).
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -37,6 +38,15 @@ struct OccurrenceDecision {
   graph::VertexId target = -1;  ///< -1: found no vertex clearing δ.
   double best_score = -std::numeric_limits<double>::infinity();
   int num_candidates = 0;
+  /// Commit version of the graph snapshot the score was taken on (the
+  /// number of ApplyDecisions calls that had mutated the graph when
+  /// ScoreOccurrence ran). A decision is valid for committing at version V
+  /// iff no commit in (snapshot_version, V] wrote the byline's name block —
+  /// which makes staleness *detectable* instead of assumed, and is what the
+  /// pipelined shard router's block-level conflict tracking checks before
+  /// deciding to rescore (shard_router.h). The sequential path stamps and
+  /// commits at the same version, trivially valid.
+  uint64_t snapshot_version = 0;
 };
 
 /// Scores the occurrence of `name` in the not-yet-ingested `paper` against
@@ -44,12 +54,14 @@ struct OccurrenceDecision {
 /// `sim` aside), so decisions for distinct bylines may be computed
 /// concurrently on distinct SimilarityComputers — the fan-out the shard
 /// router (src/shard) exploits. γ2 is masked out and the class prior
-/// dropped exactly as documented in DESIGN.md §5.
+/// dropped exactly as documented in DESIGN.md §5. `snapshot_version` is
+/// recorded verbatim in the decision (see OccurrenceDecision).
 OccurrenceDecision ScoreOccurrence(const SimilarityComputer& sim,
                                    const em::MixtureModel& model,
                                    const graph::CollabGraph& graph,
                                    const data::Paper& paper,
-                                   const std::string& name, double delta);
+                                   const std::string& name, double delta,
+                                   uint64_t snapshot_version = 0);
 
 /// Phase 2: commits one paper's decided bylines — appends the paper to the
 /// database, assigns/creates vertices, records occurrences, and recovers

@@ -42,8 +42,15 @@ SimilarityComputer::SimilarityComputer(const data::PaperDatabase& db,
       graph_(graph),
       embeddings_(embeddings),
       config_(config),
-      wl_(graph, config.wl_iterations, pool) {
+      wl_(graph, config.wl_iterations, pool),
+      freqs_(std::make_shared<FrequencySnapshot>(FrequencySnapshot{
+          db.venue_frequencies(), db.keyword_frequencies()})) {
   ComputeEmbeddingCenter();
+}
+
+void SimilarityComputer::PrewarmStructure(
+    const std::vector<graph::VertexId>& vs, util::ThreadPool* pool) const {
+  wl_.PrewarmFeatures(vs, pool);
 }
 
 void SimilarityComputer::ComputeEmbeddingCenter() {
@@ -224,7 +231,7 @@ void SimilarityComputer::FillTextAndVenueFeatures(
     if (it == large.keyword_years.end()) continue;
     const int diff = MinYearDiff(years_s, it->second);
     g4 += std::exp(-config_.time_decay_alpha * diff) *
-          AdamicAdar(db_.KeywordFrequency(word));
+          AdamicAdar(freqs_->KeywordFrequency(word));
   }
   (*gamma)[3] = squash(g4 / tau);
 
@@ -244,7 +251,7 @@ void SimilarityComputer::FillTextAndVenueFeatures(
   for (const auto& [venue, cnt_s] : vs.venue_counts) {
     auto it = vl.venue_counts.find(venue);
     if (it == vl.venue_counts.end()) continue;
-    g6 += std::min(cnt_s, it->second) * AdamicAdar(db_.VenueFrequency(venue));
+    g6 += std::min(cnt_s, it->second) * AdamicAdar(freqs_->VenueFrequency(venue));
   }
   (*gamma)[5] = squash(g6 / tau);
 }

@@ -26,6 +26,8 @@
 /// scale and single-paper evidence is mis-scored.
 
 #include <array>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -93,6 +95,19 @@ class SimilarityComputer {
                                      const data::Paper& paper,
                                      const std::string& name) const;
 
+  /// Eagerly computes (and caches) the WL ball features of every vertex in
+  /// `vs`, fanned out over `pool` when given. The incremental serving paths
+  /// call this at every cache refresh for the vertices they may score, so
+  /// γ1 between refreshes is a pure function of the refresh-time snapshot —
+  /// not of when a lazily-filled ball first happened to be enumerated
+  /// against the live adjacency. That timing-independence is what lets the
+  /// pipelined shard router score a paper before its sequence predecessors
+  /// commit (shard_router.h) while staying byte-identical to sequential
+  /// ingestion. Unknown / post-refresh vertex ids are ignored (they have no
+  /// refinement labels and deterministically score γ1 = 0).
+  void PrewarmStructure(const std::vector<graph::VertexId>& vs,
+                        util::ThreadPool* pool = nullptr) const;
+
   /// Drops the cached profile of `v` (call after v gains papers/edges).
   void InvalidateProfile(graph::VertexId v);
 
@@ -128,12 +143,36 @@ class SimilarityComputer {
   /// restores discriminative power for γ3.
   void ComputeEmbeddingCenter();
 
+  /// Corpus statistics frozen at construction. γ4/γ6 weight keyword and
+  /// venue overlaps by inverse corpus frequency (Eq. 7 / Eq. 9); between
+  /// incremental refreshes those frequencies drift as papers commit, so a
+  /// score would otherwise depend on exactly how many papers committed
+  /// before it was computed. Snapshotting at refresh makes every score a
+  /// pure function of (refresh snapshot, candidate papers) — the same
+  /// staleness contract the WL features already have — and is what keeps
+  /// pipelined scoring byte-identical to sequential. Shared (not copied) by
+  /// the per-shard SimilarityComputer copies. For the batch fit the corpus
+  /// is static during scoring, so frozen == live there.
+  struct FrequencySnapshot {
+    std::unordered_map<std::string, int64_t> venue;
+    std::unordered_map<std::string, int64_t> keyword;
+    int64_t VenueFrequency(const std::string& v) const {
+      auto it = venue.find(v);
+      return it == venue.end() ? 0 : it->second;
+    }
+    int64_t KeywordFrequency(const std::string& w) const {
+      auto it = keyword.find(w);
+      return it == keyword.end() ? 0 : it->second;
+    }
+  };
+
   const data::PaperDatabase& db_;
   const graph::CollabGraph& graph_;
   const text::Word2Vec& embeddings_;
   IuadConfig config_;
   graph::WlVertexKernel wl_;
   text::Vec embedding_center_;
+  std::shared_ptr<const FrequencySnapshot> freqs_;
   mutable std::unordered_map<graph::VertexId, Profile> profiles_;
 };
 

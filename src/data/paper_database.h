@@ -43,6 +43,17 @@ class PaperDatabase {
   /// (F_B of Eq. 7).
   int64_t KeywordFrequency(const std::string& word) const;
 
+  /// The full frequency tables behind VenueFrequency / KeywordFrequency.
+  /// SimilarityComputer snapshots them at construction so scoring between
+  /// cache refreshes reads frozen corpus statistics (see similarity.h).
+  const std::unordered_map<std::string, int64_t>& venue_frequencies() const {
+    return venue_freq_;
+  }
+  const std::unordered_map<std::string, int64_t>& keyword_frequencies()
+      const {
+    return keyword_freq_;
+  }
+
   /// Extracted (stop-word-filtered) title keywords of a paper, cached.
   const std::vector<std::string>& KeywordsOf(int paper_id) const;
 

@@ -234,6 +234,15 @@ class CollabGraph {
     return interner_.View(vertices_[static_cast<size_t>(v)].name_id);
   }
 
+  /// Interns `name` without touching any vertex: returns the id any future
+  /// vertex bearing that name will carry. The shard router resolves byline
+  /// names to block ids up front for pipeline conflict tracking — callers
+  /// must be the graph's single mutator (concurrent interner *readers* are
+  /// safe; see util::StringInterner).
+  util::NameId InternName(std::string_view name) {
+    return interner_.Intern(name);
+  }
+
   /// The graph's name interner. Downstream layers resolve strings to ids
   /// here (reader-safe concurrently with the single ingestion writer).
   const util::StringInterner& interner() const { return interner_; }

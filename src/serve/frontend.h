@@ -77,6 +77,24 @@ struct ServiceStats {
   int reorder_held = 0;
   int queue_capacity = 0;        ///< config.ingest_queue_capacity, for UIs.
   int num_shards = 1;            ///< Serving topology (1 = unsharded).
+  // Ingestion-pipeline health (shard_router.h). The unsharded IngestService
+  // is the degenerate depth-1 pipeline: it reports depth 1, one window per
+  // applied paper, occupancy 1, and zero stalls/rescores.
+  int pipeline_depth = 1;        ///< config.pipeline_depth in effect.
+  int64_t pipeline_windows = 0;  ///< Scoring windows formed so far.
+  /// Mean papers per window whose phase-1 scoring actually overlapped with
+  /// other in-flight papers (scored before every predecessor committed).
+  /// ~pipeline_depth on block-disjoint traffic; 1.0 when conflicts (or
+  /// depth 1) fully serialize the pipeline.
+  double pipeline_occupancy = 0.0;
+  /// Papers that could not overlap at all: every byline's name block was
+  /// written by an uncommitted in-window predecessor, so scoring waited for
+  /// the commits — the pipeline ran sequentially for them.
+  int64_t conflict_stalls = 0;
+  /// Bylines scored against a post-predecessor-commit snapshot because
+  /// their block conflicted inside a window (the stale-decision path the
+  /// OccurrenceDecision::snapshot_version stamp detects).
+  int64_t speculative_rescores = 0;
   std::vector<ShardHealth> shards;  ///< Per-shard breakdown; empty at 1.
 };
 

@@ -202,6 +202,11 @@ void IngestService::PublishView() {
   view->stats.num_alive_vertices = g.num_alive();
   view->stats.num_edges = g.num_edges();
   view->stats.queue_capacity = config_.ingest_queue_capacity;
+  // The single-applier service is the degenerate depth-1 pipeline: one
+  // "window" per applied paper, nothing ever overlaps or conflicts.
+  view->stats.pipeline_depth = 1;
+  view->stats.pipeline_windows = view->stats.papers_applied;
+  view->stats.pipeline_occupancy = view->stats.papers_applied > 0 ? 1.0 : 0.0;
   since_publish_ = 0;
   std::lock_guard<std::mutex> lock(view_mu_);
   view_ = std::move(view);

@@ -1,6 +1,7 @@
 #include "shard/shard_router.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 namespace iuad::shard {
@@ -90,8 +91,9 @@ std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
     promise.set_value(StoppedError());
     return future;
   }
-  if (seq < next_apply_ || (apply_in_flight_ && seq == next_apply_) ||
-      pending_.count(seq) > 0) {
+  // Sequences below in_flight_hi_ are applied or being pipelined; either
+  // way the slot is taken (in_flight_hi_ == next_apply_ between windows).
+  if (seq < in_flight_hi_ || pending_.count(seq) > 0) {
     promise.set_value(iuad::Status::InvalidArgument(
         "duplicate ingest sequence " + std::to_string(seq)));
     return future;
@@ -101,71 +103,155 @@ std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
   return future;
 }
 
-ShardRouter::Assignments ShardRouter::ProcessPaper(const data::Paper& paper) {
-  if (result_->model == nullptr) {
-    return iuad::Status::FailedPrecondition(
-        "incremental disambiguation requires a fitted model (run the full "
-        "pipeline, not SCN-only)");
+void ShardRouter::RunWindow(std::vector<InFlight> window) {
+  // Build the conflict scoreboard: each paper's block set is both its read
+  // and its write set (scoring is block-local by construction), so a byline
+  // must defer exactly when its block appears in an in-window predecessor.
+  // Papers that will fail validation or apply still claim their blocks —
+  // conservatively matching sequential, where a mid-commit failure may
+  // already have written some of them.
+  graph::CollabGraph& g = result_->graph;
+  std::unordered_set<util::NameId> claimed;
+  for (InFlight& w : window) {
+    const size_t n = w.paper.author_names.size();
+    w.blocks.resize(n);
+    w.owners.resize(n);
+    w.deferred.assign(n, false);
+    w.decisions.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& name = w.paper.author_names[i];
+      // Interning here is safe: the router thread is the graph's single
+      // mutator, and a byline about to commit would intern the same id.
+      w.blocks[i] = g.InternName(name);
+      w.owners[i] = placement_.ShardOf(w.blocks[i], name);
+      w.deferred[i] = claimed.count(w.blocks[i]) > 0;
+    }
+    for (util::NameId b : w.blocks) claimed.insert(b);
   }
-  if (paper.author_names.empty()) {
-    return iuad::Status::InvalidArgument("paper with empty byline");
-  }
+  if (result_->model != nullptr) ScatterWindow(&window);
+  ++windows_;
 
-  // SCATTER: group bylines by owning shard and score them concurrently.
-  // Every shard reads the same pre-ingestion snapshot; decisions land in
-  // slots indexed by byline position, so the outcome is independent of
-  // which shard scores what and of the worker schedule. Only the involved
-  // shards are dispatched — the common case of a paper whose whole byline
-  // lands in one shard runs inline on the sequencer with zero wakeups.
-  const size_t n = paper.author_names.size();
-  std::vector<std::vector<size_t>> by_shard(shards_.size());
-  for (size_t i = 0; i < n; ++i) {
-    by_shard[static_cast<size_t>(placement_.ShardOf(paper.author_names[i]))]
-        .push_back(i);
+  // COMMIT: strictly in sequence order, single writer (this thread). The
+  // per-paper tail below is identical to the pre-pipeline router's: publish
+  // check, promise, frontier advance, wakeups.
+  for (InFlight& w : window) {
+    Assignments applied = CommitPaper(&w);
+    const bool publish = since_publish_ >= config_.ingest_refresh_window;
+    if (publish) PublishView();
+    w.promise.set_value(std::move(applied));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++next_apply_;
+    if (publish) published_through_ = next_apply_;
+    admit_cv_.notify_all();
+    applied_cv_.notify_all();
+  }
+}
+
+void ShardRouter::ScatterWindow(std::vector<InFlight>* window) {
+  // Group every speculative (paper, byline) pair by owning shard, in window
+  // order. One task per involved shard keeps each shard's SimilarityComputer
+  // and its lazily-filled caches single-threaded; decisions land in slots
+  // indexed by (paper, byline), so the outcome is independent of the worker
+  // schedule. Invalid papers (empty byline / no model) have no entries and
+  // fall through to CommitPaper's validation.
+  std::vector<std::vector<std::pair<size_t, size_t>>> by_shard(
+      shards_.size());
+  for (size_t j = 0; j < window->size(); ++j) {
+    InFlight& w = (*window)[j];
+    for (size_t i = 0; i < w.blocks.size(); ++i) {
+      if (w.deferred[i]) continue;
+      by_shard[static_cast<size_t>(w.owners[i])].emplace_back(j, i);
+      w.overlapped = true;
+    }
   }
   std::vector<size_t> involved;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (!by_shard[s].empty()) involved.push_back(s);
   }
-  std::vector<core::OccurrenceDecision> decisions(n);
+  if (involved.empty()) return;
+  // Every decision in this scatter reads the same frozen snapshot: stamp
+  // them all with the commit version it corresponds to.
+  const uint64_t version = commit_version_;
   auto score_shard = [&](size_t s) {
-    for (size_t i : by_shard[s]) {
-      decisions[i] = core::ScoreOccurrence(
-          *shards_[s].sim, *result_->model, result_->graph, paper,
-          paper.author_names[i], config_.delta);
+    for (const auto& [j, i] : by_shard[s]) {
+      InFlight& w = (*window)[j];
+      w.decisions[i] = core::ScoreOccurrence(
+          *shards_[s].sim, *result_->model, result_->graph, w.paper,
+          w.paper.author_names[i], config_.delta, version);
     }
-    shards_[s].health.bylines_scored +=
-        static_cast<int64_t>(by_shard[s].size());
-    ++shards_[s].health.papers_scored;
   };
   if (involved.size() == 1) {
     score_shard(involved[0]);
-  } else {
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    size_t done = 0;
-    for (size_t k = 1; k < involved.size(); ++k) {
-      pool_->Submit([&, s = involved[k]] {
-        score_shard(s);
-        // Notify under the lock: done_cv lives on this stack frame and an
-        // unlocked notify could land after the sequencer has already woken
-        // and moved on (see ThreadPool::ParallelFor for the same pattern).
-        std::lock_guard<std::mutex> lock(done_mu);
-        ++done;
-        done_cv.notify_one();
-      });
-    }
-    score_shard(involved[0]);
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return done == involved.size() - 1; });
+    return;
+  }
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t done = 0;
+  for (size_t k = 1; k < involved.size(); ++k) {
+    pool_->Submit([&, s = involved[k]] {
+      score_shard(s);
+      // Notify under the lock: done_cv lives on this stack frame and an
+      // unlocked notify could land after the sequencer has already woken
+      // and moved on (see ThreadPool::ParallelFor for the same pattern).
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+      done_cv.notify_one();
+    });
+  }
+  score_shard(involved[0]);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == involved.size() - 1; });
+}
+
+ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
+  if (result_->model == nullptr) {
+    return iuad::Status::FailedPrecondition(
+        "incremental disambiguation requires a fitted model (run the full "
+        "pipeline, not SCN-only)");
+  }
+  if (w->paper.author_names.empty()) {
+    return iuad::Status::InvalidArgument("paper with empty byline");
   }
 
-  // COMMIT: single writer (this thread), same mutation order as the
-  // sequential path, then shard-targeted profile invalidation — a touched
-  // vertex is only ever scored by its block's owner.
+  // Deferred bylines: every in-window predecessor has committed by now, so
+  // scoring here reads exactly the state sequential AddPaper would — the
+  // rescore the stale snapshot_version stamp calls for. Inline on the
+  // router thread: a conflicted block's candidates were just mutated, so
+  // its shard's profile cache is warm from the invalidation path anyway.
+  const size_t n = w->paper.author_names.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!w->deferred[i]) continue;
+    w->decisions[i] = core::ScoreOccurrence(
+        *shards_[static_cast<size_t>(w->owners[i])].sim, *result_->model,
+        result_->graph, w->paper, w->paper.author_names[i], config_.delta,
+        commit_version_);
+    ++speculative_rescores_;
+  }
+  if (w->overlapped) {
+    ++overlapped_papers_;
+  } else {
+    ++conflict_stalls_;  // every byline waited on a predecessor's commit
+  }
+  // Health counters, on the committing thread (scatter tasks only score):
+  // one papers_scored per shard that scored >= 1 byline, matching the
+  // pre-pipeline accounting.
+  std::vector<bool> shard_seen(shards_.size(), false);
+  for (size_t i = 0; i < n; ++i) {
+    Shard& owner = shards_[static_cast<size_t>(w->owners[i])];
+    ++owner.health.bylines_scored;
+    if (!shard_seen[static_cast<size_t>(w->owners[i])]) {
+      shard_seen[static_cast<size_t>(w->owners[i])] = true;
+      ++owner.health.papers_scored;
+    }
+  }
+
+  // Same mutation order as the sequential path, then shard-targeted profile
+  // invalidation — a touched vertex is only ever scored by its block's
+  // owner.
   std::vector<graph::VertexId> touched;
-  auto applied = core::ApplyDecisions(paper, decisions, db_, result_,
+  auto applied = core::ApplyDecisions(w->paper, w->decisions, db_, result_,
                                       &touched);
+  ++commit_version_;  // counts attempts: a failed apply may have written
   for (graph::VertexId v : touched) {
     const int s = placement_.ShardOf(result_->graph.vertex(v).name_id,
                                      result_->graph.NameOf(v));
@@ -186,7 +272,9 @@ ShardRouter::Assignments ShardRouter::ProcessPaper(const data::Paper& paper) {
     }
     ++since_publish_;
     // REFRESH: same global cadence as the sequential path's
-    // incremental_refresh_interval, fanned out across shards.
+    // incremental_refresh_interval, fanned out across shards. The window
+    // cap in RouterLoop guarantees this only fires on a window's last
+    // paper, so the refresh is a full pipeline barrier.
     if (++since_refresh_ >= config_.incremental_refresh_interval) {
       RefreshShards();
     }
@@ -211,6 +299,23 @@ void ShardRouter::RefreshShards() {
     shards_[s].sim =
         std::make_unique<core::SimilarityComputer>(*shards_[0].sim);
   }
+  // Freeze γ1 at this snapshot: eagerly prewarm each shard's owned alive
+  // vertices (the only ones it can ever score), partitioning feature-cache
+  // memory exactly like the profile caches. Without this, WL ball features
+  // would be computed lazily from the LIVE adjacency mid-window and
+  // pipelined scoring could diverge from sequential — which prewarms the
+  // same vertices in its one computer (core::IncrementalDisambiguator).
+  const graph::CollabGraph& g = result_->graph;
+  std::vector<std::vector<graph::VertexId>> owned(shards_.size());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.alive(v)) continue;
+    owned[static_cast<size_t>(
+              placement_.ShardOf(g.vertex(v).name_id, g.NameOf(v)))]
+        .push_back(v);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].sim->PrewarmStructure(owned[s], pool_.get());
+  }
   since_refresh_ = 0;
 }
 
@@ -223,19 +328,32 @@ void ShardRouter::RouterLoop() {
     });
 
     if (pending_.count(next_apply_) > 0) {
-      auto node = pending_.extract(next_apply_);
-      apply_in_flight_ = true;
+      // WINDOW: take up to pipeline_depth consecutive-sequence papers
+      // already queued (never waiting for more), additionally capped by the
+      // remaining refresh budget so a similarity-cache refresh can only
+      // land at a window boundary — a full pipeline barrier at exactly the
+      // sequential path's paper counts.
+      const size_t limit = static_cast<size_t>(std::max(
+          1, std::min(config_.pipeline_depth,
+                      config_.incremental_refresh_interval -
+                          since_refresh_)));
+      std::vector<InFlight> window;
+      window.reserve(limit);
+      while (window.size() < limit) {
+        auto it = pending_.find(next_apply_ + window.size());
+        if (it == pending_.end()) break;
+        InFlight w;
+        w.seq = it->first;
+        w.paper = std::move(it->second.paper);
+        w.promise = std::move(it->second.promise);
+        pending_.erase(it);
+        window.push_back(std::move(w));
+      }
+      in_flight_hi_ = next_apply_ + static_cast<uint64_t>(window.size());
       lock.unlock();
-      Assignments applied = ProcessPaper(node.mapped().paper);
-      const bool publish = since_publish_ >= config_.ingest_refresh_window;
-      if (publish) PublishView();
-      node.mapped().promise.set_value(std::move(applied));
-      lock.lock();
-      apply_in_flight_ = false;
-      ++next_apply_;
-      if (publish) published_through_ = next_apply_;
-      admit_cv_.notify_all();
-      applied_cv_.notify_all();
+      // RunWindow re-locks per committed paper to advance next_apply_; when
+      // the last one lands, next_apply_ == in_flight_hi_ again.
+      RunWindow(std::move(window));
       continue;
     }
 
@@ -326,6 +444,14 @@ void ShardRouter::PublishView() {
   stats.num_edges = g.num_edges();
   stats.queue_capacity = config_.ingest_queue_capacity;
   stats.num_shards = placement_.num_shards();
+  stats.pipeline_depth = config_.pipeline_depth;
+  stats.pipeline_windows = windows_;
+  stats.pipeline_occupancy =
+      windows_ > 0 ? static_cast<double>(overlapped_papers_) /
+                         static_cast<double>(windows_)
+                   : 0.0;
+  stats.conflict_stalls = conflict_stalls_;
+  stats.speculative_rescores = speculative_rescores_;
   for (const Shard& s : shards_) stats.shards.push_back(s.health);
   since_publish_ = 0;
   std::lock_guard<std::mutex> lock(view_mu_);
@@ -368,9 +494,9 @@ serve::ServiceStats ShardRouter::Stats() const {
   serve::ServiceStats stats = CurrentView()->stats;
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
-  // See IngestService::Stats: the contiguous run starts after an in-flight
-  // sequence, which sits in neither pending_ nor the applied range.
-  uint64_t expect = next_apply_ + (apply_in_flight_ ? 1 : 0);
+  // See IngestService::Stats: the contiguous run starts after the in-flight
+  // window, whose sequences sit in neither pending_ nor the applied range.
+  uint64_t expect = std::max(next_apply_, in_flight_hi_);
   for (const auto& [seq, req] : pending_) {
     if (seq == expect) {
       ++expect;

@@ -15,25 +15,47 @@
 /// Consistency contract (the whole point — pinned by tests/shard_test.cpp):
 /// assignments are byte-identical to sequential
 /// IncrementalDisambiguator::AddPaper calls in sequence order at ANY shard
-/// count and ANY producer count. The protocol that guarantees it, per
-/// sequence number:
+/// count, ANY producer count, and ANY pipeline depth. The protocol that
+/// guarantees it:
 ///
-///   1. SCATTER  — the router groups the paper's bylines by owning shard
-///      and fans the phase-1 scoring out; every shard reads the same
-///      pre-ingestion graph/database snapshot (shared, read-only during
-///      this window) through its OWN SimilarityComputer, whose lazily
-///      cached profiles cover exactly the vertices of its owned blocks, so
-///      the per-vertex cache memory is partitioned, not replicated.
-///   2. COMMIT   — with the scatter latch closed, the router (the only
-///      writer, ever) applies phase 2 — database append, vertex
-///      assignments/births, occurrence records, collaboration edges
-///      including the cross-shard ones — via the same ApplyDecisions the
-///      sequential path runs, then invalidates the stale profiles on the
-///      shards owning the touched vertices.
-///   3. REFRESH  — every config.incremental_refresh_interval applied papers
-///      (the same cadence as the raw incremental path), every shard
-///      rebuilds its similarity caches in parallel, so structural features
-///      go stale and refresh at exactly the sequential path's paper counts.
+///   1. WINDOW   — the router extracts up to config.pipeline_depth
+///      consecutive-sequence papers already queued (never waiting for
+///      more), additionally capped so no similarity-cache refresh can fall
+///      inside the window. Each in-flight paper's byline names are interned
+///      to NameIds: its name-block set, which is both its read set (a
+///      byline competes only against same-name vertices) and its write set
+///      (commits append papers/vertices/edges only under its byline
+///      blocks).
+///   2. SCATTER  — bylines whose block does NOT appear in any in-window
+///      predecessor's block set are scored speculatively: grouped by owning
+///      shard and fanned out across all in-flight papers at once, every
+///      shard reading the same frozen pre-window snapshot through its OWN
+///      SimilarityComputer (profile caches partitioned by block ownership,
+///      not replicated). Frozen is exact, not approximate: WL ball features
+///      and corpus frequency tables are snapshotted at refresh time
+///      (core::SimilarityComputer), profiles of touched vertices are
+///      invalidated by commits, and γ2 (the one live cross-block read,
+///      triangles) is masked out of incremental scoring — so a
+///      speculatively-scored decision is bit-equal to the one sequential
+///      AddPaper would compute after the disjoint predecessors commit.
+///      Bylines that DO conflict are deferred (the scoreboard records which
+///      commit version each decision read, so staleness is detected, not
+///      assumed).
+///   3. COMMIT   — strictly in sequence order, on the router thread (the
+///      only writer, ever): deferred bylines are first rescored on their
+///      owning shard against the now-current snapshot (the "speculative
+///      rescore" path; with every predecessor committed this is exactly the
+///      sequential scoring state), then the same ApplyDecisions as the
+///      sequential path runs, stale profiles are invalidated on the owning
+///      shards, the promise resolves, and the admission window advances.
+///   4. REFRESH  — every config.incremental_refresh_interval applied papers
+///      (the same cadence as the raw incremental path) every shard rebuilds
+///      its similarity caches in parallel and prewarms the WL features of
+///      its owned alive vertices; the window cap makes the refresh a full
+///      pipeline barrier at exactly the sequential path's paper counts.
+///
+/// pipeline_depth = 1 degenerates to the pre-pipeline router: one paper per
+/// window, nothing deferred, scatter/commit per paper.
 ///
 /// Reads are shard-local: each shard publishes an immutable view of its
 /// owned blocks every config.ingest_refresh_window applied papers (and at
@@ -147,12 +169,35 @@ class ShardRouter : public serve::Frontend {
     serve::ServiceStats stats;
   };
 
+  /// One pipelined paper: its request plus the conflict scoreboard entry.
+  struct InFlight {
+    uint64_t seq = 0;
+    data::Paper paper;
+    std::promise<Assignments> promise;
+    std::vector<util::NameId> blocks;  ///< Per byline: owning block id.
+    std::vector<int> owners;           ///< Per byline: owning shard.
+    /// Per byline: block written by an in-window predecessor — do not
+    /// score speculatively, rescore at commit time instead.
+    std::vector<bool> deferred;
+    std::vector<core::OccurrenceDecision> decisions;
+    bool overlapped = false;  ///< >= 1 byline scored in the scatter phase.
+  };
+
   void RouterLoop();
   std::future<Assignments> SubmitLocked(uint64_t seq, data::Paper paper,
                                         std::unique_lock<std::mutex>* lock);
-  /// Scatter/commit/refresh for one admitted paper (unlocked).
-  Assignments ProcessPaper(const data::Paper& paper);
-  /// Rebuilds every shard's similarity caches in parallel.
+  /// Window/scatter/commit/refresh for one extracted window (unlocked; the
+  /// per-paper commit tail re-locks to advance the applied frontier).
+  void RunWindow(std::vector<InFlight> window);
+  /// Speculative scatter: scores every non-deferred byline of the window,
+  /// grouped by owning shard, against the frozen pre-window snapshot.
+  void ScatterWindow(std::vector<InFlight>* window);
+  /// Phase 2 for one in-flight paper at its turn in the sequence: rescore
+  /// deferred bylines, ApplyDecisions, invalidate, count.
+  Assignments CommitPaper(InFlight* w);
+  /// Rebuilds every shard's similarity caches in parallel and prewarms the
+  /// WL features of each shard's owned alive vertices (freezing γ1 at this
+  /// snapshot; see SimilarityComputer::PrewarmStructure).
   void RefreshShards();
   void PublishView();
   std::shared_ptr<const ReadView> CurrentView() const;
@@ -173,7 +218,11 @@ class ShardRouter : public serve::Frontend {
   std::map<uint64_t, Request> pending_;  ///< Reorder buffer, keyed by seq.
   uint64_t next_ticket_ = 0;
   uint64_t next_apply_ = 0;
-  bool apply_in_flight_ = false;
+  /// End of the extracted in-flight window: sequences in
+  /// [next_apply_, in_flight_hi_) are being pipelined and sit in neither
+  /// pending_ nor the applied range; duplicate detection must still reject
+  /// them. Equals next_apply_ when the router is between windows.
+  uint64_t in_flight_hi_ = 0;
   uint64_t published_through_ = 0;
   int drain_waiters_ = 0;
   bool stopping_ = false;
@@ -187,6 +236,14 @@ class ShardRouter : public serve::Frontend {
   int64_t new_authors_ = 0;
   int since_publish_ = 0;
   int since_refresh_ = 0;
+  /// Monotone count of ApplyDecisions calls (successful or not — a
+  /// mid-commit failure may still have written its blocks): the version
+  /// OccurrenceDecision::snapshot_version is stamped from.
+  uint64_t commit_version_ = 0;
+  int64_t windows_ = 0;             ///< Pipeline windows formed.
+  int64_t overlapped_papers_ = 0;   ///< Papers with >= 1 scatter-scored byline.
+  int64_t conflict_stalls_ = 0;     ///< Papers fully serialized by conflicts.
+  int64_t speculative_rescores_ = 0;  ///< Deferred/stale bylines rescored.
 
   mutable std::mutex view_mu_;
   std::shared_ptr<const ReadView> view_;

@@ -273,6 +273,15 @@ Response RandomResponse(std::mt19937_64* rng) {
       r.stats.reorder_held = std::uniform_int_distribution<int>(0, 99)(*rng);
       r.stats.queue_capacity =
           std::uniform_int_distribution<int>(1, 4096)(*rng);
+      r.stats.pipeline_depth =
+          std::uniform_int_distribution<int>(1, 64)(*rng);
+      r.stats.pipeline_windows = RandomInt(rng);
+      // Exercise both integral and fractional doubles through the
+      // shortest-exact encoder.
+      r.stats.pipeline_occupancy =
+          std::uniform_int_distribution<int>(0, 64)(*rng) / 8.0;
+      r.stats.conflict_stalls = RandomInt(rng);
+      r.stats.speculative_rescores = RandomInt(rng);
       const size_t shards = small(*rng);
       r.stats.num_shards = static_cast<int>(shards == 0 ? 1 : shards);
       for (size_t s = 0; s < shards; ++s) {

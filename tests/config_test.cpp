@@ -86,6 +86,17 @@ TEST(ConfigValidateTest, RejectsBadServeOptions) {
   cfg.ingest_queue_capacity = 1;  // the smallest legal window is fine
   cfg.ingest_refresh_window = 1;
   EXPECT_TRUE(cfg.Validate().ok());
+  cfg = {};
+  cfg.pipeline_depth = 0;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.pipeline_depth = 1025;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.pipeline_depth = 1;  // depth 1 = the sequential degenerate case
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.pipeline_depth = 1024;
+  EXPECT_TRUE(cfg.Validate().ok());
 }
 
 TEST(ConfigValidateTest, RejectsBadShardingOptions) {

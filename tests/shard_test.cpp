@@ -115,6 +115,58 @@ std::vector<std::string> RouterTraces(core::IuadConfig cfg, uint64_t seed,
   return traces;
 }
 
+/// Sequential ground truth for a hand-built stream over the seed fixture.
+std::vector<std::string> SequentialTracesForStream(
+    core::IuadConfig cfg, uint64_t seed,
+    const std::vector<data::Paper>& stream) {
+  cfg.incremental_refresh_interval = 1000;  // match RunPipelined
+  Fixture f = MakeFixture(seed, 0, cfg);
+  core::IncrementalDisambiguator inc(&f.history, &f.result, cfg);
+  std::vector<std::string> traces;
+  for (const auto& paper : stream) {
+    auto r = inc.AddPaper(paper);
+    EXPECT_TRUE(r.ok());
+    traces.push_back(TraceOf(*r));
+  }
+  return traces;
+}
+
+struct PipelineRun {
+  std::vector<std::string> traces;
+  serve::ServiceStats stats;
+};
+
+/// Router run with deterministic window shapes: every sequence but 0 is
+/// queued up front (the router sleeps on the hole), then sequence 0 lands
+/// and the full contiguous run is available — so every window is exactly
+/// min(pipeline_depth, papers remaining) and the pipeline counters are
+/// exact, not timing-dependent.
+PipelineRun RunPipelined(core::IuadConfig cfg, uint64_t seed,
+                         const std::vector<data::Paper>& stream,
+                         int num_shards, int depth) {
+  cfg.num_shards = num_shards;
+  cfg.pipeline_depth = depth;
+  cfg.ingest_queue_capacity = static_cast<int>(stream.size()) + 8;
+  cfg.incremental_refresh_interval = 1000;  // never cap a window here
+  Fixture f = MakeFixture(seed, 0, cfg);
+  ShardRouter router(&f.history, &f.result, cfg);
+  std::vector<std::future<ShardRouter::Assignments>> futures(stream.size());
+  for (size_t i = 1; i < stream.size(); ++i) {
+    futures[i] = router.SubmitAt(i, stream[i]);
+  }
+  futures[0] = router.SubmitAt(0, stream[0]);
+  router.Drain();
+  PipelineRun run;
+  run.stats = router.Stats();
+  for (auto& fut : futures) {
+    auto r = fut.get();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    run.traces.push_back(r.ok() ? TraceOf(*r) : "FAILED");
+  }
+  router.Stop();
+  return run;
+}
+
 // --------------------------- BlockPlacement ---------------------------------
 
 TEST(BlockPlacementTest, DeterministicAndCoversAllShards) {
@@ -185,6 +237,72 @@ TEST(ShardRouterTest, MatchesSequentialAtAnyShardAndProducerCount) {
   EXPECT_EQ(RouterTraces(cfg, 33, 60, 1, 1), sequential);
   EXPECT_EQ(RouterTraces(cfg, 33, 60, 4, 1), sequential);
   EXPECT_EQ(RouterTraces(cfg, 33, 60, 4, 4), sequential);
+}
+
+/// Adversarial corpus 1: every paper carries the SAME two name blocks, so
+/// inside any window only the head paper can score speculatively — the
+/// rest must serialize behind it (conflict stalls) and rescore every byline
+/// at commit. The assignments must still be byte-identical to sequential at
+/// every depth, and the counters must account for exactly the serialized
+/// papers.
+TEST(ShardRouterTest, HotBlockStreamSerializesAndStaysByteIdentical) {
+  const core::IuadConfig cfg = FastConfig();
+  const int64_t n = 12;
+  std::vector<data::Paper> stream;
+  for (int64_t i = 0; i < n; ++i) {
+    stream.push_back(iuad::testing::MakePaper(
+        {"Hot A. Alpha", "Hot B. Beta"},
+        "hot block paper " + std::to_string(i)));
+  }
+  const auto sequential = SequentialTracesForStream(cfg, 51, stream);
+  for (int shards : {1, 4}) {
+    for (int depth : {1, 2, 8}) {
+      const PipelineRun run = RunPipelined(cfg, 51, stream, shards, depth);
+      EXPECT_EQ(run.traces, sequential)
+          << "shards=" << shards << " depth=" << depth;
+      const int64_t windows = (n + depth - 1) / depth;
+      EXPECT_EQ(run.stats.pipeline_depth, depth);
+      EXPECT_EQ(run.stats.pipeline_windows, windows);
+      // Exactly one paper per window overlaps (the head); the pipeline
+      // fully serializes the other n - windows papers.
+      EXPECT_DOUBLE_EQ(run.stats.pipeline_occupancy, 1.0);
+      EXPECT_EQ(run.stats.conflict_stalls, n - windows)
+          << "shards=" << shards << " depth=" << depth;
+      // Both bylines of every serialized paper rescore at commit.
+      EXPECT_EQ(run.stats.speculative_rescores, 2 * (n - windows));
+    }
+  }
+}
+
+/// Adversarial corpus 2: every paper's blocks are globally unique, so no
+/// byline ever conflicts — windows fill to the configured depth and every
+/// paper overlaps (max pipeline occupancy), with zero stalls or rescores.
+TEST(ShardRouterTest, DisjointBlockStreamOverlapsFullyAndStaysByteIdentical) {
+  const core::IuadConfig cfg = FastConfig();
+  const int64_t n = 12;
+  std::vector<data::Paper> stream;
+  for (int64_t i = 0; i < n; ++i) {
+    stream.push_back(iuad::testing::MakePaper(
+        {"Uniq" + std::to_string(i) + " A. Left",
+         "Uniq" + std::to_string(i) + " B. Right"},
+        "disjoint block paper " + std::to_string(i)));
+  }
+  const auto sequential = SequentialTracesForStream(cfg, 52, stream);
+  for (int shards : {1, 4}) {
+    for (int depth : {1, 2, 8}) {
+      const PipelineRun run = RunPipelined(cfg, 52, stream, shards, depth);
+      EXPECT_EQ(run.traces, sequential)
+          << "shards=" << shards << " depth=" << depth;
+      const int64_t windows = (n + depth - 1) / depth;
+      EXPECT_EQ(run.stats.pipeline_windows, windows);
+      // Every paper scored speculatively: occupancy == mean window fill.
+      EXPECT_DOUBLE_EQ(run.stats.pipeline_occupancy,
+                       static_cast<double>(n) /
+                           static_cast<double>(windows));
+      EXPECT_EQ(run.stats.conflict_stalls, 0);
+      EXPECT_EQ(run.stats.speculative_rescores, 0);
+    }
+  }
 }
 
 TEST(ShardRouterTest, HashPlacementIsEquallyDeterministic) {
