@@ -23,12 +23,14 @@
 /// over hot blocks gain the most, and single-core CI hovers near 1.0x.
 ///
 /// Beyond throughput, each run records per-paper commit-latency
-/// percentiles (p50/p95/p99 ms): the sequential run times each AddPaper;
-/// the router runs observe the gaps between successive in-order future
-/// resolutions (commits are strictly sequence-ordered, so the gap IS the
-/// per-paper commit cadence as a client would see it). The router runs
-/// also record the pipeline counters (windows, occupancy, conflict
-/// stalls, speculative rescores) from ServiceStats.
+/// percentiles (p50/p95/p99 ms) into the shared obs::Histogram — the same
+/// log-bucketed instrument the serving stack scrapes, so bench numbers and
+/// live metrics are bucket-for-bucket comparable. The sequential run times
+/// each AddPaper; the router runs observe the gaps between successive
+/// in-order future resolutions (commits are strictly sequence-ordered, so
+/// the gap IS the per-paper commit cadence as a client would see it). The
+/// router runs also record the pipeline counters (windows, occupancy,
+/// conflict stalls, speculative rescores) from ServiceStats.
 ///
 /// Flags: --papers P (corpus size), --stream S (held-out papers),
 ///        --shards N, --producers M, --depth D (pipeline_depth),
@@ -49,6 +51,7 @@
 #include "core/incremental.h"
 #include "core/pipeline.h"
 #include "io/snapshot.h"
+#include "obs/metrics.h"
 #include "serve/frontend.h"
 #include "shard/shard_router.h"
 #include "util/json_writer.h"
@@ -77,7 +80,7 @@ std::string DigestOf(const std::vector<core::IncrementalAssignment>& as) {
 struct RunOutcome {
   double seconds = 0.0;
   std::vector<std::string> digests;  // per stream paper, in stream order
-  std::vector<double> latencies_ms;  // per-paper commit latency, unsorted
+  obs::Histogram latency;            // per-paper commit latency (shared obs)
   serve::ServiceStats stats;         // router runs only (pipeline counters)
   size_t graph_bytes = 0;            // post-ingestion CollabGraph footprint
   int num_alive = 0;
@@ -91,13 +94,9 @@ struct RunOutcome {
   }
 };
 
-/// Nearest-rank percentile over a copy (input left unsorted).
-double PercentileMs(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t rank = static_cast<size_t>(
-      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(rank, v.size() - 1)];
+/// Commit-latency percentile in milliseconds, from the run's histogram.
+double PercentileMs(const obs::HistogramSnapshot& h, double p) {
+  return h.PercentileUs(p) / 1e3;
 }
 
 /// DisambiguationResult is move-only (it owns the fitted model), so each
@@ -124,7 +123,6 @@ bool RunSequential(const data::PaperDatabase& history,
   if (!ReloadFitted(snapshot_path, db, &snap)) return false;
   core::IncrementalDisambiguator inc(&db, &snap.result, snap.config);
   out->digests.reserve(stream.size());
-  out->latencies_ms.reserve(stream.size());
   Stopwatch sw;
   double last = 0.0;
   for (const auto& paper : stream) {
@@ -135,7 +133,7 @@ bool RunSequential(const data::PaperDatabase& history,
       return false;
     }
     const double now = sw.ElapsedSeconds();
-    out->latencies_ms.push_back((now - last) * 1e3);
+    out->latency.RecordUs((now - last) * 1e6);
     last = now;
     out->digests.push_back(DigestOf(*r));
   }
@@ -165,7 +163,6 @@ bool RunSharded(const data::PaperDatabase& history,
   std::mutex hand_mu;
   std::condition_variable hand_cv;
   std::vector<char> filled(stream.size(), 0);
-  out->latencies_ms.assign(stream.size(), 0.0);
   Stopwatch sw;
   {
     shard::ShardRouter router(&db, &snap.result, snap.config);
@@ -189,7 +186,7 @@ bool RunSharded(const data::PaperDatabase& history,
         }
         futures[i].wait();  // resolves in sequence order; value kept for later
         const double now = sw.ElapsedSeconds();
-        out->latencies_ms[i] = (now - last) * 1e3;
+        out->latency.RecordUs((now - last) * 1e6);
         last = now;
       }
     });
@@ -296,10 +293,10 @@ int main(int argc, char** argv) {
   for (const auto& [label, run] :
        {std::pair<const char*, const RunOutcome*>{"sequential", &seq},
         {"router@1", &shard1}, {"router@N", &shardN}}) {
+    const obs::HistogramSnapshot h = run->latency.Snapshot();
     std::printf("commit latency %-10s p50 %.2f ms | p95 %.2f ms | p99 %.2f ms\n",
-                label, PercentileMs(run->latencies_ms, 50),
-                PercentileMs(run->latencies_ms, 95),
-                PercentileMs(run->latencies_ms, 99));
+                label, PercentileMs(h, 50), PercentileMs(h, 95),
+                PercentileMs(h, 99));
   }
   std::printf(
       "pipeline (shard@%d): depth %d, %ld windows, occupancy %.2f, "
@@ -336,10 +333,11 @@ int main(int argc, char** argv) {
     for (const auto& [label, run] :
          {std::pair<const char*, const RunOutcome*>{"sequential", &seq},
           {"router_1_shard", &shard1}, {"router_n_shards", &shardN}}) {
+      const obs::HistogramSnapshot h = run->latency.Snapshot();
       json.BeginObject(label)
-          .Field("p50", PercentileMs(run->latencies_ms, 50), 2)
-          .Field("p95", PercentileMs(run->latencies_ms, 95), 2)
-          .Field("p99", PercentileMs(run->latencies_ms, 99), 2)
+          .Field("p50", PercentileMs(h, 50), 2)
+          .Field("p95", PercentileMs(h, 95), 2)
+          .Field("p99", PercentileMs(h, 99), 2)
           .EndObject();
     }
     json.EndObject();

@@ -39,10 +39,10 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
 if [[ "$TSAN_ONLY" == "1" ]]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target shard_test serve_test api_test
+    --target shard_test serve_test api_test obs_test util_test
   (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-    -R '^(shard_test|serve_test|api_test)$')
-  echo "tsan gate (shard_test serve_test api_test): OK"
+    -R '^(shard_test|serve_test|api_test|obs_test|util_test)$')
+  echo "tsan gate (shard_test serve_test api_test obs_test util_test): OK"
   exit 0
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -87,6 +87,7 @@ cat > "$SMOKE_DIR/session.ndjson" <<'EOF'
 {"id":3,"op":"flush"}
 {"id":4,"op":"query_authors","name":"Api Smoke Author"}
 {"id":5,"op":"not_an_op"}
+{"id":6,"op":"metrics"}
 EOF
 "./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
   --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio \
@@ -97,12 +98,54 @@ grep -F '{"id":3,"op":"flush","ok":true,"applied":2}' "$SMOKE_DIR/out1.txt" \
 grep '"op":"query_authors","ok":true,"authors":\[{"vertex":' \
   "$SMOKE_DIR/out1.txt" >/dev/null
 grep '"id":-1,.*"ok":false,.*InvalidArgument' "$SMOKE_DIR/out1.txt" >/dev/null
+grep '"id":6,"op":"metrics","ok":true,"metrics":{"counters":\[{"name":' \
+  "$SMOKE_DIR/out1.txt" >/dev/null
 "./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
   --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio --shards 2 \
   < "$SMOKE_DIR/session.ndjson" > "$SMOKE_DIR/out2.txt"
 diff <(grep '"op":"ingest"' "$SMOKE_DIR/out1.txt") \
      <(grep '"op":"ingest"' "$SMOKE_DIR/out2.txt")
 echo "query API stdio smoke: OK"
+
+# Metrics scrape smoke: a live --stdio session with --metrics-port 0 must
+# be scrapeable over plain HTTP while the service is up, and the scrape
+# must be internally consistent — the papers we ingested equal the
+# iuad_papers_applied counter equal the commit-latency histogram count.
+mkfifo "$SMOKE_DIR/in.fifo"
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio --metrics-port 0 \
+  < "$SMOKE_DIR/in.fifo" > "$SMOKE_DIR/out3.txt" 2> "$SMOKE_DIR/err3.txt" &
+SERVE_PID=$!
+exec 9> "$SMOKE_DIR/in.fifo"  # hold the write end open across requests
+METRICS_PORT=""
+for _ in $(seq 1 200); do
+  METRICS_PORT=$(sed -n \
+    's/.*metrics exposition listening on port \([0-9]*\).*/\1/p' \
+    "$SMOKE_DIR/err3.txt" | head -1)
+  [[ -n "$METRICS_PORT" ]] && break
+  sleep 0.05
+done
+test -n "$METRICS_PORT"
+printf '%s\n' '{"id":1,"op":"ingest","papers":[{"title":"scrape paper one","venue":"VenueX","year":2024,"authors":["Scrape Smoke Author"]},{"title":"scrape paper two","venue":"VenueY","year":2025,"authors":["Scrape Smoke Author"]}]}' >&9
+printf '%s\n' '{"id":2,"op":"flush"}' >&9
+for _ in $(seq 1 200); do
+  grep -q '"id":2,"op":"flush","ok":true,"applied":2' "$SMOKE_DIR/out3.txt" \
+    && break
+  sleep 0.05
+done
+grep '"id":2,"op":"flush","ok":true,"applied":2' "$SMOKE_DIR/out3.txt" \
+  >/dev/null
+exec 8<>"/dev/tcp/127.0.0.1/$METRICS_PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&8
+cat <&8 > "$SMOKE_DIR/scrape.txt"
+exec 8<&- 8>&-
+grep -q 'iuad_papers_applied 2' "$SMOKE_DIR/scrape.txt"
+grep -q 'iuad_commit_latency_us_count 2' "$SMOKE_DIR/scrape.txt"
+grep -q 'iuad_requests ' "$SMOKE_DIR/scrape.txt"
+grep -q '# TYPE iuad_commit_latency_us histogram' "$SMOKE_DIR/scrape.txt"
+exec 9>&-  # EOF on stdin shuts the session down cleanly
+wait "$SERVE_PID"
+echo "metrics scrape smoke: OK"
 
 # Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json,
 # BENCH_shard.json, BENCH_api.json). Off by default to keep CI time

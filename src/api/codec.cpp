@@ -83,7 +83,9 @@ void EncodeStats(JsonWriter* w, const serve::ServiceStats& stats) {
       .Field("pipeline_windows", stats.pipeline_windows)
       .FieldExact("pipeline_occupancy", stats.pipeline_occupancy)
       .Field("conflict_stalls", stats.conflict_stalls)
-      .Field("speculative_rescores", stats.speculative_rescores);
+      .Field("speculative_rescores", stats.speculative_rescores)
+      .FieldExact("rss_mb", stats.rss_mb)
+      .FieldExact("uptime_seconds", stats.uptime_seconds);
   w->BeginArray("shards");
   for (const serve::ShardHealth& s : stats.shards) {
     w->BeginObjectElement()
@@ -95,6 +97,45 @@ void EncodeStats(JsonWriter* w, const serve::ServiceStats& stats) {
         .Field("assignments", s.assignments)
         .Field("new_authors", s.new_authors)
         .EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void EncodeMetrics(JsonWriter* w, const obs::RegistrySnapshot& metrics) {
+  w->BeginObject("metrics");
+  w->BeginArray("counters");
+  for (const obs::CounterSample& c : metrics.counters) {
+    w->BeginObjectElement()
+        .Field("name", c.name)
+        .Field("value", c.value)
+        .EndObject();
+  }
+  w->EndArray();
+  w->BeginArray("gauges");
+  for (const obs::GaugeSample& g : metrics.gauges) {
+    w->BeginObjectElement()
+        .Field("name", g.name)
+        .Field("value", g.value)
+        .EndObject();
+  }
+  w->EndArray();
+  w->BeginArray("histograms");
+  for (const obs::HistogramSnapshot& h : metrics.histograms) {
+    w->BeginObjectElement()
+        .Field("name", h.name)
+        .Field("count", h.count)
+        .Field("sum_ns", h.sum_ns)
+        .Field("max_ns", h.max_ns);
+    w->BeginArray("buckets");
+    for (const auto& [index, count] : h.buckets) {
+      w->BeginArrayElement()
+          .Element(static_cast<int64_t>(index))
+          .Element(count)
+          .EndArray();
+    }
+    w->EndArray();
+    w->EndObject();
   }
   w->EndArray();
   w->EndObject();
@@ -222,7 +263,7 @@ iuad::Result<int> ToInt32(int64_t v, const char* what) {
 
 iuad::Result<Op> OpFromName(const std::string& name) {
   for (Op op : {Op::kIngest, Op::kQueryAuthors, Op::kQueryPublications,
-                Op::kFlush, Op::kStats}) {
+                Op::kFlush, Op::kStats, Op::kMetrics}) {
     if (name == OpName(op)) return op;
   }
   return iuad::Status::InvalidArgument("api: unknown op \"" + name + "\"");
@@ -295,6 +336,8 @@ iuad::Result<serve::ServiceStats> DecodeStats(const JsonValue& value) {
   IUAD_ASSIGN_OR_RETURN(stats.conflict_stalls, r.Int("conflict_stalls"));
   IUAD_ASSIGN_OR_RETURN(stats.speculative_rescores,
                         r.Int("speculative_rescores"));
+  IUAD_ASSIGN_OR_RETURN(stats.rss_mb, r.Number("rss_mb"));
+  IUAD_ASSIGN_OR_RETURN(stats.uptime_seconds, r.Number("uptime_seconds"));
   IUAD_ASSIGN_OR_RETURN(const JsonValue* list, r.Array("shards"));
   for (const JsonValue& item : list->items()) {
     IUAD_ASSIGN_OR_RETURN(ObjectReader sr, ObjectReader::For(item, "shard"));
@@ -312,6 +355,81 @@ iuad::Result<serve::ServiceStats> DecodeStats(const JsonValue& value) {
   }
   IUAD_RETURN_NOT_OK(r.Finish());
   return stats;
+}
+
+iuad::Result<obs::HistogramSnapshot> DecodeHistogramSnapshot(
+    const JsonValue& value) {
+  IUAD_ASSIGN_OR_RETURN(ObjectReader r,
+                        ObjectReader::For(value, "histogram"));
+  obs::HistogramSnapshot h;
+  IUAD_ASSIGN_OR_RETURN(h.name, r.String("name"));
+  IUAD_ASSIGN_OR_RETURN(h.count, r.Int("count"));
+  IUAD_ASSIGN_OR_RETURN(h.sum_ns, r.Int("sum_ns"));
+  IUAD_ASSIGN_OR_RETURN(h.max_ns, r.Int("max_ns"));
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* buckets, r.Array("buckets"));
+  int64_t bucket_sum = 0;
+  int32_t last_index = -1;
+  for (const JsonValue& pair : buckets->items()) {
+    if (!pair.is_array() || pair.items().size() != 2 ||
+        !pair.items()[0].is_int() || !pair.items()[1].is_int()) {
+      return iuad::Status::InvalidArgument(
+          "api: histogram \"buckets\" entries must be [index, count] "
+          "integer pairs");
+    }
+    const int64_t index = pair.items()[0].as_int();
+    const int64_t count = pair.items()[1].as_int();
+    if (index <= last_index || index >= obs::Histogram::kNumBuckets) {
+      return iuad::Status::InvalidArgument(
+          "api: histogram bucket indices must be strictly increasing in "
+          "[0, " + std::to_string(obs::Histogram::kNumBuckets) + ")");
+    }
+    if (count <= 0) {
+      return iuad::Status::InvalidArgument(
+          "api: histogram bucket counts must be positive (empty buckets "
+          "are omitted)");
+    }
+    last_index = static_cast<int32_t>(index);
+    bucket_sum += count;
+    h.buckets.emplace_back(static_cast<int32_t>(index), count);
+  }
+  if (h.count != bucket_sum) {
+    return iuad::Status::InvalidArgument(
+        "api: histogram \"count\" must equal the sum of bucket counts");
+  }
+  IUAD_RETURN_NOT_OK(r.Finish());
+  return h;
+}
+
+/// Shared decode of the counter/gauge sample lists ({"name","value"}).
+template <typename Sample>
+iuad::Status DecodeSamples(const JsonValue& list, const char* what,
+                           std::vector<Sample>* out) {
+  for (const JsonValue& item : list.items()) {
+    IUAD_ASSIGN_OR_RETURN(ObjectReader r, ObjectReader::For(item, what));
+    Sample s;
+    IUAD_ASSIGN_OR_RETURN(s.name, r.String("name"));
+    IUAD_ASSIGN_OR_RETURN(s.value, r.Int("value"));
+    IUAD_RETURN_NOT_OK(r.Finish());
+    out->push_back(std::move(s));
+  }
+  return iuad::Status::OK();
+}
+
+iuad::Result<obs::RegistrySnapshot> DecodeMetrics(const JsonValue& value) {
+  IUAD_ASSIGN_OR_RETURN(ObjectReader r, ObjectReader::For(value, "metrics"));
+  obs::RegistrySnapshot metrics;
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* counters, r.Array("counters"));
+  IUAD_RETURN_NOT_OK(DecodeSamples(*counters, "counter", &metrics.counters));
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* gauges, r.Array("gauges"));
+  IUAD_RETURN_NOT_OK(DecodeSamples(*gauges, "gauge", &metrics.gauges));
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* histograms, r.Array("histograms"));
+  for (const JsonValue& item : histograms->items()) {
+    IUAD_ASSIGN_OR_RETURN(obs::HistogramSnapshot h,
+                          DecodeHistogramSnapshot(item));
+    metrics.histograms.push_back(std::move(h));
+  }
+  IUAD_RETURN_NOT_OK(r.Finish());
+  return metrics;
 }
 
 util::JsonReaderOptions ReaderOptions(const WireLimits& limits) {
@@ -343,6 +461,7 @@ std::string EncodeRequest(const Request& request) {
       break;
     case Op::kFlush:
     case Op::kStats:
+    case Op::kMetrics:
       break;
   }
   return w.str();
@@ -401,6 +520,9 @@ std::string EncodeResponse(const Response& response) {
     case Op::kStats:
       EncodeStats(&w, response.stats);
       break;
+    case Op::kMetrics:
+      EncodeMetrics(&w, response.metrics);
+      break;
   }
   return w.str();
 }
@@ -438,6 +560,7 @@ iuad::Result<Request> DecodeRequest(const std::string& line,
     }
     case Op::kFlush:
     case Op::kStats:
+    case Op::kMetrics:
       break;
   }
   IUAD_RETURN_NOT_OK(r.Finish());
@@ -534,6 +657,11 @@ iuad::Result<Response> DecodeResponse(const std::string& line,
     case Op::kStats: {
       IUAD_ASSIGN_OR_RETURN(const JsonValue* stats, r.Object("stats"));
       IUAD_ASSIGN_OR_RETURN(response.stats, DecodeStats(*stats));
+      break;
+    }
+    case Op::kMetrics: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* metrics, r.Object("metrics"));
+      IUAD_ASSIGN_OR_RETURN(response.metrics, DecodeMetrics(*metrics));
       break;
     }
   }

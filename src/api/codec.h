@@ -14,7 +14,7 @@
 ///
 ///   request  := {"id": int, "op": op, ...op-payload}
 ///   op       := "ingest" | "query_authors" | "query_publications"
-///             | "flush" | "stats"
+///             | "flush" | "stats" | "metrics"
 ///   ingest payload             "papers": [paper, ...]
 ///   query_authors payload      "name": string
 ///   query_publications payload "vertex": int
@@ -34,7 +34,17 @@
 ///   stats payload              "stats": {epoch, papers_applied,
 ///                              assignments, new_authors, alive_vertices,
 ///                              edges, queued_now, reorder_held,
-///                              queue_capacity, num_shards, shards: [...]}
+///                              queue_capacity, num_shards, ...,
+///                              rss_mb, uptime_seconds, shards: [...]}
+///   metrics payload            "metrics": {"counters": [sample, ...],
+///                              "gauges": [sample, ...],
+///                              "histograms": [histogram, ...]}
+///   sample     := {"name": string, "value": int}
+///   histogram  := {"name": string, "count": int, "sum_ns": int,
+///                  "max_ns": int, "buckets": [[index, count], ...]}
+///                 (raw mergeable form: sparse non-empty buckets with
+///                  strictly increasing indices, count == sum of bucket
+///                  counts — the decoder enforces both)
 
 #include <string>
 

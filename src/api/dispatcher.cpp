@@ -7,6 +7,22 @@
 
 namespace iuad::api {
 
+Dispatcher::Dispatcher(serve::Frontend* frontend, Options options)
+    : frontend_(frontend),
+      options_(options),
+      timing_(options.metrics_enabled),
+      ctr_requests_(frontend->Metrics()->GetCounter("requests")),
+      ctr_request_errors_(frontend->Metrics()->GetCounter("request_errors")),
+      hist_decode_us_(frontend->Metrics()->GetHistogram("decode_us")),
+      hist_encode_us_(frontend->Metrics()->GetHistogram("encode_us")) {
+  // One latency histogram per operation, indexed by the Op enum value.
+  for (Op op : {Op::kIngest, Op::kQueryAuthors, Op::kQueryPublications,
+                Op::kFlush, Op::kStats, Op::kMetrics}) {
+    hist_request_us_.push_back(frontend->Metrics()->GetHistogram(
+        std::string("request_us_") + OpName(op)));
+  }
+}
+
 Response Dispatcher::Execute(const Request& request) {
   Response response;
   response.id = request.id;
@@ -74,21 +90,38 @@ Response Dispatcher::Execute(const Request& request) {
     case Op::kStats:
       response.stats = frontend_->Stats();
       return response;
+    case Op::kMetrics:
+      response.metrics = frontend_->Metrics()->Snapshot();
+      return response;
   }
   response.status = iuad::Status::Internal("unhandled op");
   return response;
 }
 
 std::string Dispatcher::HandleLine(const std::string& line) {
+  const int64_t start_ns = timing_ ? obs::NowNs() : 0;
   auto request = DecodeRequest(line, options_.limits);
+  const int64_t decoded_ns = timing_ ? obs::NowNs() : 0;
+  if (timing_) hist_decode_us_->RecordNs(decoded_ns - start_ns);
+  ctr_requests_->Increment();
   if (!request.ok()) {
+    ctr_request_errors_->Increment();
     Response error;
     error.id = -1;  // the request id never decoded
     error.op = Op::kStats;
     error.status = request.status();
     return EncodeResponse(error);
   }
-  return EncodeResponse(Execute(*request));
+  Response response = Execute(*request);
+  if (!response.status.ok()) ctr_request_errors_->Increment();
+  const int64_t executed_ns = timing_ ? obs::NowNs() : 0;
+  if (timing_) {
+    hist_request_us_[static_cast<size_t>(request->op)]->RecordNs(
+        executed_ns - decoded_ns);
+  }
+  std::string encoded = EncodeResponse(response);
+  if (timing_) hist_encode_us_->RecordNs(obs::NowNs() - executed_ns);
+  return encoded;
 }
 
 void Dispatcher::ServeStream(std::istream& in, std::ostream& out) {

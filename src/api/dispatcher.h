@@ -28,9 +28,11 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "api/codec.h"
 #include "api/messages.h"
+#include "obs/metrics.h"
 #include "serve/frontend.h"
 
 namespace iuad::api {
@@ -43,11 +45,16 @@ class Dispatcher {
     int max_batch = 64;
     /// Wire-decoding limits for untrusted transports.
     WireLimits limits;
+    /// Gates the clock reads behind the request-path stage histograms
+    /// (decode_us / request_us_<op> / encode_us); request counters stay
+    /// live regardless (core::IuadConfig::metrics_enabled).
+    bool metrics_enabled = true;
   };
 
-  /// `frontend` is caller-owned and must outlive the dispatcher.
-  Dispatcher(serve::Frontend* frontend, Options options)
-      : frontend_(frontend), options_(options) {}
+  /// `frontend` is caller-owned and must outlive the dispatcher. All
+  /// instruments live in the frontend's registry, so every transport
+  /// stacked on one frontend records into one scrape surface.
+  Dispatcher(serve::Frontend* frontend, Options options);
 
   /// Executes one typed request. Never throws; failures come back as the
   /// response's status.
@@ -67,6 +74,14 @@ class Dispatcher {
  private:
   serve::Frontend* frontend_;
   Options options_;
+
+  // Request-path instruments (frontend registry; see obs/metrics.h).
+  const bool timing_;
+  obs::Counter* ctr_requests_;
+  obs::Counter* ctr_request_errors_;
+  obs::Histogram* hist_decode_us_;
+  obs::Histogram* hist_encode_us_;
+  std::vector<obs::Histogram*> hist_request_us_;  ///< Indexed by Op value.
 };
 
 }  // namespace iuad::api

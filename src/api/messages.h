@@ -17,6 +17,10 @@
 ///   flush               Flush: barrier — everything admitted is applied
 ///                       and published when the response comes back.
 ///   stats               GetStats: the unified ServiceStats snapshot.
+///   metrics             GetMetrics: the frontend's full obs::Registry
+///                       snapshot — counters, gauges, and raw mergeable
+///                       histogram buckets (percentiles are derived by the
+///                       consumer, never carried on the wire).
 
 #include <cstdint>
 #include <string>
@@ -24,6 +28,7 @@
 
 #include "core/incremental.h"
 #include "data/paper.h"
+#include "obs/metrics.h"
 #include "serve/frontend.h"
 #include "util/status.h"
 
@@ -35,6 +40,7 @@ enum class Op {
   kQueryPublications,
   kFlush,
   kStats,
+  kMetrics,
 };
 
 /// Stable wire name of an operation ("ingest", "query_authors", ...).
@@ -45,6 +51,7 @@ inline const char* OpName(Op op) {
     case Op::kQueryPublications: return "query_publications";
     case Op::kFlush: return "flush";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
   }
   return "unknown";
 }
@@ -73,6 +80,11 @@ struct Flush {};
 
 /// ServiceStats snapshot; carries no payload.
 struct GetStats {};
+
+/// obs::Registry snapshot; carries no payload. The response holds the raw
+/// mergeable form (HistogramSnapshot buckets, not percentiles), so scrapes
+/// from several processes can be merged exactly.
+struct GetMetrics {};
 
 /// One protocol request. `op` selects which payload member is meaningful;
 /// the others stay default-constructed (and are neither encoded nor
@@ -103,6 +115,8 @@ struct Response {
   int64_t applied = 0;
   /// kStats.
   serve::ServiceStats stats;
+  /// kMetrics.
+  obs::RegistrySnapshot metrics;
 };
 
 }  // namespace iuad::api

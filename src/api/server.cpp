@@ -61,7 +61,16 @@ Server::Server(serve::Frontend* frontend, ServerOptions options)
     : frontend_(frontend),
       options_(std::move(options)),
       dispatcher_(frontend,
-                  Dispatcher::Options{options_.max_batch, options_.limits}),
+                  Dispatcher::Options{options_.max_batch, options_.limits,
+                                      options_.metrics_enabled}),
+      ctr_connections_accepted_(
+          frontend->Metrics()->GetCounter("connections_accepted")),
+      ctr_connections_turned_away_(
+          frontend->Metrics()->GetCounter("connections_turned_away")),
+      ctr_bytes_in_(frontend->Metrics()->GetCounter("bytes_in")),
+      ctr_bytes_out_(frontend->Metrics()->GetCounter("bytes_out")),
+      gauge_connections_active_(
+          frontend->Metrics()->GetGauge("connections_active")),
       state_(std::make_unique<State>()) {}
 
 Server::~Server() { Shutdown(); }
@@ -129,8 +138,14 @@ void Server::AcceptLoop() {
     }
     if (turned_away) {
       // Backpressure surfaces in-protocol: one error line, then close.
-      WriteAll(fd, TurnedAwayLine());
+      ctr_connections_turned_away_->Increment();
+      const std::string line = TurnedAwayLine();
+      if (WriteAll(fd, line)) {
+        ctr_bytes_out_->Add(static_cast<int64_t>(line.size()));
+      }
       ::close(fd);
+    } else {
+      ctr_connections_accepted_->Increment();
     }
   }
 }
@@ -148,7 +163,9 @@ void Server::WorkerLoop() {
       state_->pending.pop_front();
       state_->live.insert(fd);
     }
+    gauge_connections_active_->Add(1);
     ServeConnection(fd);
+    gauge_connections_active_->Add(-1);
     {
       std::lock_guard<std::mutex> lock(state_->mu);
       state_->live.erase(fd);
@@ -171,7 +188,9 @@ void Server::ServeConnection(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!WriteAll(fd, dispatcher_.HandleLine(line) + "\n")) return;
+      const std::string response = dispatcher_.HandleLine(line) + "\n";
+      if (!WriteAll(fd, response)) return;
+      ctr_bytes_out_->Add(static_cast<int64_t>(response.size()));
     }
     buffer.erase(0, start);
     // A peer streaming garbage without newlines must not grow the buffer
@@ -183,12 +202,16 @@ void Server::ServeConnection(int fd) {
       overflow.status = iuad::Status::InvalidArgument(
           "request line exceeds " +
           std::to_string(options_.limits.max_bytes) + " bytes");
-      WriteAll(fd, EncodeResponse(overflow) + "\n");
+      const std::string line = EncodeResponse(overflow) + "\n";
+      if (WriteAll(fd, line)) {
+        ctr_bytes_out_->Add(static_cast<int64_t>(line.size()));
+      }
       return;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;  // EOF, error, or Shutdown's SHUT_RDWR
+    ctr_bytes_in_->Add(n);
     buffer.append(chunk, static_cast<size_t>(n));
   }
 }

@@ -45,6 +45,9 @@ struct ServerOptions {
   /// Dispatcher limits (see Dispatcher::Options).
   int max_batch = 64;
   WireLimits limits;
+  /// Gates request-path timing histograms (Dispatcher::Options);
+  /// connection/byte counters stay live regardless.
+  bool metrics_enabled = true;
 };
 
 class Server {
@@ -76,6 +79,14 @@ class Server {
   serve::Frontend* frontend_;
   ServerOptions options_;
   Dispatcher dispatcher_;
+
+  // Transport instruments (frontend registry): connection churn and raw
+  // byte traffic, which the dispatcher (one line at a time) cannot see.
+  obs::Counter* ctr_connections_accepted_;
+  obs::Counter* ctr_connections_turned_away_;
+  obs::Counter* ctr_bytes_in_;
+  obs::Counter* ctr_bytes_out_;
+  obs::Gauge* gauge_connections_active_;
 
   int listen_fd_ = -1;
   int bound_port_ = 0;

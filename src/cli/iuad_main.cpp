@@ -17,6 +17,8 @@
 ///              [--name "A. Name"] [--port P | --stdio] [--workers W]
 ///              [--max-batch B] [--save-snapshot-on-stop out.snap]
 ///              [--save-corpus out.tsv]
+///              [--metrics-port P] [--stats-interval S]
+///              [--slow-commit-ms M] [--no-metrics]
 ///       Load a fitted snapshot next to the corpus it was saved against and
 ///       bring up a serving front end behind the one serve::Frontend
 ///       interface: the single-applier IngestService (src/serve) by
@@ -34,11 +36,18 @@
 ///       snapshot fingerprints against, to make the state reloadable. This
 ///       is the demo shape of the long-running system: fit once, reload in
 ///       milliseconds, serve queries and keep ingesting, checkpoint on the
-///       way down.
+///       way down. Observability (src/obs): --metrics-port P exposes the
+///       frontend's metrics registry as Prometheus-style text (0 =
+///       ephemeral, port printed); --stats-interval S dumps the service
+///       stats to stderr every S seconds; --slow-commit-ms M logs a span
+///       breakdown for commits over M ms; --no-metrics turns the timing
+///       instrumentation off (assignments are byte-identical either way).
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -47,12 +56,15 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/server.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "core/pipeline.h"
 #include "data/corpus_generator.h"
 #include "eval/evaluator.h"
@@ -94,7 +106,9 @@ void Usage() {
                " [--workers W]\n"
                "           [--max-batch B]"
                " [--save-snapshot-on-stop out.snap]\n"
-               "           [--save-corpus out.tsv]\n"
+               "           [--save-corpus out.tsv]"
+               " [--metrics-port P] [--stats-interval S]\n"
+               "           [--slow-commit-ms M] [--no-metrics]\n"
                "(--threads 0 = all hardware threads; output is identical at"
                " any T.\n"
                " --shards on run/evaluate: word2vec training shards, 0 ="
@@ -263,10 +277,11 @@ void PrintServiceStats(std::FILE* info, const serve::ServiceStats& stats) {
   std::fprintf(
       info,
       "service state: epoch %ld, %ld papers applied, %d alive vertices, "
-      "%d edges, queue %d/%d (%d reorder-held)\n",
+      "%d edges, queue %d/%d (%d reorder-held), rss %.1f MB, up %.0f s\n",
       static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
       stats.num_alive_vertices, stats.num_edges, stats.queued_now,
-      stats.queue_capacity, stats.reorder_held);
+      stats.queue_capacity, stats.reorder_held, stats.rss_mb,
+      stats.uptime_seconds);
   if (stats.pipeline_depth > 1) {
     std::fprintf(
         info,
@@ -288,6 +303,65 @@ void PrintServiceStats(std::FILE* info, const serve::ServiceStats& stats) {
   }
 }
 
+/// --stats-interval worker: dumps the unified service stats (plus commit
+/// latency percentiles once anything committed) to stderr every interval
+/// until stopped — liveness for long-running serves with no scraper
+/// attached. Reads only published views and the metrics registry, so it
+/// never perturbs ingestion.
+class StatsDumper {
+ public:
+  StatsDumper(serve::Frontend* service, double interval_s)
+      : service_(service),
+        interval_s_(interval_s),
+        thread_([this] { Loop(); }) {}
+
+  ~StatsDumper() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::duration<double>(interval_s_),
+                       [&] { return stopping_; })) {
+        return;
+      }
+      lock.unlock();
+      Dump();
+      lock.lock();
+    }
+  }
+
+  void Dump() {
+    PrintServiceStats(stderr, service_->Stats());
+    const obs::RegistrySnapshot snap = service_->Metrics()->Snapshot();
+    for (const obs::HistogramSnapshot& h : snap.histograms) {
+      if (h.name != "commit_latency_us" || h.count == 0) continue;
+      std::fprintf(stderr,
+                   "  commit latency: n=%ld p50=%.0fus p90=%.0fus "
+                   "p99=%.0fus max=%.0fus\n",
+                   static_cast<long>(h.count), h.PercentileUs(50),
+                   h.PercentileUs(90), h.PercentileUs(99), h.MaxUs());
+    }
+    std::fflush(stderr);
+  }
+
+  serve::Frontend* service_;
+  const double interval_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
 std::atomic<bool> g_interrupted{false};
 
 void OnTerminateSignal(int) { g_interrupted = true; }
@@ -299,6 +373,7 @@ int RunTcpServer(serve::Frontend& service, const core::IuadConfig& cfg) {
   options.port = cfg.api_port;
   options.num_workers = cfg.api_num_workers;
   options.max_batch = cfg.api_max_batch;
+  options.metrics_enabled = cfg.metrics_enabled;
   api::Server server(&service, options);
   if (iuad::Status st = server.Start(); !st.ok()) return Fail(st.ToString());
   std::printf("query API listening on port %d (%d workers) — "
@@ -337,6 +412,25 @@ int DriveService(serve::Frontend& service, data::PaperDatabase* db,
   // In stdio mode stdout carries protocol lines only; everything
   // informational goes to stderr so scripted clients see pure NDJSON.
   std::FILE* info = flags.count("stdio") > 0 ? stderr : stdout;
+
+  // Observability side-doors, up before any ingestion so scrapes and dumps
+  // cover the whole session. Both read the frontend's registry / published
+  // views only — they cannot affect assignments (DESIGN.md §7).
+  obs::MetricsServer metrics_server(service.Metrics());
+  if (cfg.metrics_port >= 0) {
+    if (iuad::Status st = metrics_server.Start(cfg.metrics_port); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::fprintf(info, "metrics exposition listening on port %d\n",
+                 metrics_server.bound_port());
+    std::fflush(info);
+  }
+  std::unique_ptr<StatsDumper> stats_dumper;
+  if (cfg.stats_interval_s > 0.0) {
+    stats_dumper = std::make_unique<StatsDumper>(&service,
+                                                 cfg.stats_interval_s);
+  }
+
   if (auto it = flags.find("stream"); it != flags.end()) {
     auto stream_db = data::PaperDatabase::LoadTsv(it->second);
     if (!stream_db.ok()) return Fail(stream_db.status().ToString());
@@ -383,12 +477,16 @@ int DriveService(serve::Frontend& service, data::PaperDatabase* db,
   // The query/ingest API, over the same dispatcher for both transports.
   if (flags.count("stdio") > 0) {
     api::Dispatcher dispatcher(
-        &service, api::Dispatcher::Options{cfg.api_max_batch, {}});
+        &service, api::Dispatcher::Options{cfg.api_max_batch, {},
+                                           cfg.metrics_enabled});
     dispatcher.ServeStream(std::cin, std::cout);
     service.Drain();  // every paper the session admitted is applied
   } else if (flags.count("port") > 0) {
     if (int rc = RunTcpServer(service, cfg); rc != 0) return rc;
   }
+
+  if (stats_dumper) stats_dumper->Stop();
+  metrics_server.Shutdown();
 
   PrintServiceStats(info, service.Stats());
   if (auto it = flags.find("name"); it != flags.end()) {
@@ -459,6 +557,17 @@ int CmdServe(const std::string& in,
   if (auto it = flags.find("max-batch"); it != flags.end()) {
     cfg.api_max_batch = std::atoi(it->second.c_str());
   }
+  if (auto it = flags.find("metrics-port");
+      it != flags.end() && !it->second.empty()) {
+    cfg.metrics_port = std::atoi(it->second.c_str());
+  }
+  if (auto it = flags.find("stats-interval"); it != flags.end()) {
+    cfg.stats_interval_s = std::atof(it->second.c_str());
+  }
+  if (auto it = flags.find("slow-commit-ms"); it != flags.end()) {
+    cfg.slow_commit_ms = std::atof(it->second.c_str());
+  }
+  if (flags.count("no-metrics") > 0) cfg.metrics_enabled = false;
   if (iuad::Status st = cfg.Validate(); !st.ok()) return Fail(st.ToString());
   std::FILE* info = flags.count("stdio") > 0 ? stderr : stdout;
   std::fprintf(

@@ -167,6 +167,27 @@ struct IuadConfig {
   /// CLI flag: --max-batch.
   int api_max_batch = 64;
 
+  // --- Observability (src/obs) -------------------------------------------
+  /// Gates latency recording (the clock reads and histogram updates) on the
+  /// serving hot paths. Counters and the stats/metrics surfaces stay live
+  /// either way — disabling only stops timing. Assignments are
+  /// byte-identical at either setting (DESIGN.md §7); the flag exists to
+  /// prove it and to shave the last clock reads off benchmark runs.
+  /// CLI flag: --no-metrics on `serve`.
+  bool metrics_enabled = true;
+  /// Port of the Prometheus-style text exposition endpoint (`serve
+  /// --metrics-port`). -1 disables the endpoint (default); 0 binds an
+  /// ephemeral port (reported at startup); otherwise must fit a uint16.
+  int metrics_port = -1;
+  /// Period in seconds of the live stats dump to stderr while serving
+  /// (`serve --stats-interval`). 0 disables it.
+  double stats_interval_s = 0.0;
+  /// Commits slower than this many milliseconds (submit-to-applied) log
+  /// their per-stage span breakdown at WARNING. 0 disables the slow-commit
+  /// log. Only consulted when metrics_enabled (stage timings are the
+  /// breakdown). CLI flag: --slow-commit-ms.
+  double slow_commit_ms = 0.0;
+
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
 
@@ -224,6 +245,11 @@ struct IuadConfig {
     }
     if (api_num_workers < 0) return bad("api_num_workers must be >= 0");
     if (api_max_batch < 1) return bad("api_max_batch must be >= 1");
+    if (metrics_port < -1 || metrics_port > 65535) {
+      return bad("metrics_port must be -1 (disabled) or in [0, 65535]");
+    }
+    if (stats_interval_s < 0.0) return bad("stats_interval_s must be >= 0");
+    if (slow_commit_ms < 0.0) return bad("slow_commit_ms must be >= 0");
     if (persist_snapshot && snapshot_path.empty()) {
       return bad("snapshot_path must be non-empty when persistence is "
                  "requested");

@@ -1,0 +1,57 @@
+#ifndef IUAD_OBS_EXPOSITION_H_
+#define IUAD_OBS_EXPOSITION_H_
+
+/// \file exposition.h
+/// Prometheus-style text exposition of a RegistrySnapshot, plus a minimal
+/// HTTP/1.0 responder (`serve --metrics-port`) so standard scrapers can
+/// pull it. The exposition is read-only and sits entirely off the serving
+/// hot path: each scrape takes one registry snapshot and formats it.
+///
+/// Format. Every metric is prefixed `iuad_`; units are encoded in the
+/// metric name (`*_us` histograms record microseconds). Counters and
+/// gauges are single `# TYPE`-annotated lines. Histograms emit cumulative
+/// `_bucket{le="<µs upper bound>"}` lines for each non-empty bucket plus
+/// the mandatory `le="+Inf"` line, `_sum` / `_count` (µs / recordings),
+/// and derived convenience gauges `_max` and `_p50/_p90/_p95/_p99` (µs).
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace iuad::obs {
+
+/// Renders the snapshot in the text format described above.
+std::string TextExposition(const RegistrySnapshot& snapshot);
+
+/// Single-threaded HTTP responder: any GET returns the current registry
+/// snapshot as text/plain. Scrapes are sequential — a metrics endpoint
+/// serves one scraper, not traffic. Start/Shutdown mirror api::Server
+/// (ephemeral port when `port` is 0, shutdown()-then-join teardown).
+class MetricsServer {
+ public:
+  explicit MetricsServer(Registry* registry) : registry_(registry) {}
+  ~MetricsServer() { Shutdown(); }
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  iuad::Status Start(int port);
+  /// Port actually bound (differs from Start's when that was 0).
+  int bound_port() const { return bound_port_; }
+  void Shutdown();
+
+ private:
+  void ServeLoop();
+
+  Registry* registry_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace iuad::obs
+
+#endif  // IUAD_OBS_EXPOSITION_H_

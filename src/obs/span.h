@@ -1,0 +1,68 @@
+#ifndef IUAD_OBS_SPAN_H_
+#define IUAD_OBS_SPAN_H_
+
+/// \file span.h
+/// Sequence-stamped lifecycle spans: a per-item list of (stage, duration)
+/// pairs accumulated as the item moves through a path — the paper path
+/// (enqueue → window-extract → scatter-score → defer/rescore → commit →
+/// publish) or the request path (decode → dispatch → execute → encode).
+/// Spans are plain single-threaded value objects built by the thread that
+/// owns the item at each stage; they carry no atomics and are only
+/// materialised when timing is enabled. Their one consumer today is the
+/// slow-commit log (ShardRouter / IngestService emit Breakdown() for
+/// commits over IuadConfig::slow_commit_ms) and the dispatcher's
+/// per-request stage recording.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace iuad::obs {
+
+class Span {
+ public:
+  Span() = default;
+  explicit Span(int64_t seq) : seq_(seq) {}
+
+  int64_t seq() const { return seq_; }
+  void set_seq(int64_t seq) { seq_ = seq; }
+
+  void Stage(const char* stage, int64_t ns) { stages_.push_back({stage, ns}); }
+  bool empty() const { return stages_.empty(); }
+
+  int64_t TotalNs() const {
+    int64_t total = 0;
+    for (const auto& s : stages_) total += s.ns;
+    return total;
+  }
+
+  /// One-line human form, e.g. "seq=42 total=512.3ms enqueue=1.0ms
+  /// scatter=12.4ms rescore=0.0ms apply=498.1ms publish=0.8ms".
+  std::string Breakdown() const {
+    std::string out = "seq=" + std::to_string(seq_);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " total=%.3fms",
+                  static_cast<double>(TotalNs()) / 1e6);
+    out += buf;
+    for (const auto& s : stages_) {
+      std::snprintf(buf, sizeof(buf), " %s=%.3fms", s.stage,
+                    static_cast<double>(s.ns) / 1e6);
+      out += buf;
+    }
+    return out;
+  }
+
+ private:
+  struct StageTiming {
+    const char* stage;
+    int64_t ns;
+  };
+
+  int64_t seq_ = -1;
+  std::vector<StageTiming> stages_;
+};
+
+}  // namespace iuad::obs
+
+#endif  // IUAD_OBS_SPAN_H_

@@ -37,6 +37,10 @@
 #include "graph/collab_graph.h"
 #include "util/status.h"
 
+namespace iuad::obs {
+class Registry;
+}  // namespace iuad::obs
+
 namespace iuad::serve {
 
 /// One author candidate as seen by readers at the last published epoch.
@@ -95,6 +99,11 @@ struct ServiceStats {
   /// their block conflicted inside a window (the stale-decision path the
   /// OccurrenceDecision::snapshot_version stamp detects).
   int64_t speculative_rescores = 0;
+  // Process-level liveness, read at Stats() call time (not epoch-bound):
+  // resident set via util::CurrentRssMb and seconds since this Frontend
+  // was constructed — memory visible live, not only in BENCH_*.json.
+  double rss_mb = 0.0;
+  double uptime_seconds = 0.0;
   std::vector<ShardHealth> shards;  ///< Per-shard breakdown; empty at 1.
 };
 
@@ -147,6 +156,12 @@ class Frontend {
   virtual std::vector<int> PublicationsOf(graph::VertexId v) const = 0;
 
   virtual ServiceStats Stats() const = 0;
+
+  /// The frontend-owned metrics registry (src/obs): every serving layer
+  /// stacked on this frontend — dispatcher, API server, metrics endpoint —
+  /// records into and scrapes from this one registry. Never null; valid
+  /// for the frontend's lifetime (including after Stop()).
+  virtual obs::Registry* Metrics() = 0;
 };
 
 }  // namespace iuad::serve

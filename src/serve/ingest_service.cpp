@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/span.h"
+#include "util/logging.h"
+#include "util/memory.h"
+
 namespace iuad::serve {
 
 namespace {
@@ -20,7 +24,19 @@ IngestService::IngestService(data::PaperDatabase* db,
     : db_(db),
       result_(result),
       config_(std::move(config)),
-      inc_(db, result, config_) {
+      inc_(db, result, config_),
+      timing_(config_.metrics_enabled),
+      start_ns_(obs::NowNs()),
+      ctr_papers_applied_(registry_.GetCounter("papers_applied")),
+      ctr_papers_failed_(registry_.GetCounter("papers_failed")),
+      ctr_assignments_(registry_.GetCounter("assignments")),
+      ctr_new_authors_(registry_.GetCounter("new_authors")),
+      ctr_publishes_(registry_.GetCounter("publishes")),
+      gauge_queue_depth_(registry_.GetGauge("queue_depth")),
+      hist_enqueue_wait_us_(registry_.GetHistogram("enqueue_wait_us")),
+      hist_apply_us_(registry_.GetHistogram("apply_us")),
+      hist_publish_us_(registry_.GetHistogram("publish_us")),
+      hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")) {
   PublishView();  // epoch 0: the pre-ingestion state, queryable immediately
   applier_ = std::thread([this] { ApplierLoop(); });
 }
@@ -79,7 +95,10 @@ std::future<IngestService::Assignments> IngestService::SubmitLocked(
         "duplicate ingest sequence " + std::to_string(seq)));
     return future;
   }
-  pending_.emplace(seq, Request{std::move(paper), std::move(promise)});
+  Request request{std::move(paper), std::move(promise),
+                  timing_ ? obs::NowNs() : 0};
+  pending_.emplace(seq, std::move(request));
+  gauge_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
   if (seq == next_apply_) ready_cv_.notify_one();
   return future;
 }
@@ -95,19 +114,45 @@ void IngestService::ApplierLoop() {
     if (pending_.count(next_apply_) > 0) {
       auto node = pending_.extract(next_apply_);
       apply_in_flight_ = true;
+      gauge_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
       lock.unlock();
+      const uint64_t seq = node.key();
+      const int64_t submit_ns = node.mapped().submit_ns;
+      const int64_t extract_ns = timing_ ? obs::NowNs() : 0;
+      if (timing_ && submit_ns > 0) {
+        hist_enqueue_wait_us_->RecordNs(extract_ns - submit_ns);
+      }
       // The applier is the sole mutator of db/result; readers only see
       // published views, so no lock is held across the actual ingestion.
       Assignments applied = inc_.AddPaper(node.mapped().paper);
+      const int64_t applied_ns = timing_ ? obs::NowNs() : 0;
+      if (timing_) hist_apply_us_->RecordNs(applied_ns - extract_ns);
       if (applied.ok()) {
-        assignments_ += static_cast<int64_t>(applied->size());
+        ctr_papers_applied_->Increment();
+        ctr_assignments_->Add(static_cast<int64_t>(applied->size()));
         for (const auto& a : *applied) {
-          if (a.created_new) ++new_authors_;
+          if (a.created_new) ctr_new_authors_->Increment();
         }
         ++since_publish_;
+      } else {
+        ctr_papers_failed_->Increment();
       }
       const bool publish = since_publish_ >= config_.ingest_refresh_window;
       if (publish) PublishView();
+      const int64_t done_ns = timing_ ? obs::NowNs() : 0;
+      if (timing_ && publish) hist_publish_us_->RecordNs(done_ns - applied_ns);
+      if (timing_ && applied.ok() && submit_ns > 0) {
+        const int64_t latency_ns = done_ns - submit_ns;
+        hist_commit_latency_us_->RecordNs(latency_ns);
+        if (config_.slow_commit_ms > 0.0 &&
+            static_cast<double>(latency_ns) / 1e6 > config_.slow_commit_ms) {
+          obs::Span span(static_cast<int64_t>(seq));
+          span.Stage("enqueue", extract_ns - submit_ns);
+          span.Stage("apply", applied_ns - extract_ns);
+          if (publish) span.Stage("publish", done_ns - applied_ns);
+          IUAD_LOG(kWarning) << "slow commit: " << span.Breakdown();
+        }
+      }
       node.mapped().promise.set_value(std::move(applied));
       lock.lock();
       apply_in_flight_ = false;
@@ -197,8 +242,8 @@ void IngestService::PublishView() {
   }
   view->stats.epoch = epoch_++;
   view->stats.papers_applied = inc_.papers_ingested();
-  view->stats.assignments = assignments_;
-  view->stats.new_authors = new_authors_;
+  view->stats.assignments = ctr_assignments_->Value();
+  view->stats.new_authors = ctr_new_authors_->Value();
   view->stats.num_alive_vertices = g.num_alive();
   view->stats.num_edges = g.num_edges();
   view->stats.queue_capacity = config_.ingest_queue_capacity;
@@ -208,6 +253,7 @@ void IngestService::PublishView() {
   view->stats.pipeline_windows = view->stats.papers_applied;
   view->stats.pipeline_occupancy = view->stats.papers_applied > 0 ? 1.0 : 0.0;
   since_publish_ = 0;
+  ctr_publishes_->Increment();
   std::lock_guard<std::mutex> lock(view_mu_);
   view_ = std::move(view);
 }
@@ -242,6 +288,9 @@ std::vector<int> IngestService::PublicationsOf(graph::VertexId v) const {
 
 ServiceStats IngestService::Stats() const {
   ServiceStats stats = CurrentView()->stats;
+  stats.rss_mb = util::CurrentRssMb();
+  stats.uptime_seconds =
+      static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // Everything buffered beyond the contiguous run from the next consumable

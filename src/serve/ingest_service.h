@@ -55,6 +55,7 @@
 #include "core/incremental.h"
 #include "core/pipeline.h"
 #include "data/paper_database.h"
+#include "obs/metrics.h"
 #include "serve/frontend.h"
 #include "util/status.h"
 
@@ -97,11 +98,13 @@ class IngestService : public Frontend {
   /// num_shards is always 1 and the per-shard breakdown empty: this is the
   /// unsharded front end.
   ServiceStats Stats() const override;
+  obs::Registry* Metrics() override { return &registry_; }
 
  private:
   struct Request {
     data::Paper paper;
     std::promise<Assignments> promise;
+    int64_t submit_ns = 0;  ///< obs::NowNs() at admission; 0 if timing off.
   };
 
   /// Immutable published state; readers hold it by shared_ptr. Author
@@ -150,11 +153,28 @@ class IngestService : public Frontend {
   bool join_claimed_ = false;
   bool joined_ = false;
 
-  // Counters owned by the applier thread; folded into views at publish.
+  // Control-flow state owned by the applier thread. Event *counts* live in
+  // the registry instead (single-writer, so registry counters stay exact);
+  // only state that steers behavior stays as plain members — metrics must
+  // never feed back into ingestion (DESIGN.md §7).
   int64_t epoch_ = 0;
-  int64_t assignments_ = 0;
-  int64_t new_authors_ = 0;
   int since_publish_ = 0;
+
+  // Metrics (src/obs). Instruments are resolved once here and recorded
+  // lock-free thereafter; timing_ gates only the clock reads.
+  obs::Registry registry_;
+  const bool timing_;
+  const int64_t start_ns_;  ///< Construction stamp, for uptime_seconds.
+  obs::Counter* ctr_papers_applied_;
+  obs::Counter* ctr_papers_failed_;
+  obs::Counter* ctr_assignments_;
+  obs::Counter* ctr_new_authors_;
+  obs::Counter* ctr_publishes_;
+  obs::Gauge* gauge_queue_depth_;
+  obs::Histogram* hist_enqueue_wait_us_;
+  obs::Histogram* hist_apply_us_;
+  obs::Histogram* hist_publish_us_;
+  obs::Histogram* hist_commit_latency_us_;
 
   mutable std::mutex view_mu_;
   std::shared_ptr<const ReadView> view_;

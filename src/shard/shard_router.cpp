@@ -4,6 +4,10 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/span.h"
+#include "util/logging.h"
+#include "util/memory.h"
+
 namespace iuad::shard {
 
 namespace {
@@ -22,8 +26,34 @@ ShardRouter::ShardRouter(data::PaperDatabase* db,
       result_(result),
       config_(std::move(config)),
       placement_(BlockPlacement::Build(result->graph, config_.num_shards,
-                                       config_.shard_placement)) {
+                                       config_.shard_placement)),
+      timing_(config_.metrics_enabled),
+      start_ns_(obs::NowNs()),
+      ctr_papers_applied_(registry_.GetCounter("papers_applied")),
+      ctr_papers_failed_(registry_.GetCounter("papers_failed")),
+      ctr_assignments_(registry_.GetCounter("assignments")),
+      ctr_new_authors_(registry_.GetCounter("new_authors")),
+      ctr_windows_(registry_.GetCounter("pipeline_windows")),
+      ctr_overlapped_papers_(registry_.GetCounter("overlapped_papers")),
+      ctr_conflict_stalls_(registry_.GetCounter("conflict_stalls")),
+      ctr_speculative_rescores_(
+          registry_.GetCounter("speculative_rescores")),
+      ctr_publishes_(registry_.GetCounter("publishes")),
+      ctr_refreshes_(registry_.GetCounter("refreshes")),
+      gauge_queue_depth_(registry_.GetGauge("queue_depth")),
+      hist_enqueue_wait_us_(registry_.GetHistogram("enqueue_wait_us")),
+      hist_scatter_us_(registry_.GetHistogram("scatter_us")),
+      hist_rescore_us_(registry_.GetHistogram("rescore_us")),
+      hist_apply_us_(registry_.GetHistogram("apply_us")),
+      hist_publish_us_(registry_.GetHistogram("publish_us")),
+      hist_refresh_us_(registry_.GetHistogram("refresh_us")),
+      hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")) {
   shards_.resize(static_cast<size_t>(placement_.num_shards()));
+  hist_shard_scatter_us_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    hist_shard_scatter_us_.push_back(registry_.GetHistogram(
+        "shard" + std::to_string(s) + "_scatter_us"));
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].health.shard = static_cast<int>(s);
     shards_[s].health.placement_weight = placement_.shard_weights()[s];
@@ -98,12 +128,24 @@ std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
         "duplicate ingest sequence " + std::to_string(seq)));
     return future;
   }
-  pending_.emplace(seq, Request{std::move(paper), std::move(promise)});
+  Request request{std::move(paper), std::move(promise),
+                  timing_ ? obs::NowNs() : 0};
+  pending_.emplace(seq, std::move(request));
+  gauge_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
   if (seq == next_apply_) ready_cv_.notify_one();
   return future;
 }
 
 void ShardRouter::RunWindow(std::vector<InFlight> window) {
+  if (timing_) {
+    const int64_t extract_ns = obs::NowNs();
+    for (InFlight& w : window) {
+      w.extract_ns = extract_ns;
+      if (w.submit_ns > 0) {
+        hist_enqueue_wait_us_->RecordNs(extract_ns - w.submit_ns);
+      }
+    }
+  }
   // Build the conflict scoreboard: each paper's block set is both its read
   // and its write set (scoring is block-local by construction), so a byline
   // must defer exactly when its block appears in an in-window predecessor.
@@ -128,8 +170,16 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
     }
     for (util::NameId b : w.blocks) claimed.insert(b);
   }
-  if (result_->model != nullptr) ScatterWindow(&window);
-  ++windows_;
+  if (result_->model != nullptr) {
+    const int64_t scatter_start_ns = timing_ ? obs::NowNs() : 0;
+    ScatterWindow(&window);
+    if (timing_) {
+      const int64_t scatter_ns = obs::NowNs() - scatter_start_ns;
+      hist_scatter_us_->RecordNs(scatter_ns);
+      for (InFlight& w : window) w.scatter_ns = scatter_ns;
+    }
+  }
+  ctr_windows_->Increment();
 
   // COMMIT: strictly in sequence order, single writer (this thread). The
   // per-paper tail below is identical to the pre-pipeline router's: publish
@@ -137,7 +187,26 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
   for (InFlight& w : window) {
     Assignments applied = CommitPaper(&w);
     const bool publish = since_publish_ >= config_.ingest_refresh_window;
+    const int64_t publish_start_ns = timing_ ? obs::NowNs() : 0;
     if (publish) PublishView();
+    const int64_t done_ns = timing_ ? obs::NowNs() : 0;
+    if (timing_ && publish) {
+      hist_publish_us_->RecordNs(done_ns - publish_start_ns);
+    }
+    if (timing_ && applied.ok() && w.submit_ns > 0) {
+      const int64_t latency_ns = done_ns - w.submit_ns;
+      hist_commit_latency_us_->RecordNs(latency_ns);
+      if (config_.slow_commit_ms > 0.0 &&
+          static_cast<double>(latency_ns) / 1e6 > config_.slow_commit_ms) {
+        obs::Span span(static_cast<int64_t>(w.seq));
+        span.Stage("enqueue", w.extract_ns - w.submit_ns);
+        span.Stage("scatter", w.scatter_ns);
+        span.Stage("rescore", w.rescore_ns);
+        span.Stage("apply", w.apply_ns);
+        if (publish) span.Stage("publish", done_ns - publish_start_ns);
+        IUAD_LOG(kWarning) << "slow commit: " << span.Breakdown();
+      }
+    }
     w.promise.set_value(std::move(applied));
     std::lock_guard<std::mutex> lock(mu_);
     ++next_apply_;
@@ -173,11 +242,18 @@ void ShardRouter::ScatterWindow(std::vector<InFlight>* window) {
   // them all with the commit version it corresponds to.
   const uint64_t version = commit_version_;
   auto score_shard = [&](size_t s) {
+    // Per-shard scatter latency: each shard's slice of the window, timed on
+    // the thread that ran it (histograms are thread-safe; the skew across
+    // shards is the placement-quality signal).
+    const int64_t shard_start_ns = timing_ ? obs::NowNs() : 0;
     for (const auto& [j, i] : by_shard[s]) {
       InFlight& w = (*window)[j];
       w.decisions[i] = core::ScoreOccurrence(
           *shards_[s].sim, *result_->model, result_->graph, w.paper,
           w.paper.author_names[i], config_.delta, version);
+    }
+    if (timing_) {
+      hist_shard_scatter_us_[s]->RecordNs(obs::NowNs() - shard_start_ns);
     }
   };
   if (involved.size() == 1) {
@@ -219,18 +295,25 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
   // router thread: a conflicted block's candidates were just mutated, so
   // its shard's profile cache is warm from the invalidation path anyway.
   const size_t n = w->paper.author_names.size();
+  const int64_t rescore_start_ns = timing_ ? obs::NowNs() : 0;
+  bool rescored = false;
   for (size_t i = 0; i < n; ++i) {
     if (!w->deferred[i]) continue;
     w->decisions[i] = core::ScoreOccurrence(
         *shards_[static_cast<size_t>(w->owners[i])].sim, *result_->model,
         result_->graph, w->paper, w->paper.author_names[i], config_.delta,
         commit_version_);
-    ++speculative_rescores_;
+    ctr_speculative_rescores_->Increment();
+    rescored = true;
+  }
+  if (timing_ && rescored) {
+    w->rescore_ns = obs::NowNs() - rescore_start_ns;
+    hist_rescore_us_->RecordNs(w->rescore_ns);
   }
   if (w->overlapped) {
-    ++overlapped_papers_;
+    ctr_overlapped_papers_->Increment();
   } else {
-    ++conflict_stalls_;  // every byline waited on a predecessor's commit
+    ctr_conflict_stalls_->Increment();  // every byline waited on a commit
   }
   // Health counters, on the committing thread (scatter tasks only score):
   // one papers_scored per shard that scored >= 1 byline, matching the
@@ -248,6 +331,7 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
   // Same mutation order as the sequential path, then shard-targeted profile
   // invalidation — a touched vertex is only ever scored by its block's
   // owner.
+  const int64_t apply_start_ns = timing_ ? obs::NowNs() : 0;
   std::vector<graph::VertexId> touched;
   auto applied = core::ApplyDecisions(w->paper, w->decisions, db_, result_,
                                       &touched);
@@ -257,16 +341,21 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
                                      result_->graph.NameOf(v));
     shards_[static_cast<size_t>(s)].sim->InvalidateProfile(v);
   }
+  if (timing_) {
+    w->apply_ns = obs::NowNs() - apply_start_ns;
+    hist_apply_us_->RecordNs(w->apply_ns);
+  }
+  if (!applied.ok()) ctr_papers_failed_->Increment();
   if (applied.ok()) {
-    ++papers_applied_;
-    assignments_ += static_cast<int64_t>(applied->size());
+    ctr_papers_applied_->Increment();
+    ctr_assignments_->Add(static_cast<int64_t>(applied->size()));
     for (size_t i = 0; i < applied->size(); ++i) {
       const auto& a = (*applied)[i];
       Shard& owner =
           shards_[static_cast<size_t>(placement_.ShardOf(a.name))];
       ++owner.health.assignments;
       if (a.created_new) {
-        ++new_authors_;
+        ctr_new_authors_->Increment();
         ++owner.health.new_authors;
       }
     }
@@ -283,6 +372,7 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
 }
 
 void ShardRouter::RefreshShards() {
+  const int64_t refresh_start_ns = timing_ ? obs::NowNs() : 0;
   // Same storage hygiene as the sequential path's Refresh(): fold the
   // adjacency overflow log into the packed base arrays between fences (the
   // router is the only graph mutator; published views never read it).
@@ -317,6 +407,8 @@ void ShardRouter::RefreshShards() {
     shards_[s].sim->PrewarmStructure(owned[s], pool_.get());
   }
   since_refresh_ = 0;
+  ctr_refreshes_->Increment();
+  if (timing_) hist_refresh_us_->RecordNs(obs::NowNs() - refresh_start_ns);
 }
 
 void ShardRouter::RouterLoop() {
@@ -346,10 +438,12 @@ void ShardRouter::RouterLoop() {
         w.seq = it->first;
         w.paper = std::move(it->second.paper);
         w.promise = std::move(it->second.promise);
+        w.submit_ns = it->second.submit_ns;
         pending_.erase(it);
         window.push_back(std::move(w));
       }
       in_flight_hi_ = next_apply_ + static_cast<uint64_t>(window.size());
+      gauge_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
       lock.unlock();
       // RunWindow re-locks per committed paper to advance next_apply_; when
       // the last one lands, next_apply_ == in_flight_hi_ again.
@@ -437,23 +531,27 @@ void ShardRouter::PublishView() {
   }
   serve::ServiceStats& stats = view->stats;
   stats.epoch = epoch_++;
-  stats.papers_applied = papers_applied_;
-  stats.assignments = assignments_;
-  stats.new_authors = new_authors_;
+  // Registry-backed: the router thread is the sole writer of these
+  // counters, so reading them here is exact, not racy-approximate.
+  stats.papers_applied = ctr_papers_applied_->Value();
+  stats.assignments = ctr_assignments_->Value();
+  stats.new_authors = ctr_new_authors_->Value();
   stats.num_alive_vertices = g.num_alive();
   stats.num_edges = g.num_edges();
   stats.queue_capacity = config_.ingest_queue_capacity;
   stats.num_shards = placement_.num_shards();
   stats.pipeline_depth = config_.pipeline_depth;
-  stats.pipeline_windows = windows_;
+  const int64_t windows = ctr_windows_->Value();
+  stats.pipeline_windows = windows;
   stats.pipeline_occupancy =
-      windows_ > 0 ? static_cast<double>(overlapped_papers_) /
-                         static_cast<double>(windows_)
-                   : 0.0;
-  stats.conflict_stalls = conflict_stalls_;
-  stats.speculative_rescores = speculative_rescores_;
+      windows > 0 ? static_cast<double>(ctr_overlapped_papers_->Value()) /
+                        static_cast<double>(windows)
+                  : 0.0;
+  stats.conflict_stalls = ctr_conflict_stalls_->Value();
+  stats.speculative_rescores = ctr_speculative_rescores_->Value();
   for (const Shard& s : shards_) stats.shards.push_back(s.health);
   since_publish_ = 0;
+  ctr_publishes_->Increment();
   std::lock_guard<std::mutex> lock(view_mu_);
   view_ = std::move(view);
 }
@@ -492,6 +590,9 @@ std::vector<int> ShardRouter::PublicationsOf(graph::VertexId v) const {
 
 serve::ServiceStats ShardRouter::Stats() const {
   serve::ServiceStats stats = CurrentView()->stats;
+  stats.rss_mb = util::CurrentRssMb();
+  stats.uptime_seconds =
+      static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // See IngestService::Stats: the contiguous run starts after the in-flight

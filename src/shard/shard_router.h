@@ -82,6 +82,7 @@
 #include "core/pipeline.h"
 #include "core/similarity.h"
 #include "data/paper_database.h"
+#include "obs/metrics.h"
 #include "serve/ingest_service.h"
 #include "shard/placement.h"
 #include "util/status.h"
@@ -134,6 +135,7 @@ class ShardRouter : public serve::Frontend {
   /// Aggregated totals + per-shard health (stats.shards) at the last
   /// published epoch; queue depth and reorder occupancy are read live.
   serve::ServiceStats Stats() const override;
+  obs::Registry* Metrics() override { return &registry_; }
 
   /// The block→shard route for `name` (exposed for tests and ops).
   int ShardOf(const std::string& name) const {
@@ -144,6 +146,7 @@ class ShardRouter : public serve::Frontend {
   struct Request {
     data::Paper paper;
     std::promise<Assignments> promise;
+    int64_t submit_ns = 0;  ///< obs::NowNs() at admission; 0 if timing off.
   };
 
   /// One shard's mutable state. The similarity computer is only ever used
@@ -181,6 +184,13 @@ class ShardRouter : public serve::Frontend {
     std::vector<bool> deferred;
     std::vector<core::OccurrenceDecision> decisions;
     bool overlapped = false;  ///< >= 1 byline scored in the scatter phase.
+    // Paper-path span stamps/durations (nanoseconds), filled only when
+    // timing is enabled; they feed the histograms and the slow-commit log.
+    int64_t submit_ns = 0;   ///< Admission stamp (from Request).
+    int64_t extract_ns = 0;  ///< Window-extraction stamp.
+    int64_t scatter_ns = 0;  ///< Scatter-phase duration of this window.
+    int64_t rescore_ns = 0;  ///< Deferred-byline rescore duration.
+    int64_t apply_ns = 0;    ///< Commit (apply + invalidate) duration.
   };
 
   void RouterLoop();
@@ -229,21 +239,44 @@ class ShardRouter : public serve::Frontend {
   bool join_claimed_ = false;
   bool joined_ = false;
 
-  // Counters owned by the router thread; folded into views at publish.
+  // Control-flow state owned by the router thread. Event *counts* moved
+  // into the registry below (still router-thread-single-writer, so the
+  // registry counters are exact); only state that steers behavior stays as
+  // plain members — metrics never feed back into ingestion (DESIGN.md §7).
   int64_t epoch_ = 0;
-  int64_t papers_applied_ = 0;
-  int64_t assignments_ = 0;
-  int64_t new_authors_ = 0;
   int since_publish_ = 0;
   int since_refresh_ = 0;
   /// Monotone count of ApplyDecisions calls (successful or not — a
   /// mid-commit failure may still have written its blocks): the version
   /// OccurrenceDecision::snapshot_version is stamped from.
   uint64_t commit_version_ = 0;
-  int64_t windows_ = 0;             ///< Pipeline windows formed.
-  int64_t overlapped_papers_ = 0;   ///< Papers with >= 1 scatter-scored byline.
-  int64_t conflict_stalls_ = 0;     ///< Papers fully serialized by conflicts.
-  int64_t speculative_rescores_ = 0;  ///< Deferred/stale bylines rescored.
+
+  // Metrics (src/obs). Instruments are resolved once at construction and
+  // recorded lock-free thereafter; timing_ gates only the clock reads.
+  obs::Registry registry_;
+  const bool timing_;
+  const int64_t start_ns_;  ///< Construction stamp, for uptime_seconds.
+  obs::Counter* ctr_papers_applied_;
+  obs::Counter* ctr_papers_failed_;
+  obs::Counter* ctr_assignments_;
+  obs::Counter* ctr_new_authors_;
+  obs::Counter* ctr_windows_;            ///< Pipeline windows formed.
+  obs::Counter* ctr_overlapped_papers_;  ///< >= 1 scatter-scored byline.
+  obs::Counter* ctr_conflict_stalls_;    ///< Fully serialized by conflicts.
+  obs::Counter* ctr_speculative_rescores_;  ///< Deferred bylines rescored.
+  obs::Counter* ctr_publishes_;
+  obs::Counter* ctr_refreshes_;
+  obs::Gauge* gauge_queue_depth_;
+  obs::Histogram* hist_enqueue_wait_us_;
+  obs::Histogram* hist_scatter_us_;  ///< Whole scatter phase, per window.
+  obs::Histogram* hist_rescore_us_;
+  obs::Histogram* hist_apply_us_;
+  obs::Histogram* hist_publish_us_;
+  obs::Histogram* hist_refresh_us_;
+  obs::Histogram* hist_commit_latency_us_;
+  /// Per-shard scatter-task latency ("shard<i>_scatter_us"): how long each
+  /// shard's slice of a window took — the skew signal for placement.
+  std::vector<obs::Histogram*> hist_shard_scatter_us_;
 
   mutable std::mutex view_mu_;
   std::shared_ptr<const ReadView> view_;

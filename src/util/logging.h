@@ -4,6 +4,12 @@
 /// \file logging.h
 /// Minimal leveled logger. Benches and examples use INFO; library internals
 /// log at DEBUG and stay silent by default.
+///
+/// Each line carries `[<level> <monotonic seconds> t<thread> file:line]`
+/// and is emitted with one write(2) call, so lines from concurrent
+/// threads interleave whole — never sheared mid-text (pinned by
+/// tests/util_test.cpp). Thread tags are small integers assigned in
+/// first-log order, not pthread handles.
 
 #include <sstream>
 #include <string>

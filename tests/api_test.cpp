@@ -180,7 +180,7 @@ data::Paper RandomPaper(std::mt19937_64* rng) {
 Request RandomRequest(std::mt19937_64* rng) {
   Request r;
   r.id = RandomInt(rng);
-  std::uniform_int_distribution<int> op(0, 4);
+  std::uniform_int_distribution<int> op(0, 5);
   r.op = static_cast<Op>(op(*rng));
   switch (r.op) {
     case Op::kIngest: {
@@ -199,15 +199,49 @@ Request RandomRequest(std::mt19937_64* rng) {
       break;
     case Op::kFlush:
     case Op::kStats:
+    case Op::kMetrics:
       break;
   }
   return r;
 }
 
+/// Random but valid registry snapshot: sparse histogram buckets with
+/// strictly increasing indices and count == bucket sum, the invariants
+/// the strict decoder enforces.
+obs::RegistrySnapshot RandomMetrics(std::mt19937_64* rng) {
+  obs::RegistrySnapshot m;
+  std::uniform_int_distribution<size_t> small(0, 3);
+  const size_t counters = small(*rng);
+  for (size_t i = 0; i < counters; ++i) {
+    m.counters.push_back({RandomString(rng), RandomInt(rng)});
+  }
+  const size_t gauges = small(*rng);
+  for (size_t i = 0; i < gauges; ++i) {
+    m.gauges.push_back({RandomString(rng), RandomInt(rng)});
+  }
+  const size_t histograms = small(*rng);
+  for (size_t i = 0; i < histograms; ++i) {
+    obs::HistogramSnapshot h;
+    h.name = RandomString(rng);
+    std::uniform_int_distribution<int> stride(1, 17);
+    std::uniform_int_distribution<int64_t> bucket_count(1, 1000);
+    for (int idx = stride(*rng) - 1; idx < obs::Histogram::kNumBuckets;
+         idx += stride(*rng)) {
+      const int64_t c = bucket_count(*rng);
+      h.buckets.emplace_back(idx, c);
+      h.count += c;
+    }
+    h.sum_ns = std::uniform_int_distribution<int64_t>(0, 1 << 30)(*rng);
+    h.max_ns = std::uniform_int_distribution<int64_t>(0, 1 << 30)(*rng);
+    m.histograms.push_back(std::move(h));
+  }
+  return m;
+}
+
 Response RandomResponse(std::mt19937_64* rng) {
   Response r;
   r.id = RandomInt(rng);
-  std::uniform_int_distribution<int> op(0, 4);
+  std::uniform_int_distribution<int> op(0, 5);
   r.op = static_cast<Op>(op(*rng));
   if (std::uniform_int_distribution<int>(0, 3)(*rng) == 0) {
     static const StatusCode codes[] = {
@@ -282,6 +316,10 @@ Response RandomResponse(std::mt19937_64* rng) {
           std::uniform_int_distribution<int>(0, 64)(*rng) / 8.0;
       r.stats.conflict_stalls = RandomInt(rng);
       r.stats.speculative_rescores = RandomInt(rng);
+      r.stats.rss_mb =
+          std::uniform_int_distribution<int>(0, 64000)(*rng) / 8.0;
+      r.stats.uptime_seconds =
+          std::uniform_int_distribution<int>(0, 1 << 20)(*rng) / 16.0;
       const size_t shards = small(*rng);
       r.stats.num_shards = static_cast<int>(shards == 0 ? 1 : shards);
       for (size_t s = 0; s < shards; ++s) {
@@ -297,6 +335,9 @@ Response RandomResponse(std::mt19937_64* rng) {
       }
       break;
     }
+    case Op::kMetrics:
+      r.metrics = RandomMetrics(rng);
+      break;
   }
   return r;
 }
@@ -376,6 +417,35 @@ TEST(ApiCodecTest, RejectsWrongShapesAndUnknownFields) {
       R"({"id":1,"op":"ingest","ok":true,"assignments":[[{"name":"a","vertex":1,"new":true,"score":"infinity","candidates":0}]]})",
   };
   for (const char* line : bad_responses) {
+    auto r = DecodeResponse(line);
+    EXPECT_FALSE(r.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ApiCodecTest, RejectsMalformedMetricsPayloads) {
+  // The valid shape, as a baseline for the mutations below.
+  const char* good =
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[{"name":"c","value":3}],"gauges":[],"histograms":[{"name":"h","count":3,"sum_ns":10,"max_ns":7,"buckets":[[0,1],[5,2]]}]}})";
+  EXPECT_TRUE(DecodeResponse(good).ok());
+
+  const char* bad[] = {
+      // count != sum of bucket counts.
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[],"histograms":[{"name":"h","count":2,"sum_ns":0,"max_ns":0,"buckets":[[0,1]]}]}})",
+      // Non-increasing bucket indices.
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[],"histograms":[{"name":"h","count":2,"sum_ns":0,"max_ns":0,"buckets":[[5,1],[5,1]]}]}})",
+      // Bucket index out of range.
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[],"histograms":[{"name":"h","count":1,"sum_ns":0,"max_ns":0,"buckets":[[64,1]]}]}})",
+      // Zero-count bucket (empties must be omitted).
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[],"histograms":[{"name":"h","count":0,"sum_ns":0,"max_ns":0,"buckets":[[0,0]]}]}})",
+      // Bucket entry is not an [index, count] pair.
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[],"histograms":[{"name":"h","count":1,"sum_ns":0,"max_ns":0,"buckets":[[0,1,2]]}]}})",
+      // Missing / unknown fields in samples and sections.
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[{"name":"c"}],"gauges":[],"histograms":[]}})",
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[{"name":"c","value":1,"unit":"s"}],"gauges":[],"histograms":[]}})",
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[]}})",
+      R"({"id":1,"op":"metrics","ok":true,"metrics":{"counters":[],"gauges":[],"histograms":[],"extra":0}})",
+  };
+  for (const char* line : bad) {
     auto r = DecodeResponse(line);
     EXPECT_FALSE(r.ok()) << "accepted: " << line;
   }
@@ -670,6 +740,37 @@ TEST(ApiServerTest, TcpSessionServesIngestQueryAndStats) {
   r = client.Call(big);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->status.code(), StatusCode::kResourceExhausted);
+
+  // GetMetrics over the wire: the registry counters must agree with what
+  // this session actually did, and the commit-latency histogram must have
+  // one recording per applied paper.
+  Request metrics;
+  metrics.id = 7;
+  metrics.op = Op::kMetrics;
+  r = client.Call(metrics);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->status.ok()) << r->status.ToString();
+  auto counter = [&](const std::string& name) -> int64_t {
+    for (const auto& c : r->metrics.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "counter " << name << " missing from GetMetrics";
+    return -1;
+  };
+  EXPECT_EQ(counter("papers_applied"), 3);
+  EXPECT_EQ(counter("papers_failed"), 0);
+  EXPECT_GE(counter("requests"), 6);
+  EXPECT_GE(counter("bytes_in"), 1);
+  EXPECT_GE(counter("bytes_out"), 1);
+  EXPECT_EQ(counter("connections_accepted"), 1);
+  bool found_commit_latency = false;
+  for (const auto& h : r->metrics.histograms) {
+    if (h.name != "commit_latency_us") continue;
+    found_commit_latency = true;
+    EXPECT_EQ(h.count, 3);
+    EXPECT_GE(h.PercentileUs(99), h.PercentileUs(50));
+  }
+  EXPECT_TRUE(found_commit_latency);
 
   server.Shutdown();
   // Graceful drain: everything the session ingested is applied.

@@ -135,6 +135,29 @@ TEST(ConfigValidateTest, RejectsBadApiOptions) {
   EXPECT_TRUE(cfg.Validate().ok());
 }
 
+TEST(ConfigValidateTest, RejectsBadObservabilityOptions) {
+  core::IuadConfig cfg;
+  cfg.metrics_port = -2;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.metrics_port = 65536;  // must fit a uint16
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.stats_interval_s = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.slow_commit_ms = -0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.metrics_port = 0;      // 0 = ephemeral port
+  cfg.stats_interval_s = 0.0;  // 0 = disabled
+  cfg.slow_commit_ms = 0.0;    // 0 = disabled
+  cfg.metrics_enabled = false;  // off is always legal
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.metrics_port = 65535;  // boundary value is legal
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
 TEST(ConfigValidateTest, SnapshotPersistenceRequiresAPath) {
   core::IuadConfig cfg;
   cfg.persist_snapshot = true;

@@ -1,0 +1,304 @@
+/// obs::Histogram / Registry: the properties the observability layer
+/// leans on — bucket boundaries bracket every recorded value, snapshot
+/// merge is associative and commutative, percentile estimates are true
+/// upper bounds tight to one bucket width, concurrent recording loses
+/// nothing, and the text exposition stays scrape-parseable.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace iuad::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundariesAreLogSpacedAndMonotone) {
+  // 10^(i/8): 8 buckets per decade, so b[i+8] == 10 * b[i] exactly in
+  // structure (up to float rounding) and the sequence is strictly rising.
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBoundUs(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBoundUs(8), 10.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBoundUs(16), 100.0);
+  for (int i = 1; i < Histogram::kNumFiniteBounds; ++i) {
+    EXPECT_GT(Histogram::BucketUpperBoundUs(i),
+              Histogram::BucketUpperBoundUs(i - 1));
+    EXPECT_NEAR(Histogram::BucketUpperBoundUs(i) /
+                    Histogram::BucketUpperBoundUs(i - 1),
+                std::pow(10.0, 1.0 / 8.0), 1e-12);
+  }
+}
+
+TEST(HistogramTest, EveryValueLandsInItsBracketingBucket) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> exp_dist(-1.0, 9.0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double v = std::pow(10.0, exp_dist(rng));
+    const int idx = Histogram::BucketIndexForUs(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    if (idx < Histogram::kNumFiniteBounds) {
+      EXPECT_LE(v, Histogram::BucketUpperBoundUs(idx));
+    } else {
+      EXPECT_GT(v, Histogram::BucketUpperBoundUs(Histogram::kNumFiniteBounds -
+                                                 1));
+    }
+    if (idx > 0) EXPECT_GT(v, Histogram::BucketUpperBoundUs(idx - 1));
+  }
+  // Degenerate inputs clamp to the floor bucket instead of misindexing.
+  EXPECT_EQ(Histogram::BucketIndexForUs(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndexForUs(-5.0), 0);
+  EXPECT_EQ(Histogram::BucketIndexForUs(std::nan("")), 0);
+}
+
+HistogramSnapshot SnapOf(const std::vector<double>& values_us) {
+  Histogram h;
+  for (double v : values_us) h.RecordUs(v);
+  return h.Snapshot("t");
+}
+
+TEST(HistogramTest, SnapshotCountEqualsBucketSumAndRecordings) {
+  const auto snap = SnapOf({0.5, 3.0, 3.1, 47.0, 1e6, 9e9});
+  EXPECT_EQ(snap.count, 6);
+  int64_t bucket_sum = 0;
+  int32_t prev = -1;
+  for (const auto& [idx, c] : snap.buckets) {
+    EXPECT_GT(idx, prev);  // strictly increasing sparse indices
+    EXPECT_GT(c, 0);
+    prev = idx;
+    bucket_sum += c;
+  }
+  EXPECT_EQ(bucket_sum, snap.count);
+  EXPECT_EQ(snap.max_ns, static_cast<int64_t>(9e9) * 1000);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> exp_dist(0.0, 8.0);
+  auto random_snap = [&] {
+    std::vector<double> vs;
+    const int n = static_cast<int>(rng() % 40);
+    for (int i = 0; i < n; ++i) vs.push_back(std::pow(10.0, exp_dist(rng)));
+    return SnapOf(vs);
+  };
+  auto equal = [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+    return a.count == b.count && a.sum_ns == b.sum_ns &&
+           a.max_ns == b.max_ns && a.buckets == b.buckets;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_snap(), b = random_snap(), c = random_snap();
+    // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+    auto left = a;
+    left.Merge(b);
+    left.Merge(c);
+    auto bc = b;
+    bc.Merge(c);
+    auto right = a;
+    right.Merge(bc);
+    EXPECT_TRUE(equal(left, right));
+    // a ⊕ b == b ⊕ a
+    auto ab = a;
+    ab.Merge(b);
+    auto ba = b;
+    ba.Merge(a);
+    EXPECT_TRUE(equal(ab, ba));
+  }
+}
+
+TEST(HistogramTest, MergedSnapshotEqualsSingleHistogramOfAllValues) {
+  // Mergeability: shard-local histograms folded together must equal one
+  // histogram that saw every value (the property the bench and any future
+  // cross-process aggregation rely on).
+  std::vector<double> a = {1.5, 80.0, 900.0}, b = {2.5, 80.0, 4e7};
+  auto merged = SnapOf(a);
+  merged.Merge(SnapOf(b));
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  const auto direct = SnapOf(all);
+  EXPECT_EQ(merged.count, direct.count);
+  EXPECT_EQ(merged.sum_ns, direct.sum_ns);
+  EXPECT_EQ(merged.max_ns, direct.max_ns);
+  EXPECT_EQ(merged.buckets, direct.buckets);
+}
+
+TEST(HistogramTest, PercentileIsAnUpperBoundTightToOneBucket) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> exp_dist(0.0, 7.0);
+  constexpr double kBucketRatio = 1.3335214321633241;  // 10^(1/8)
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> vs;
+    const int n = 1 + static_cast<int>(rng() % 200);
+    for (int i = 0; i < n; ++i) vs.push_back(std::pow(10.0, exp_dist(rng)));
+    const auto snap = SnapOf(vs);
+    std::sort(vs.begin(), vs.end());
+    for (double p : {50.0, 90.0, 95.0, 99.0, 100.0}) {
+      const size_t rank = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(p / 100.0 * vs.size())));
+      const double exact = vs[rank - 1];
+      const double est = snap.PercentileUs(p);
+      // Upper bound up to the max's nanosecond quantization (max_ns is an
+      // int64 of nanoseconds, so the clamp can sit half an ns below).
+      EXPECT_GE(est, exact - 1e-3) << "p" << p << " n=" << n;
+      EXPECT_LE(est, exact * kBucketRatio + 1e-9) << "p" << p;  // tight
+      EXPECT_LE(est, snap.MaxUs() + 1e-9);  // never past the observed max
+    }
+  }
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  EXPECT_EQ(HistogramSnapshot{}.PercentileUs(99), 0.0);
+  const auto one = SnapOf({42.0});
+  EXPECT_DOUBLE_EQ(one.PercentileUs(50), 42.0);   // clamped to max
+  EXPECT_DOUBLE_EQ(one.PercentileUs(100), 42.0);
+  // Overflow-bucket values report the recorded max, not a boundary.
+  const auto huge = SnapOf({9e9});
+  EXPECT_DOUBLE_EQ(huge.PercentileUs(99), 9e9);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.RecordUs(static_cast<double>(1 + (t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.Snapshot("concurrent");
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.max_ns, 1000 * 1000);
+  int64_t sum = 0;
+  for (const auto& [idx, c] : snap.buckets) sum += c;
+  EXPECT_EQ(sum, snap.count);
+}
+
+TEST(RegistryTest, InstrumentsAreStableAndSnapshotsSortByName) {
+  Registry reg;
+  Counter* c = reg.GetCounter("zulu_events");
+  EXPECT_EQ(c, reg.GetCounter("zulu_events"));  // same name, same instrument
+  reg.GetCounter("alpha_events")->Add(3);
+  c->Add(2);
+  reg.GetGauge("depth")->Set(7);
+  reg.GetHistogram("lat_us")->RecordUs(10.0);
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha_events");
+  EXPECT_EQ(snap.counters[0].value, 3);
+  EXPECT_EQ(snap.counters[1].name, "zulu_events");
+  EXPECT_EQ(snap.counters[1].value, 2);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lat_us");
+  EXPECT_EQ(snap.histograms[0].count, 1);
+}
+
+TEST(RegistryTest, ConcurrentGetAndRecordIsSafe) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 500; ++i) {
+        reg.GetCounter("shared")->Increment();
+        reg.GetHistogram("lat_us")->RecordUs(5.0);
+        if (i % 50 == 0) (void)reg.Snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("shared")->Value(), 8 * 500);
+  EXPECT_EQ(reg.GetHistogram("lat_us")->Count(), 8 * 500);
+}
+
+TEST(ExpositionTest, TextFormatCarriesTypesBucketsAndPercentiles) {
+  Registry reg;
+  reg.GetCounter("papers_applied")->Add(60);
+  reg.GetGauge("queue_depth")->Set(4);
+  Histogram* h = reg.GetHistogram("commit_latency_us");
+  h->RecordUs(2.0);
+  h->RecordUs(50.0);
+  const std::string text = TextExposition(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE iuad_papers_applied counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iuad_papers_applied 60\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE iuad_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("iuad_queue_depth 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE iuad_commit_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iuad_commit_latency_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iuad_commit_latency_us_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("iuad_commit_latency_us_max 50\n"), std::string::npos);
+  EXPECT_NE(text.find("iuad_commit_latency_us_p99"), std::string::npos);
+  // Cumulative bucket counts: the le lines must be non-decreasing.
+  int64_t prev = -1;
+  size_t pos = 0;
+  while ((pos = text.find("_bucket{le=", pos)) != std::string::npos) {
+    const size_t space = text.find("} ", pos);
+    const size_t nl = text.find('\n', space);
+    const int64_t v = std::stoll(text.substr(space + 2, nl - space - 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    pos = nl;
+  }
+}
+
+TEST(ExpositionTest, MetricsServerServesAScrape) {
+  Registry reg;
+  reg.GetCounter("papers_applied")->Add(3);
+  MetricsServer server(&reg);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.bound_port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.bound_port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("iuad_papers_applied 3\n"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(SpanTest, BreakdownListsStagesInOrderWithTotals) {
+  Span span(42);
+  span.Stage("enqueue", 1'000'000);   // 1ms
+  span.Stage("scatter", 2'500'000);   // 2.5ms
+  EXPECT_EQ(span.TotalNs(), 3'500'000);
+  const std::string line = span.Breakdown();
+  EXPECT_NE(line.find("seq=42"), std::string::npos);
+  EXPECT_NE(line.find("total=3.500ms"), std::string::npos);
+  EXPECT_NE(line.find("enqueue=1.000ms"), std::string::npos);
+  EXPECT_NE(line.find("scatter=2.500ms"), std::string::npos);
+  EXPECT_LT(line.find("enqueue="), line.find("scatter="));
+}
+
+}  // namespace
+}  // namespace iuad::obs

@@ -305,6 +305,34 @@ TEST(ShardRouterTest, DisjointBlockStreamOverlapsFullyAndStaysByteIdentical) {
   }
 }
 
+/// Acceptance gate for the observability layer: toggling `metrics_enabled`
+/// must be byte-invisible to assignments — identical traces (score bits
+/// included) at every shard x producer x pipeline-depth combination. The
+/// registry counters stay live either way; the flag only gates clock reads,
+/// and neither may leak into a decision path.
+TEST(ShardRouterTest, MetricsToggleIsByteInvisibleToAssignments) {
+  core::IuadConfig cfg = FastConfig();
+  const auto sequential = SequentialTraces(cfg, 53, 30);
+  ASSERT_EQ(sequential.size(), 30u);
+  for (int shards : {1, 4}) {
+    for (int producers : {1, 4}) {
+      for (int depth : {1, 8}) {
+        cfg.pipeline_depth = depth;
+        cfg.metrics_enabled = true;
+        const auto on = RouterTraces(cfg, 53, 30, shards, producers);
+        cfg.metrics_enabled = false;
+        const auto off = RouterTraces(cfg, 53, 30, shards, producers);
+        EXPECT_EQ(on, sequential)
+            << "metrics-on diverged: shards=" << shards
+            << " producers=" << producers << " depth=" << depth;
+        EXPECT_EQ(off, on)
+            << "metrics toggle changed assignments: shards=" << shards
+            << " producers=" << producers << " depth=" << depth;
+      }
+    }
+  }
+}
+
 TEST(ShardRouterTest, HashPlacementIsEquallyDeterministic) {
   const core::IuadConfig cfg = FastConfig();
   const auto sequential = SequentialTraces(cfg, 34, 40);

@@ -1,14 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "util/interner.h"
+#include "util/logging.h"
+#include "util/memory.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -475,6 +484,64 @@ TEST(InternerTest, RandomizedRoundTripAgainstReferenceMap) {
   for (size_t i = 0; i < order.size(); ++i) {
     EXPECT_EQ(in.View(static_cast<util::NameId>(i)), order[i]);
   }
+}
+
+TEST(MemoryTest, CurrentRssIsPositive) {
+  // /proc/self/statm is always readable on Linux; the reading feeds the
+  // `rss_mb` stats field, so a zero here would silently blind GetStats.
+  EXPECT_GT(util::CurrentRssMb(), 0.0);
+}
+
+/// Pins the logging contract from util/logging.h: concurrent loggers emit
+/// whole lines — every line in the sink matches the prefix grammar and
+/// carries exactly one intact payload, never a sheared mix of two threads.
+/// (The old fprintf path interleaved fragments under load.)
+TEST(LoggingTest, ConcurrentLogLinesNeverShear) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iuad_log_shear.txt").string();
+  const int saved_stderr = ::dup(STDERR_FILENO);
+  ASSERT_GE(saved_stderr, 0);
+  const int sink =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+  ASSERT_GE(sink, 0);
+  ASSERT_GE(::dup2(sink, STDERR_FILENO), 0);
+  ::close(sink);
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        IUAD_LOG(kInfo) << "shear-probe thread=" << t << " line=" << i
+                        << " padpadpadpadpadpadpadpadpadpadpadpad";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_GE(::dup2(saved_stderr, STDERR_FILENO), 0);
+  ::close(saved_stderr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const std::regex line_re(
+      R"(^\[I [0-9]+\.[0-9]{3} t[0-9]+ util_test\.cpp:[0-9]+\] )"
+      R"(shear-probe thread=([0-9]+) line=([0-9]+) )"
+      R"(padpadpadpadpadpadpadpadpadpadpadpad$)");
+  std::set<std::pair<int, int>> seen;
+  std::string line;
+  int total = 0;
+  while (std::getline(in, line)) {
+    ++total;
+    std::smatch m;
+    ASSERT_TRUE(std::regex_match(line, m, line_re))
+        << "sheared or malformed log line: " << line;
+    seen.emplace(std::stoi(m[1]), std::stoi(m[2]));
+  }
+  EXPECT_EQ(total, kThreads * kLines);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads * kLines));
+  std::filesystem::remove(path);
 }
 
 }  // namespace
