@@ -149,12 +149,14 @@ bool RunSequential(const data::PaperDatabase& history,
 bool RunSharded(const data::PaperDatabase& history,
                 const std::string& snapshot_path,
                 const std::vector<data::Paper>& stream, int num_shards,
-                int producers, int depth, RunOutcome* out) {
+                int producers, int depth, RunOutcome* out,
+                bool trace_enabled = true) {
   data::PaperDatabase db = history;
   io::Snapshot snap;
   if (!ReloadFitted(snapshot_path, db, &snap)) return false;
   snap.config.num_shards = num_shards;
   snap.config.pipeline_depth = depth;
+  snap.config.trace_enabled = trace_enabled;
   std::vector<std::future<shard::ShardRouter::Assignments>> futures(
       stream.size());
   // Producer -> collector handoff: futures[i] is only touched by the
@@ -271,18 +273,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  RunOutcome seq, shard1, shardN;
+  RunOutcome seq, shard1, shardN, no_trace;
   const bool ran =
       RunSequential(history, snapshot_path, stream, &seq) &&
       RunSharded(history, snapshot_path, stream, 1, producers, depth,
                  &shard1) &&
       RunSharded(history, snapshot_path, stream, num_shards, producers, depth,
-                 &shardN);
+                 &shardN) &&
+      // Flight recorder off (--no-trace): the same run again, isolating the
+      // recorder's papers/s overhead (acceptance: <= 3%).
+      RunSharded(history, snapshot_path, stream, num_shards, producers, depth,
+                 &no_trace, /*trace_enabled=*/false);
   std::remove(snapshot_path.c_str());
   if (!ran) return 1;
 
   const bool identical = seq.digests == shard1.digests &&
-                         seq.digests == shardN.digests;
+                         seq.digests == shardN.digests &&
+                         seq.digests == no_trace.digests;
   std::printf(
       "papers/s: sequential %.1f | shard@1 %.1f | shard@%d %.1f\n",
       seq.papers_per_s(stream.size()), shard1.papers_per_s(stream.size()),
@@ -306,6 +313,14 @@ int main(int argc, char** argv) {
       shardN.stats.pipeline_occupancy,
       static_cast<long>(shardN.stats.conflict_stalls),
       static_cast<long>(shardN.stats.speculative_rescores));
+  const double on_pps = shardN.papers_per_s(stream.size());
+  const double off_pps = no_trace.papers_per_s(stream.size());
+  const double trace_overhead_pct =
+      off_pps > 0.0 ? (off_pps - on_pps) / off_pps * 100.0 : 0.0;
+  std::printf(
+      "trace overhead (shard@%d): %.1f papers/s recorder on | %.1f off | "
+      "%.2f%% overhead\n",
+      num_shards, on_pps, off_pps, trace_overhead_pct);
   std::printf("memory: rss %.1f MiB, graph %.1f bytes/author (%d authors)\n",
               util::CurrentRssMb(), shardN.bytes_per_author(),
               shardN.num_alive);
@@ -347,6 +362,11 @@ int main(int argc, char** argv) {
         .Field("occupancy", shardN.stats.pipeline_occupancy, 2)
         .Field("conflict_stalls", shardN.stats.conflict_stalls)
         .Field("speculative_rescores", shardN.stats.speculative_rescores)
+        .EndObject();
+    json.BeginObject("trace_overhead")
+        .Field("papers_per_s_recorder_on", on_pps, 1)
+        .Field("papers_per_s_recorder_off", off_pps, 1)
+        .Field("overhead_pct", trace_overhead_pct, 2)
         .EndObject();
     json.BeginObject("memory")
         .Field("rss_mb", util::CurrentRssMb(), 1)

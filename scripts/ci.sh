@@ -147,6 +147,72 @@ exec 9>&-  # EOF on stdin shuts the session down cleanly
 wait "$SERVE_PID"
 echo "metrics scrape smoke: OK"
 
+# Tracing smoke: a live session with --trace-out must answer the trace op
+# and the /trace scrape path with valid Chrome trace JSON, surface a
+# slow-commit exemplar through GetStats (threshold forced to ~1ns so every
+# commit breaches), and on shutdown write a Perfetto-loadable trace file
+# holding at least one complete "paper" span per ingested paper.
+mkfifo "$SMOKE_DIR/in4.fifo"
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio --metrics-port 0 \
+  --trace-out "$SMOKE_DIR/trace.json" --slow-commit-ms 0.000001 \
+  < "$SMOKE_DIR/in4.fifo" > "$SMOKE_DIR/out4.txt" 2> "$SMOKE_DIR/err4.txt" &
+SERVE_PID=$!
+exec 9> "$SMOKE_DIR/in4.fifo"
+TRACE_METRICS_PORT=""
+for _ in $(seq 1 200); do
+  TRACE_METRICS_PORT=$(sed -n \
+    's/.*metrics exposition listening on port \([0-9]*\).*/\1/p' \
+    "$SMOKE_DIR/err4.txt" | head -1)
+  [[ -n "$TRACE_METRICS_PORT" ]] && break
+  sleep 0.05
+done
+test -n "$TRACE_METRICS_PORT"
+printf '%s\n' '{"id":1,"op":"ingest","papers":[{"title":"trace paper one","venue":"VenueX","year":2024,"authors":["Trace Smoke Author"]},{"title":"trace paper two","venue":"VenueY","year":2025,"authors":["Trace Smoke Author"]}]}' >&9
+printf '%s\n' '{"id":2,"op":"flush"}' >&9
+for _ in $(seq 1 200); do
+  grep -q '"id":2,"op":"flush","ok":true,"applied":2' "$SMOKE_DIR/out4.txt" \
+    && break
+  sleep 0.05
+done
+grep '"id":2,"op":"flush","ok":true,"applied":2' "$SMOKE_DIR/out4.txt" \
+  >/dev/null
+# Every commit breached the forced threshold, so GetStats carries exemplars.
+printf '%s\n' '{"id":3,"op":"stats"}' >&9
+# The trace op drains the recorder as a Chrome trace payload.
+printf '%s\n' '{"id":4,"op":"trace"}' >&9
+for _ in $(seq 1 200); do
+  grep -q '"id":4,"op":"trace","ok":true' "$SMOKE_DIR/out4.txt" && break
+  sleep 0.05
+done
+grep '"id":3,"op":"stats","ok":true' "$SMOKE_DIR/out4.txt" \
+  | grep '"slow_commits":\[{"seq":' >/dev/null
+grep '"id":4,"op":"trace","ok":true,"trace":{"traceEvents":\[{"name":' \
+  "$SMOKE_DIR/out4.txt" >/dev/null
+# The /trace scrape path serves the same document shape over HTTP.
+exec 8<>"/dev/tcp/127.0.0.1/$TRACE_METRICS_PORT"
+printf 'GET /trace HTTP/1.0\r\n\r\n' >&8
+cat <&8 > "$SMOKE_DIR/trace_scrape.txt"
+exec 8<&- 8>&-
+sed '1,/^\r\{0,1\}$/d' "$SMOKE_DIR/trace_scrape.txt" \
+  | python3 -m json.tool >/dev/null
+# And the build-info satellite rides on the /metrics scrape.
+exec 8<>"/dev/tcp/127.0.0.1/$TRACE_METRICS_PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&8
+cat <&8 > "$SMOKE_DIR/scrape4.txt"
+exec 8<&- 8>&-
+grep -q 'iuad_build_info{version=' "$SMOKE_DIR/scrape4.txt"
+grep -q 'iuad_uptime_seconds ' "$SMOKE_DIR/scrape4.txt"
+exec 9>&-
+wait "$SERVE_PID"
+test -s "$SMOKE_DIR/trace.json"
+python3 -m json.tool "$SMOKE_DIR/trace.json" >/dev/null
+# One complete end-to-end "paper" span per ingested paper (the op:trace
+# drain above is non-destructive, so the shutdown file still holds them).
+PAPER_SPANS=$(grep -o '"name":"paper"' "$SMOKE_DIR/trace.json" | wc -l)
+test "$PAPER_SPANS" -ge 2
+echo "tracing smoke: OK ($PAPER_SPANS paper spans)"
+
 # Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json,
 # BENCH_shard.json, BENCH_api.json). Off by default to keep CI time
 # bounded; set IUAD_RUN_BENCH=1 to record them.

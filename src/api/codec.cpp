@@ -86,6 +86,30 @@ void EncodeStats(JsonWriter* w, const serve::ServiceStats& stats) {
       .Field("speculative_rescores", stats.speculative_rescores)
       .FieldExact("rss_mb", stats.rss_mb)
       .FieldExact("uptime_seconds", stats.uptime_seconds);
+  w->BeginArray("slow_commits");
+  for (const obs::SlowCommitExemplar& e : stats.slow_commits) {
+    w->BeginObjectElement()
+        .Field("seq", e.seq)
+        .Field("total_ns", e.total_ns);
+    w->BeginArray("stages");
+    for (const obs::SlowCommitExemplar::Stage& s : e.stages) {
+      w->BeginObjectElement()
+          .Field("stage", s.name)
+          .Field("ns", s.ns)
+          .EndObject();
+    }
+    w->EndArray();
+    w->BeginArray("deferrals");
+    for (const obs::SlowCommitExemplar::Deferral& d : e.deferrals) {
+      w->BeginObjectElement()
+          .Field("name", d.name)
+          .Field("blocked_by", d.blocked_by_seq)
+          .EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
   w->BeginArray("shards");
   for (const serve::ShardHealth& s : stats.shards) {
     w->BeginObjectElement()
@@ -135,6 +159,26 @@ void EncodeMetrics(JsonWriter* w, const obs::RegistrySnapshot& metrics) {
           .EndArray();
     }
     w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void EncodeTrace(JsonWriter* w, const std::vector<obs::ChromeTraceEvent>& t) {
+  w->BeginObject("trace");
+  w->BeginArray("traceEvents");
+  for (const obs::ChromeTraceEvent& e : t) {
+    w->BeginObjectElement()
+        .Field("name", e.name)
+        .Field("ph", std::string(1, e.ph))
+        .Field("ts", e.ts_us);
+    if (e.ph == 'X') w->Field("dur", e.dur_us);
+    w->Field("pid", 1).Field("tid", e.tid);
+    w->BeginObject("args")
+        .Field("a0", e.a0)
+        .Field("a1", e.a1)
+        .EndObject();
     w->EndObject();
   }
   w->EndArray();
@@ -263,7 +307,7 @@ iuad::Result<int> ToInt32(int64_t v, const char* what) {
 
 iuad::Result<Op> OpFromName(const std::string& name) {
   for (Op op : {Op::kIngest, Op::kQueryAuthors, Op::kQueryPublications,
-                Op::kFlush, Op::kStats, Op::kMetrics}) {
+                Op::kFlush, Op::kStats, Op::kMetrics, Op::kTrace}) {
     if (name == OpName(op)) return op;
   }
   return iuad::Status::InvalidArgument("api: unknown op \"" + name + "\"");
@@ -338,6 +382,36 @@ iuad::Result<serve::ServiceStats> DecodeStats(const JsonValue& value) {
                         r.Int("speculative_rescores"));
   IUAD_ASSIGN_OR_RETURN(stats.rss_mb, r.Number("rss_mb"));
   IUAD_ASSIGN_OR_RETURN(stats.uptime_seconds, r.Number("uptime_seconds"));
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* slow, r.Array("slow_commits"));
+  for (const JsonValue& item : slow->items()) {
+    IUAD_ASSIGN_OR_RETURN(ObjectReader er,
+                          ObjectReader::For(item, "slow-commit exemplar"));
+    obs::SlowCommitExemplar e;
+    IUAD_ASSIGN_OR_RETURN(e.seq, er.Int("seq"));
+    IUAD_ASSIGN_OR_RETURN(e.total_ns, er.Int("total_ns"));
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* stages, er.Array("stages"));
+    for (const JsonValue& stage : stages->items()) {
+      IUAD_ASSIGN_OR_RETURN(ObjectReader sr,
+                            ObjectReader::For(stage, "exemplar stage"));
+      obs::SlowCommitExemplar::Stage s;
+      IUAD_ASSIGN_OR_RETURN(s.name, sr.String("stage"));
+      IUAD_ASSIGN_OR_RETURN(s.ns, sr.Int("ns"));
+      IUAD_RETURN_NOT_OK(sr.Finish());
+      e.stages.push_back(std::move(s));
+    }
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* deferrals, er.Array("deferrals"));
+    for (const JsonValue& deferral : deferrals->items()) {
+      IUAD_ASSIGN_OR_RETURN(ObjectReader dr,
+                            ObjectReader::For(deferral, "exemplar deferral"));
+      obs::SlowCommitExemplar::Deferral d;
+      IUAD_ASSIGN_OR_RETURN(d.name, dr.String("name"));
+      IUAD_ASSIGN_OR_RETURN(d.blocked_by_seq, dr.Int("blocked_by"));
+      IUAD_RETURN_NOT_OK(dr.Finish());
+      e.deferrals.push_back(std::move(d));
+    }
+    IUAD_RETURN_NOT_OK(er.Finish());
+    stats.slow_commits.push_back(std::move(e));
+  }
   IUAD_ASSIGN_OR_RETURN(const JsonValue* list, r.Array("shards"));
   for (const JsonValue& item : list->items()) {
     IUAD_ASSIGN_OR_RETURN(ObjectReader sr, ObjectReader::For(item, "shard"));
@@ -432,6 +506,47 @@ iuad::Result<obs::RegistrySnapshot> DecodeMetrics(const JsonValue& value) {
   return metrics;
 }
 
+iuad::Result<std::vector<obs::ChromeTraceEvent>> DecodeTrace(
+    const JsonValue& value) {
+  IUAD_ASSIGN_OR_RETURN(ObjectReader r, ObjectReader::For(value, "trace"));
+  std::vector<obs::ChromeTraceEvent> trace;
+  IUAD_ASSIGN_OR_RETURN(const JsonValue* events, r.Array("traceEvents"));
+  for (const JsonValue& item : events->items()) {
+    IUAD_ASSIGN_OR_RETURN(ObjectReader er,
+                          ObjectReader::For(item, "trace event"));
+    obs::ChromeTraceEvent e;
+    IUAD_ASSIGN_OR_RETURN(e.name, er.String("name"));
+    IUAD_ASSIGN_OR_RETURN(const std::string ph, er.String("ph"));
+    if (ph != "X" && ph != "i") {
+      return iuad::Status::InvalidArgument(
+          "api: trace event \"ph\" must be \"X\" or \"i\"");
+    }
+    e.ph = ph[0];
+    IUAD_ASSIGN_OR_RETURN(e.ts_us, er.Int("ts"));
+    // "dur" is present exactly when the phase is a complete span.
+    if (e.ph == 'X') {
+      IUAD_ASSIGN_OR_RETURN(e.dur_us, er.Int("dur"));
+    }
+    IUAD_ASSIGN_OR_RETURN(const int64_t pid, er.Int("pid"));
+    if (pid != 1) {
+      return iuad::Status::InvalidArgument(
+          "api: trace event \"pid\" must be 1 (single-process recorder)");
+    }
+    IUAD_ASSIGN_OR_RETURN(const int64_t tid, er.Int("tid"));
+    IUAD_ASSIGN_OR_RETURN(e.tid, ToInt32(tid, "trace tid"));
+    IUAD_ASSIGN_OR_RETURN(const JsonValue* args, er.Object("args"));
+    IUAD_ASSIGN_OR_RETURN(ObjectReader ar,
+                          ObjectReader::For(*args, "trace args"));
+    IUAD_ASSIGN_OR_RETURN(e.a0, ar.Int("a0"));
+    IUAD_ASSIGN_OR_RETURN(e.a1, ar.Int("a1"));
+    IUAD_RETURN_NOT_OK(ar.Finish());
+    IUAD_RETURN_NOT_OK(er.Finish());
+    trace.push_back(std::move(e));
+  }
+  IUAD_RETURN_NOT_OK(r.Finish());
+  return trace;
+}
+
 util::JsonReaderOptions ReaderOptions(const WireLimits& limits) {
   util::JsonReaderOptions options;
   options.max_bytes = limits.max_bytes;
@@ -462,6 +577,7 @@ std::string EncodeRequest(const Request& request) {
     case Op::kFlush:
     case Op::kStats:
     case Op::kMetrics:
+    case Op::kTrace:
       break;
   }
   return w.str();
@@ -523,6 +639,9 @@ std::string EncodeResponse(const Response& response) {
     case Op::kMetrics:
       EncodeMetrics(&w, response.metrics);
       break;
+    case Op::kTrace:
+      EncodeTrace(&w, response.trace);
+      break;
   }
   return w.str();
 }
@@ -561,6 +680,7 @@ iuad::Result<Request> DecodeRequest(const std::string& line,
     case Op::kFlush:
     case Op::kStats:
     case Op::kMetrics:
+    case Op::kTrace:
       break;
   }
   IUAD_RETURN_NOT_OK(r.Finish());
@@ -662,6 +782,11 @@ iuad::Result<Response> DecodeResponse(const std::string& line,
     case Op::kMetrics: {
       IUAD_ASSIGN_OR_RETURN(const JsonValue* metrics, r.Object("metrics"));
       IUAD_ASSIGN_OR_RETURN(response.metrics, DecodeMetrics(*metrics));
+      break;
+    }
+    case Op::kTrace: {
+      IUAD_ASSIGN_OR_RETURN(const JsonValue* trace, r.Object("trace"));
+      IUAD_ASSIGN_OR_RETURN(response.trace, DecodeTrace(*trace));
       break;
     }
   }

@@ -14,7 +14,7 @@
 ///
 ///   request  := {"id": int, "op": op, ...op-payload}
 ///   op       := "ingest" | "query_authors" | "query_publications"
-///             | "flush" | "stats" | "metrics"
+///             | "flush" | "stats" | "metrics" | "trace"
 ///   ingest payload             "papers": [paper, ...]
 ///   query_authors payload      "name": string
 ///   query_publications payload "vertex": int
@@ -35,7 +35,13 @@
 ///                              assignments, new_authors, alive_vertices,
 ///                              edges, queued_now, reorder_held,
 ///                              queue_capacity, num_shards, ...,
-///                              rss_mb, uptime_seconds, shards: [...]}
+///                              rss_mb, uptime_seconds,
+///                              slow_commits: [exemplar, ...],
+///                              shards: [...]}
+///   exemplar   := {"seq": int, "total_ns": int,
+///                  "stages": [{"stage": string, "ns": int}, ...],
+///                  "deferrals": [{"name": string,
+///                                 "blocked_by": int}, ...]}
 ///   metrics payload            "metrics": {"counters": [sample, ...],
 ///                              "gauges": [sample, ...],
 ///                              "histograms": [histogram, ...]}
@@ -45,6 +51,13 @@
 ///                 (raw mergeable form: sparse non-empty buckets with
 ///                  strictly increasing indices, count == sum of bucket
 ///                  counts — the decoder enforces both)
+///   trace payload              "trace": {"traceEvents": [event, ...]}
+///   event      := {"name": string, "ph": "X" | "i", "ts": int,
+///                  "dur"?: int, "pid": 1, "tid": int,
+///                  "args": {"a0": int, "a1": int}}
+///                 ("dur" present exactly when ph is "X"; ts/dur are
+///                  integer microseconds — the Chrome trace-event shape,
+///                  so the payload object is directly Perfetto-loadable)
 
 #include <string>
 

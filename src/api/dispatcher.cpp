@@ -11,13 +11,16 @@ Dispatcher::Dispatcher(serve::Frontend* frontend, Options options)
     : frontend_(frontend),
       options_(options),
       timing_(options.metrics_enabled),
+      tracing_(options.trace_enabled),
+      stamps_(timing_ || tracing_),
+      recorder_(&obs::FlightRecorder::Instance()),
       ctr_requests_(frontend->Metrics()->GetCounter("requests")),
       ctr_request_errors_(frontend->Metrics()->GetCounter("request_errors")),
       hist_decode_us_(frontend->Metrics()->GetHistogram("decode_us")),
       hist_encode_us_(frontend->Metrics()->GetHistogram("encode_us")) {
   // One latency histogram per operation, indexed by the Op enum value.
   for (Op op : {Op::kIngest, Op::kQueryAuthors, Op::kQueryPublications,
-                Op::kFlush, Op::kStats, Op::kMetrics}) {
+                Op::kFlush, Op::kStats, Op::kMetrics, Op::kTrace}) {
     hist_request_us_.push_back(frontend->Metrics()->GetHistogram(
         std::string("request_us_") + OpName(op)));
   }
@@ -93,15 +96,20 @@ Response Dispatcher::Execute(const Request& request) {
     case Op::kMetrics:
       response.metrics = frontend_->Metrics()->Snapshot();
       return response;
+    case Op::kTrace:
+      // Draining is destructive reading only in the sense that later
+      // drains see later events; the recorder itself keeps recording.
+      response.trace = obs::ChromeTraceEvents(recorder_->Drain());
+      return response;
   }
   response.status = iuad::Status::Internal("unhandled op");
   return response;
 }
 
 std::string Dispatcher::HandleLine(const std::string& line) {
-  const int64_t start_ns = timing_ ? obs::NowNs() : 0;
+  const int64_t start_ns = stamps_ ? obs::NowNs() : 0;
   auto request = DecodeRequest(line, options_.limits);
-  const int64_t decoded_ns = timing_ ? obs::NowNs() : 0;
+  const int64_t decoded_ns = stamps_ ? obs::NowNs() : 0;
   if (timing_) hist_decode_us_->RecordNs(decoded_ns - start_ns);
   ctr_requests_->Increment();
   if (!request.ok()) {
@@ -114,10 +122,17 @@ std::string Dispatcher::HandleLine(const std::string& line) {
   }
   Response response = Execute(*request);
   if (!response.status.ok()) ctr_request_errors_->Increment();
-  const int64_t executed_ns = timing_ ? obs::NowNs() : 0;
+  const int64_t executed_ns = stamps_ ? obs::NowNs() : 0;
   if (timing_) {
     hist_request_us_[static_cast<size_t>(request->op)]->RecordNs(
         executed_ns - decoded_ns);
+  }
+  if (tracing_) {
+    // One "request" span per decoded line: a0 = Op value, a1 = execute
+    // duration (decode and encode stay histogram-only detail).
+    recorder_->RecordAt(executed_ns, obs::TraceEventId::kRequest,
+                        static_cast<uint64_t>(request->op),
+                        static_cast<uint64_t>(executed_ns - decoded_ns));
   }
   std::string encoded = EncodeResponse(response);
   if (timing_) hist_encode_us_->RecordNs(obs::NowNs() - executed_ns);

@@ -33,6 +33,7 @@
 #include "api/codec.h"
 #include "api/messages.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/frontend.h"
 
 namespace iuad::api {
@@ -49,6 +50,10 @@ class Dispatcher {
     /// (decode_us / request_us_<op> / encode_us); request counters stay
     /// live regardless (core::IuadConfig::metrics_enabled).
     bool metrics_enabled = true;
+    /// Gates per-request flight-recorder events ("request" spans in the
+    /// drained trace; core::IuadConfig::trace_enabled). The trace op
+    /// itself always answers — with an empty drain when recording is off.
+    bool trace_enabled = true;
   };
 
   /// `frontend` is caller-owned and must outlive the dispatcher. All
@@ -76,7 +81,12 @@ class Dispatcher {
   Options options_;
 
   // Request-path instruments (frontend registry; see obs/metrics.h).
+  // `stamps_` gates the clock reads shared by both sinks: histograms
+  // record when `timing_`, flight-recorder events when `tracing_`.
   const bool timing_;
+  const bool tracing_;
+  const bool stamps_;
+  obs::FlightRecorder* recorder_;
   obs::Counter* ctr_requests_;
   obs::Counter* ctr_request_errors_;
   obs::Histogram* hist_decode_us_;

@@ -21,6 +21,10 @@
 ///                       snapshot — counters, gauges, and raw mergeable
 ///                       histogram buckets (percentiles are derived by the
 ///                       consumer, never carried on the wire).
+///   trace               GetTrace: the flight recorder's current contents
+///                       as Chrome trace-event entries (obs/trace.h) —
+///                       Perfetto-loadable once wrapped in
+///                       {"traceEvents": [...]}.
 
 #include <cstdint>
 #include <string>
@@ -29,6 +33,7 @@
 #include "core/incremental.h"
 #include "data/paper.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/frontend.h"
 #include "util/status.h"
 
@@ -41,6 +46,7 @@ enum class Op {
   kFlush,
   kStats,
   kMetrics,
+  kTrace,
 };
 
 /// Stable wire name of an operation ("ingest", "query_authors", ...).
@@ -52,6 +58,7 @@ inline const char* OpName(Op op) {
     case Op::kFlush: return "flush";
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
+    case Op::kTrace: return "trace";
   }
   return "unknown";
 }
@@ -86,6 +93,10 @@ struct GetStats {};
 /// from several processes can be merged exactly.
 struct GetMetrics {};
 
+/// Flight-recorder drain; carries no payload. The response holds the
+/// Chrome trace-event entries in canonical integer-microsecond form.
+struct GetTrace {};
+
 /// One protocol request. `op` selects which payload member is meaningful;
 /// the others stay default-constructed (and are neither encoded nor
 /// compared).
@@ -117,6 +128,8 @@ struct Response {
   serve::ServiceStats stats;
   /// kMetrics.
   obs::RegistrySnapshot metrics;
+  /// kTrace.
+  std::vector<obs::ChromeTraceEvent> trace;
 };
 
 }  // namespace iuad::api

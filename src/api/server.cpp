@@ -62,7 +62,8 @@ Server::Server(serve::Frontend* frontend, ServerOptions options)
       options_(std::move(options)),
       dispatcher_(frontend,
                   Dispatcher::Options{options_.max_batch, options_.limits,
-                                      options_.metrics_enabled}),
+                                      options_.metrics_enabled,
+                                      options_.trace_enabled}),
       ctr_connections_accepted_(
           frontend->Metrics()->GetCounter("connections_accepted")),
       ctr_connections_turned_away_(

@@ -48,6 +48,8 @@ struct ServerOptions {
   /// Gates request-path timing histograms (Dispatcher::Options);
   /// connection/byte counters stay live regardless.
   bool metrics_enabled = true;
+  /// Gates per-request flight-recorder events (Dispatcher::Options).
+  bool trace_enabled = true;
 };
 
 class Server {

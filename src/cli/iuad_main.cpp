@@ -19,6 +19,7 @@
 ///              [--save-corpus out.tsv]
 ///              [--metrics-port P] [--stats-interval S]
 ///              [--slow-commit-ms M] [--no-metrics]
+///              [--trace-out out.json] [--no-trace]
 ///       Load a fitted snapshot next to the corpus it was saved against and
 ///       bring up a serving front end behind the one serve::Frontend
 ///       interface: the single-applier IngestService (src/serve) by
@@ -39,9 +40,16 @@
 ///       way down. Observability (src/obs): --metrics-port P exposes the
 ///       frontend's metrics registry as Prometheus-style text (0 =
 ///       ephemeral, port printed); --stats-interval S dumps the service
-///       stats to stderr every S seconds; --slow-commit-ms M logs a span
-///       breakdown for commits over M ms; --no-metrics turns the timing
-///       instrumentation off (assignments are byte-identical either way).
+///       stats to stderr every S seconds; --slow-commit-ms M retains a
+///       full span timeline for commits over M ms in the top-K exemplar
+///       table (surfaced by GetStats and the stderr dump); --no-metrics
+///       turns the timing instrumentation off. The flight recorder
+///       (src/obs/trace.h) traces every paper through the pipeline:
+///       --trace-out PATH writes the recorder's drain as Chrome
+///       trace-event JSON (Perfetto-loadable) on shutdown and arms a
+///       SIGSEGV/SIGABRT post-mortem dump to PATH.crash; --no-trace turns
+///       recording off. Assignments are byte-identical with metrics and
+///       tracing on or off, in any combination (DESIGN.md §7).
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
@@ -52,6 +60,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
@@ -65,6 +74,7 @@
 #include "api/server.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/pipeline.h"
 #include "data/corpus_generator.h"
 #include "eval/evaluator.h"
@@ -109,6 +119,7 @@ void Usage() {
                "           [--save-corpus out.tsv]"
                " [--metrics-port P] [--stats-interval S]\n"
                "           [--slow-commit-ms M] [--no-metrics]\n"
+               "           [--trace-out out.json] [--no-trace]\n"
                "(--threads 0 = all hardware threads; output is identical at"
                " any T.\n"
                " --shards on run/evaluate: word2vec training shards, 0 ="
@@ -273,29 +284,46 @@ int CmdEvaluate(const std::string& in,
 
 /// The one stats printer: the unified serve::ServiceStats covers every
 /// front end — the per-shard breakdown is simply empty when unsharded.
+/// Every key is spelled exactly as in the NDJSON stats payload
+/// (api/codec.h), so a grep written against either surface works on both.
 void PrintServiceStats(std::FILE* info, const serve::ServiceStats& stats) {
   std::fprintf(
       info,
-      "service state: epoch %ld, %ld papers applied, %d alive vertices, "
-      "%d edges, queue %d/%d (%d reorder-held), rss %.1f MB, up %.0f s\n",
+      "service stats: epoch=%ld papers_applied=%ld assignments=%ld "
+      "new_authors=%ld alive_vertices=%d edges=%d queued_now=%d "
+      "reorder_held=%d queue_capacity=%d rss_mb=%.1f uptime_seconds=%.0f\n",
       static_cast<long>(stats.epoch), static_cast<long>(stats.papers_applied),
-      stats.num_alive_vertices, stats.num_edges, stats.queued_now,
-      stats.queue_capacity, stats.reorder_held, stats.rss_mb,
-      stats.uptime_seconds);
+      static_cast<long>(stats.assignments),
+      static_cast<long>(stats.new_authors), stats.num_alive_vertices,
+      stats.num_edges, stats.queued_now, stats.reorder_held,
+      stats.queue_capacity, stats.rss_mb, stats.uptime_seconds);
   if (stats.pipeline_depth > 1) {
     std::fprintf(
         info,
-        "  pipeline: depth %d, %ld windows, occupancy %.2f, "
-        "%ld conflict stalls, %ld speculative rescores\n",
+        "  pipeline_depth=%d pipeline_windows=%ld pipeline_occupancy=%.2f "
+        "conflict_stalls=%ld speculative_rescores=%ld\n",
         stats.pipeline_depth, static_cast<long>(stats.pipeline_windows),
         stats.pipeline_occupancy, static_cast<long>(stats.conflict_stalls),
         static_cast<long>(stats.speculative_rescores));
   }
+  for (const obs::SlowCommitExemplar& e : stats.slow_commits) {
+    std::fprintf(info, "  slow_commit seq=%ld total_ns=%ld",
+                 static_cast<long>(e.seq), static_cast<long>(e.total_ns));
+    for (const auto& stage : e.stages) {
+      std::fprintf(info, " %s=%ldns", stage.name.c_str(),
+                   static_cast<long>(stage.ns));
+    }
+    for (const auto& d : e.deferrals) {
+      std::fprintf(info, " deferred:%s<-seq=%ld", d.name.c_str(),
+                   static_cast<long>(d.blocked_by_seq));
+    }
+    std::fprintf(info, "\n");
+  }
   for (const auto& s : stats.shards) {
     std::fprintf(
         info,
-        "  shard %d: %ld blocks (weight %ld), %ld bylines scored, "
-        "%ld assignments, %ld new authors\n",
+        "  shard=%d owned_blocks=%ld placement_weight=%ld "
+        "bylines_scored=%ld assignments=%ld new_authors=%ld\n",
         s.shard, static_cast<long>(s.owned_blocks),
         static_cast<long>(s.placement_weight),
         static_cast<long>(s.bylines_scored), static_cast<long>(s.assignments),
@@ -374,6 +402,7 @@ int RunTcpServer(serve::Frontend& service, const core::IuadConfig& cfg) {
   options.num_workers = cfg.api_num_workers;
   options.max_batch = cfg.api_max_batch;
   options.metrics_enabled = cfg.metrics_enabled;
+  options.trace_enabled = cfg.trace_enabled;
   api::Server server(&service, options);
   if (iuad::Status st = server.Start(); !st.ok()) return Fail(st.ToString());
   std::printf("query API listening on port %d (%d workers) — "
@@ -478,7 +507,8 @@ int DriveService(serve::Frontend& service, data::PaperDatabase* db,
   if (flags.count("stdio") > 0) {
     api::Dispatcher dispatcher(
         &service, api::Dispatcher::Options{cfg.api_max_batch, {},
-                                           cfg.metrics_enabled});
+                                           cfg.metrics_enabled,
+                                           cfg.trace_enabled});
     dispatcher.ServeStream(std::cin, std::cout);
     service.Drain();  // every paper the session admitted is applied
   } else if (flags.count("port") > 0) {
@@ -504,6 +534,23 @@ int DriveService(serve::Frontend& service, data::PaperDatabase* db,
     }
   }
   service.Stop();  // returns db/result ownership to this thread, drained
+
+  if (!cfg.trace_out.empty()) {
+    // Drained after Stop(), so the file covers the whole session up to the
+    // ring capacity (overwrite-oldest; obs/trace.h).
+    const std::vector<obs::TraceEvent> events =
+        obs::FlightRecorder::Instance().Drain();
+    const std::string json =
+        obs::ChromeTraceJson(obs::ChromeTraceEvents(events));
+    std::ofstream trace_file(cfg.trace_out,
+                             std::ios::binary | std::ios::trunc);
+    trace_file << json;
+    if (!trace_file) {
+      return Fail("failed to write trace to " + cfg.trace_out);
+    }
+    std::fprintf(info, "wrote trace (%zu events) to %s\n", events.size(),
+                 cfg.trace_out.c_str());
+  }
 
   if (auto it = flags.find("save-corpus"); it != flags.end()) {
     iuad::Status st = db->SaveTsv(it->second);
@@ -568,7 +615,18 @@ int CmdServe(const std::string& in,
     cfg.slow_commit_ms = std::atof(it->second.c_str());
   }
   if (flags.count("no-metrics") > 0) cfg.metrics_enabled = false;
+  if (auto it = flags.find("trace-out");
+      it != flags.end() && !it->second.empty()) {
+    cfg.trace_out = it->second;
+  }
+  if (flags.count("no-trace") > 0) cfg.trace_enabled = false;
   if (iuad::Status st = cfg.Validate(); !st.ok()) return Fail(st.ToString());
+  // Ring capacity must be set before anything touches the recorder
+  // singleton; the crash handler is armed only when a dump path exists.
+  obs::FlightRecorder::SetDefaultRingCapacity(cfg.trace_ring_capacity);
+  if (!cfg.trace_out.empty()) {
+    obs::InstallCrashHandler(cfg.trace_out + ".crash");
+  }
   std::FILE* info = flags.count("stdio") > 0 ? stderr : stdout;
   std::fprintf(
       info,

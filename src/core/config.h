@@ -182,11 +182,26 @@ struct IuadConfig {
   /// Period in seconds of the live stats dump to stderr while serving
   /// (`serve --stats-interval`). 0 disables it.
   double stats_interval_s = 0.0;
-  /// Commits slower than this many milliseconds (submit-to-applied) log
-  /// their per-stage span breakdown at WARNING. 0 disables the slow-commit
-  /// log. Only consulted when metrics_enabled (stage timings are the
-  /// breakdown). CLI flag: --slow-commit-ms.
+  /// Commits slower than this many milliseconds (submit-to-applied) retain
+  /// their per-stage span breakdown in the slow-commit exemplar table
+  /// (surfaced through GetStats and the stderr stats dump). 0 disables
+  /// slow-commit retention. Only consulted when stage stamps exist, i.e.
+  /// metrics or tracing is enabled. CLI flag: --slow-commit-ms.
   double slow_commit_ms = 0.0;
+  /// Gates the flight recorder (per-paper trace events on the serving hot
+  /// paths). Like metrics_enabled, the flag gates clock reads and ring
+  /// stores only — assignments are byte-identical at either setting
+  /// (DESIGN.md §8). CLI flag: --no-trace on `serve`.
+  bool trace_enabled = true;
+  /// Path the serve CLI writes the Chrome trace-event JSON to on shutdown;
+  /// also the stem of the crash dump (`<trace_out>.crash`). Empty disables
+  /// the file (the `trace` op and /trace endpoint still work). CLI flag:
+  /// --trace-out.
+  std::string trace_out;
+  /// Flight-recorder ring capacity, events per recording thread.
+  int trace_ring_capacity = 4096;
+  /// Capacity K of the slow-commit exemplar table (top-K by latency).
+  int trace_exemplars = 8;
 
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
@@ -250,6 +265,12 @@ struct IuadConfig {
     }
     if (stats_interval_s < 0.0) return bad("stats_interval_s must be >= 0");
     if (slow_commit_ms < 0.0) return bad("slow_commit_ms must be >= 0");
+    if (trace_ring_capacity < 64 || trace_ring_capacity > (1 << 20)) {
+      return bad("trace_ring_capacity must be in [64, 1048576]");
+    }
+    if (trace_exemplars < 1 || trace_exemplars > 1024) {
+      return bad("trace_exemplars must be in [1, 1024]");
+    }
     if (persist_snapshot && snapshot_path.empty()) {
       return bad("snapshot_path must be non-empty when persistence is "
                  "requested");

@@ -10,9 +10,17 @@
 #include <cstring>
 #include <string>
 
+#include "obs/trace.h"
+#include "util/build_info.h"
+#include "util/memory.h"
+
 namespace iuad::obs {
 
 namespace {
+
+/// Uptime anchor, taken at static initialization (process start for all
+/// practical purposes).
+const int64_t g_process_start_ns = NowNs();
 
 void AppendLine(std::string* out, const std::string& name,
                 const char* suffix, const std::string& value) {
@@ -100,6 +108,26 @@ std::string TextExposition(const RegistrySnapshot& snapshot) {
     AppendLine(&out, g.name, "", FmtInt(g.value));
   }
   for (const auto& h : snapshot.histograms) AppendHistogram(&out, h);
+  out.append(ProcessExposition());
+  return out;
+}
+
+std::string ProcessExposition() {
+  std::string out;
+  AppendType(&out, "uptime_seconds", "gauge");
+  AppendLine(&out, "uptime_seconds", "",
+             FmtDouble(static_cast<double>(NowNs() - g_process_start_ns) /
+                       1e9));
+  AppendType(&out, "rss_mb", "gauge");
+  AppendLine(&out, "rss_mb", "", FmtDouble(util::CurrentRssMb()));
+  AppendType(&out, "build_info", "gauge");
+  out.append("iuad_build_info{version=\"");
+  out.append(util::BuildVersion());
+  out.append("\",compiler=\"");
+  out.append(util::BuildCompiler());
+  out.append("\",sanitizer=\"");
+  out.append(util::BuildSanitizer());
+  out.append("\"} 1\n");
   return out;
 }
 
@@ -145,17 +173,23 @@ void MetricsServer::ServeLoop() {
       if (errno == EINTR) continue;
       return;  // listener shut down (Shutdown) or fatal
     }
-    // Read the request head; the response is the same regardless of the
-    // path, so one recv of the GET line is all a scraper needs to send.
+    // One recv of the GET line is all a scraper needs to send; the path
+    // selects between the two read-only surfaces.
     char buf[1024];
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    (void)n;
-    const std::string body = TextExposition(registry_->Snapshot());
-    std::string resp =
-        "HTTP/1.0 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) + "\r\n\r\n" + body;
+    const std::string head(buf, n > 0 ? static_cast<size_t>(n) : 0);
+    std::string body;
+    const char* content_type = "text/plain; version=0.0.4";
+    if (head.rfind("GET /trace", 0) == 0) {
+      body = ChromeTraceJson(ChromeTraceEvents(
+          FlightRecorder::Instance().Drain()));
+      content_type = "application/json";
+    } else {
+      body = TextExposition(registry_->Snapshot());
+    }
+    std::string resp = "HTTP/1.0 200 OK\r\nContent-Type: " +
+                       std::string(content_type) + "\r\nContent-Length: " +
+                       std::to_string(body.size()) + "\r\n\r\n" + body;
     SendAll(fd, resp);
     ::close(fd);
   }

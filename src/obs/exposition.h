@@ -13,6 +13,13 @@
 /// `_bucket{le="<µs upper bound>"}` lines for each non-empty bucket plus
 /// the mandatory `le="+Inf"` line, `_sum` / `_count` (µs / recordings),
 /// and derived convenience gauges `_max` and `_p50/_p90/_p95/_p99` (µs).
+/// Every scrape is suffixed with the process block (ProcessExposition):
+/// `iuad_uptime_seconds`, `iuad_rss_mb`, and the constant
+/// `iuad_build_info{version=...,compiler=...,sanitizer=...} 1` gauge.
+///
+/// Paths. `GET /trace` (and `/trace?...`) returns the flight recorder's
+/// current contents as Chrome trace-event JSON (application/json); every
+/// other path returns the text exposition.
 
 #include <atomic>
 #include <string>
@@ -25,6 +32,12 @@ namespace iuad::obs {
 
 /// Renders the snapshot in the text format described above.
 std::string TextExposition(const RegistrySnapshot& snapshot);
+
+/// The process block appended to every scrape: uptime since the first
+/// call of this function (anchored once, process-wide), resident set
+/// size, and the constant `iuad_build_info` gauge carrying the version,
+/// compiler, and sanitizer as labels.
+std::string ProcessExposition();
 
 /// Single-threaded HTTP responder: any GET returns the current registry
 /// snapshot as text/plain. Scrapes are sequential — a metrics endpoint

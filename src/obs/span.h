@@ -8,10 +8,10 @@
 /// publish) or the request path (decode → dispatch → execute → encode).
 /// Spans are plain single-threaded value objects built by the thread that
 /// owns the item at each stage; they carry no atomics and are only
-/// materialised when timing is enabled. Their one consumer today is the
-/// slow-commit log (ShardRouter / IngestService emit Breakdown() for
-/// commits over IuadConfig::slow_commit_ms) and the dispatcher's
-/// per-request stage recording.
+/// materialised when timing is enabled. Slow-commit reporting has moved to
+/// the bounded exemplar table (obs/trace.h SlowCommitExemplar, surfaced by
+/// GetStats) and per-stage timelines to the flight recorder, so Span is
+/// now a freestanding building block for ad-hoc breakdowns and tests.
 
 #include <cstdint>
 #include <cstdio>

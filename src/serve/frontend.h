@@ -35,6 +35,7 @@
 #include "core/incremental.h"
 #include "data/paper.h"
 #include "graph/collab_graph.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace iuad::obs {
@@ -104,6 +105,10 @@ struct ServiceStats {
   // was constructed — memory visible live, not only in BENCH_*.json.
   double rss_mb = 0.0;
   double uptime_seconds = 0.0;
+  /// Slowest retained commits (top-K by latency) with per-stage span
+  /// breakdowns and deferral blame — populated once a commit breaches
+  /// config.slow_commit_ms (DESIGN.md §8). Ordered slowest-first.
+  std::vector<obs::SlowCommitExemplar> slow_commits;
   std::vector<ShardHealth> shards;  ///< Per-shard breakdown; empty at 1.
 };
 

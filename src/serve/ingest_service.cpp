@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "obs/span.h"
-#include "util/logging.h"
+#include "obs/trace.h"
 #include "util/memory.h"
 
 namespace iuad::serve {
@@ -26,6 +25,8 @@ IngestService::IngestService(data::PaperDatabase* db,
       config_(std::move(config)),
       inc_(db, result, config_),
       timing_(config_.metrics_enabled),
+      tracing_(config_.trace_enabled),
+      stamps_(timing_ || tracing_),
       start_ns_(obs::NowNs()),
       ctr_papers_applied_(registry_.GetCounter("papers_applied")),
       ctr_papers_failed_(registry_.GetCounter("papers_failed")),
@@ -36,7 +37,9 @@ IngestService::IngestService(data::PaperDatabase* db,
       hist_enqueue_wait_us_(registry_.GetHistogram("enqueue_wait_us")),
       hist_apply_us_(registry_.GetHistogram("apply_us")),
       hist_publish_us_(registry_.GetHistogram("publish_us")),
-      hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")) {
+      hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")),
+      recorder_(&obs::FlightRecorder::Instance()),
+      exemplars_(config_.trace_exemplars) {
   PublishView();  // epoch 0: the pre-ingestion state, queryable immediately
   applier_ = std::thread([this] { ApplierLoop(); });
 }
@@ -95,8 +98,11 @@ std::future<IngestService::Assignments> IngestService::SubmitLocked(
         "duplicate ingest sequence " + std::to_string(seq)));
     return future;
   }
-  Request request{std::move(paper), std::move(promise),
-                  timing_ ? obs::NowNs() : 0};
+  const int64_t submit_ns = stamps_ ? obs::NowNs() : 0;
+  if (tracing_) {
+    recorder_->RecordAt(submit_ns, obs::TraceEventId::kPaperSubmit, seq);
+  }
+  Request request{std::move(paper), std::move(promise), submit_ns};
   pending_.emplace(seq, std::move(request));
   gauge_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
   if (seq == next_apply_) ready_cv_.notify_one();
@@ -118,15 +124,23 @@ void IngestService::ApplierLoop() {
       lock.unlock();
       const uint64_t seq = node.key();
       const int64_t submit_ns = node.mapped().submit_ns;
-      const int64_t extract_ns = timing_ ? obs::NowNs() : 0;
+      const int64_t extract_ns = stamps_ ? obs::NowNs() : 0;
       if (timing_ && submit_ns > 0) {
         hist_enqueue_wait_us_->RecordNs(extract_ns - submit_ns);
+      }
+      if (tracing_ && submit_ns > 0) {
+        recorder_->RecordAt(extract_ns, obs::TraceEventId::kPaperExtract, seq,
+                            static_cast<uint64_t>(extract_ns - submit_ns));
       }
       // The applier is the sole mutator of db/result; readers only see
       // published views, so no lock is held across the actual ingestion.
       Assignments applied = inc_.AddPaper(node.mapped().paper);
-      const int64_t applied_ns = timing_ ? obs::NowNs() : 0;
+      const int64_t applied_ns = stamps_ ? obs::NowNs() : 0;
       if (timing_) hist_apply_us_->RecordNs(applied_ns - extract_ns);
+      if (tracing_) {
+        recorder_->RecordAt(applied_ns, obs::TraceEventId::kPaperApply, seq,
+                            static_cast<uint64_t>(applied_ns - extract_ns));
+      }
       if (applied.ok()) {
         ctr_papers_applied_->Increment();
         ctr_assignments_->Add(static_cast<int64_t>(applied->size()));
@@ -139,18 +153,30 @@ void IngestService::ApplierLoop() {
       }
       const bool publish = since_publish_ >= config_.ingest_refresh_window;
       if (publish) PublishView();
-      const int64_t done_ns = timing_ ? obs::NowNs() : 0;
+      const int64_t done_ns = stamps_ ? obs::NowNs() : 0;
       if (timing_ && publish) hist_publish_us_->RecordNs(done_ns - applied_ns);
-      if (timing_ && applied.ok() && submit_ns > 0) {
+      if (tracing_ && publish) {
+        recorder_->RecordAt(done_ns, obs::TraceEventId::kPaperPublish, seq,
+                            static_cast<uint64_t>(done_ns - applied_ns));
+      }
+      if (stamps_ && applied.ok() && submit_ns > 0) {
         const int64_t latency_ns = done_ns - submit_ns;
-        hist_commit_latency_us_->RecordNs(latency_ns);
+        if (timing_) hist_commit_latency_us_->RecordNs(latency_ns);
+        if (tracing_) {
+          recorder_->RecordAt(done_ns, obs::TraceEventId::kPaperCommit, seq,
+                              static_cast<uint64_t>(latency_ns));
+        }
         if (config_.slow_commit_ms > 0.0 &&
             static_cast<double>(latency_ns) / 1e6 > config_.slow_commit_ms) {
-          obs::Span span(static_cast<int64_t>(seq));
-          span.Stage("enqueue", extract_ns - submit_ns);
-          span.Stage("apply", applied_ns - extract_ns);
-          if (publish) span.Stage("publish", done_ns - applied_ns);
-          IUAD_LOG(kWarning) << "slow commit: " << span.Breakdown();
+          obs::SlowCommitExemplar exemplar;
+          exemplar.seq = static_cast<int64_t>(seq);
+          exemplar.total_ns = latency_ns;
+          exemplar.stages.push_back({"enqueue", extract_ns - submit_ns});
+          exemplar.stages.push_back({"apply", applied_ns - extract_ns});
+          if (publish) {
+            exemplar.stages.push_back({"publish", done_ns - applied_ns});
+          }
+          exemplars_.Offer(std::move(exemplar));
         }
       }
       node.mapped().promise.set_value(std::move(applied));
@@ -291,6 +317,7 @@ ServiceStats IngestService::Stats() const {
   stats.rss_mb = util::CurrentRssMb();
   stats.uptime_seconds =
       static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
+  stats.slow_commits = exemplars_.Snapshot();
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // Everything buffered beyond the contiguous run from the next consumable

@@ -56,6 +56,7 @@
 #include "core/pipeline.h"
 #include "data/paper_database.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/frontend.h"
 #include "util/status.h"
 
@@ -160,10 +161,15 @@ class IngestService : public Frontend {
   int64_t epoch_ = 0;
   int since_publish_ = 0;
 
-  // Metrics (src/obs). Instruments are resolved once here and recorded
-  // lock-free thereafter; timing_ gates only the clock reads.
+  // Observability (src/obs). Instruments are resolved once here and
+  // recorded lock-free thereafter. timing_ (metrics_enabled) gates the
+  // histogram records, tracing_ (trace_enabled) gates the flight-recorder
+  // stores, and stamps_ — their OR — gates the clock reads both share, so
+  // either surface alone pays for the stamps exactly once (DESIGN.md §8).
   obs::Registry registry_;
   const bool timing_;
+  const bool tracing_;
+  const bool stamps_;
   const int64_t start_ns_;  ///< Construction stamp, for uptime_seconds.
   obs::Counter* ctr_papers_applied_;
   obs::Counter* ctr_papers_failed_;
@@ -175,6 +181,10 @@ class IngestService : public Frontend {
   obs::Histogram* hist_apply_us_;
   obs::Histogram* hist_publish_us_;
   obs::Histogram* hist_commit_latency_us_;
+  obs::FlightRecorder* recorder_;  ///< The process-wide flight recorder.
+  /// Top-K slowest commits (config.trace_exemplars); offered to only on
+  /// the already-slow path, surfaced through Stats().
+  obs::ExemplarTable exemplars_;
 
   mutable std::mutex view_mu_;
   std::shared_ptr<const ReadView> view_;

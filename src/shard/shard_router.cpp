@@ -1,11 +1,10 @@
 #include "shard/shard_router.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 
-#include "obs/span.h"
-#include "util/logging.h"
+#include "obs/trace.h"
 #include "util/memory.h"
 
 namespace iuad::shard {
@@ -28,6 +27,8 @@ ShardRouter::ShardRouter(data::PaperDatabase* db,
       placement_(BlockPlacement::Build(result->graph, config_.num_shards,
                                        config_.shard_placement)),
       timing_(config_.metrics_enabled),
+      tracing_(config_.trace_enabled),
+      stamps_(timing_ || tracing_),
       start_ns_(obs::NowNs()),
       ctr_papers_applied_(registry_.GetCounter("papers_applied")),
       ctr_papers_failed_(registry_.GetCounter("papers_failed")),
@@ -47,7 +48,9 @@ ShardRouter::ShardRouter(data::PaperDatabase* db,
       hist_apply_us_(registry_.GetHistogram("apply_us")),
       hist_publish_us_(registry_.GetHistogram("publish_us")),
       hist_refresh_us_(registry_.GetHistogram("refresh_us")),
-      hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")) {
+      hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")),
+      recorder_(&obs::FlightRecorder::Instance()),
+      exemplars_(config_.trace_exemplars) {
   shards_.resize(static_cast<size_t>(placement_.num_shards()));
   hist_shard_scatter_us_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -128,8 +131,11 @@ std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
         "duplicate ingest sequence " + std::to_string(seq)));
     return future;
   }
-  Request request{std::move(paper), std::move(promise),
-                  timing_ ? obs::NowNs() : 0};
+  const int64_t submit_ns = stamps_ ? obs::NowNs() : 0;
+  if (tracing_) {
+    recorder_->RecordAt(submit_ns, obs::TraceEventId::kPaperSubmit, seq);
+  }
+  Request request{std::move(paper), std::move(promise), submit_ns};
   pending_.emplace(seq, std::move(request));
   gauge_queue_depth_->Set(static_cast<int64_t>(pending_.size()));
   if (seq == next_apply_) ready_cv_.notify_one();
@@ -137,12 +143,21 @@ std::future<ShardRouter::Assignments> ShardRouter::SubmitLocked(
 }
 
 void ShardRouter::RunWindow(std::vector<InFlight> window) {
-  if (timing_) {
+  if (stamps_) {
     const int64_t extract_ns = obs::NowNs();
+    if (tracing_) {
+      recorder_->RecordAt(extract_ns, obs::TraceEventId::kWindowExtract,
+                          window.front().seq, window.size());
+    }
     for (InFlight& w : window) {
       w.extract_ns = extract_ns;
       if (w.submit_ns > 0) {
-        hist_enqueue_wait_us_->RecordNs(extract_ns - w.submit_ns);
+        if (timing_) hist_enqueue_wait_us_->RecordNs(extract_ns - w.submit_ns);
+        if (tracing_) {
+          recorder_->RecordAt(extract_ns, obs::TraceEventId::kPaperExtract,
+                              w.seq,
+                              static_cast<uint64_t>(extract_ns - w.submit_ns));
+        }
       }
     }
   }
@@ -151,14 +166,17 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
   // must defer exactly when its block appears in an in-window predecessor.
   // Papers that will fail validation or apply still claim their blocks —
   // conservatively matching sequential, where a mid-commit failure may
-  // already have written some of them.
+  // already have written some of them. The map value is the claiming
+  // paper's sequence (nearest predecessor wins): the deferral blame the
+  // traces and exemplars surface.
   graph::CollabGraph& g = result_->graph;
-  std::unordered_set<util::NameId> claimed;
+  std::unordered_map<util::NameId, uint64_t> claimed;
   for (InFlight& w : window) {
     const size_t n = w.paper.author_names.size();
     w.blocks.resize(n);
     w.owners.resize(n);
     w.deferred.assign(n, false);
+    w.blocked_by.assign(n, 0);
     w.decisions.resize(n);
     for (size_t i = 0; i < n; ++i) {
       const std::string& name = w.paper.author_names[i];
@@ -166,17 +184,32 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
       // mutator, and a byline about to commit would intern the same id.
       w.blocks[i] = g.InternName(name);
       w.owners[i] = placement_.ShardOf(w.blocks[i], name);
-      w.deferred[i] = claimed.count(w.blocks[i]) > 0;
+      const auto it = claimed.find(w.blocks[i]);
+      if (it != claimed.end()) {
+        w.deferred[i] = true;
+        w.blocked_by[i] = it->second;
+        if (tracing_) {
+          recorder_->RecordAt(w.extract_ns, obs::TraceEventId::kPaperDefer,
+                              w.seq, it->second);
+        }
+      }
     }
-    for (util::NameId b : w.blocks) claimed.insert(b);
+    for (util::NameId b : w.blocks) claimed[b] = w.seq;
   }
   if (result_->model != nullptr) {
-    const int64_t scatter_start_ns = timing_ ? obs::NowNs() : 0;
+    const int64_t scatter_start_ns = stamps_ ? obs::NowNs() : 0;
     ScatterWindow(&window);
-    if (timing_) {
-      const int64_t scatter_ns = obs::NowNs() - scatter_start_ns;
-      hist_scatter_us_->RecordNs(scatter_ns);
-      for (InFlight& w : window) w.scatter_ns = scatter_ns;
+    if (stamps_) {
+      const int64_t scatter_end_ns = obs::NowNs();
+      const int64_t scatter_ns = scatter_end_ns - scatter_start_ns;
+      if (timing_) hist_scatter_us_->RecordNs(scatter_ns);
+      for (InFlight& w : window) {
+        w.scatter_ns = scatter_ns;
+        if (tracing_) {
+          recorder_->RecordAt(scatter_end_ns, obs::TraceEventId::kPaperScatter,
+                              w.seq, static_cast<uint64_t>(scatter_ns));
+        }
+      }
     }
   }
   ctr_windows_->Increment();
@@ -187,24 +220,42 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
   for (InFlight& w : window) {
     Assignments applied = CommitPaper(&w);
     const bool publish = since_publish_ >= config_.ingest_refresh_window;
-    const int64_t publish_start_ns = timing_ ? obs::NowNs() : 0;
+    const int64_t publish_start_ns = stamps_ ? obs::NowNs() : 0;
     if (publish) PublishView();
-    const int64_t done_ns = timing_ ? obs::NowNs() : 0;
+    const int64_t done_ns = stamps_ ? obs::NowNs() : 0;
     if (timing_ && publish) {
       hist_publish_us_->RecordNs(done_ns - publish_start_ns);
     }
-    if (timing_ && applied.ok() && w.submit_ns > 0) {
+    if (tracing_ && publish) {
+      recorder_->RecordAt(done_ns, obs::TraceEventId::kPaperPublish, w.seq,
+                          static_cast<uint64_t>(done_ns - publish_start_ns));
+    }
+    if (stamps_ && applied.ok() && w.submit_ns > 0) {
       const int64_t latency_ns = done_ns - w.submit_ns;
-      hist_commit_latency_us_->RecordNs(latency_ns);
+      if (timing_) hist_commit_latency_us_->RecordNs(latency_ns);
+      if (tracing_) {
+        recorder_->RecordAt(done_ns, obs::TraceEventId::kPaperCommit, w.seq,
+                            static_cast<uint64_t>(latency_ns));
+      }
       if (config_.slow_commit_ms > 0.0 &&
           static_cast<double>(latency_ns) / 1e6 > config_.slow_commit_ms) {
-        obs::Span span(static_cast<int64_t>(w.seq));
-        span.Stage("enqueue", w.extract_ns - w.submit_ns);
-        span.Stage("scatter", w.scatter_ns);
-        span.Stage("rescore", w.rescore_ns);
-        span.Stage("apply", w.apply_ns);
-        if (publish) span.Stage("publish", done_ns - publish_start_ns);
-        IUAD_LOG(kWarning) << "slow commit: " << span.Breakdown();
+        obs::SlowCommitExemplar exemplar;
+        exemplar.seq = static_cast<int64_t>(w.seq);
+        exemplar.total_ns = latency_ns;
+        exemplar.stages.push_back({"enqueue", w.extract_ns - w.submit_ns});
+        exemplar.stages.push_back({"scatter", w.scatter_ns});
+        exemplar.stages.push_back({"rescore", w.rescore_ns});
+        exemplar.stages.push_back({"apply", w.apply_ns});
+        if (publish) {
+          exemplar.stages.push_back({"publish", done_ns - publish_start_ns});
+        }
+        for (size_t i = 0; i < w.deferred.size(); ++i) {
+          if (!w.deferred[i]) continue;
+          exemplar.deferrals.push_back(
+              {w.paper.author_names[i],
+               static_cast<int64_t>(w.blocked_by[i])});
+        }
+        exemplars_.Offer(std::move(exemplar));
       }
     }
     w.promise.set_value(std::move(applied));
@@ -243,17 +294,26 @@ void ShardRouter::ScatterWindow(std::vector<InFlight>* window) {
   const uint64_t version = commit_version_;
   auto score_shard = [&](size_t s) {
     // Per-shard scatter latency: each shard's slice of the window, timed on
-    // the thread that ran it (histograms are thread-safe; the skew across
-    // shards is the placement-quality signal).
-    const int64_t shard_start_ns = timing_ ? obs::NowNs() : 0;
+    // the thread that ran it (histograms and the flight recorder are both
+    // safe from any thread; the skew across shards is the placement-quality
+    // signal).
+    const int64_t shard_start_ns = stamps_ ? obs::NowNs() : 0;
     for (const auto& [j, i] : by_shard[s]) {
       InFlight& w = (*window)[j];
       w.decisions[i] = core::ScoreOccurrence(
           *shards_[s].sim, *result_->model, result_->graph, w.paper,
           w.paper.author_names[i], config_.delta, version);
     }
-    if (timing_) {
-      hist_shard_scatter_us_[s]->RecordNs(obs::NowNs() - shard_start_ns);
+    if (stamps_) {
+      const int64_t shard_end_ns = obs::NowNs();
+      if (timing_) {
+        hist_shard_scatter_us_[s]->RecordNs(shard_end_ns - shard_start_ns);
+      }
+      if (tracing_) {
+        recorder_->RecordAt(shard_end_ns, obs::TraceEventId::kShardScatter, s,
+                            static_cast<uint64_t>(shard_end_ns -
+                                                  shard_start_ns));
+      }
     }
   };
   if (involved.size() == 1) {
@@ -295,7 +355,7 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
   // router thread: a conflicted block's candidates were just mutated, so
   // its shard's profile cache is warm from the invalidation path anyway.
   const size_t n = w->paper.author_names.size();
-  const int64_t rescore_start_ns = timing_ ? obs::NowNs() : 0;
+  const int64_t rescore_start_ns = stamps_ ? obs::NowNs() : 0;
   bool rescored = false;
   for (size_t i = 0; i < n; ++i) {
     if (!w->deferred[i]) continue;
@@ -306,9 +366,14 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
     ctr_speculative_rescores_->Increment();
     rescored = true;
   }
-  if (timing_ && rescored) {
-    w->rescore_ns = obs::NowNs() - rescore_start_ns;
-    hist_rescore_us_->RecordNs(w->rescore_ns);
+  if (stamps_ && rescored) {
+    const int64_t rescore_end_ns = obs::NowNs();
+    w->rescore_ns = rescore_end_ns - rescore_start_ns;
+    if (timing_) hist_rescore_us_->RecordNs(w->rescore_ns);
+    if (tracing_) {
+      recorder_->RecordAt(rescore_end_ns, obs::TraceEventId::kPaperRescore,
+                          w->seq, static_cast<uint64_t>(w->rescore_ns));
+    }
   }
   if (w->overlapped) {
     ctr_overlapped_papers_->Increment();
@@ -331,7 +396,7 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
   // Same mutation order as the sequential path, then shard-targeted profile
   // invalidation — a touched vertex is only ever scored by its block's
   // owner.
-  const int64_t apply_start_ns = timing_ ? obs::NowNs() : 0;
+  const int64_t apply_start_ns = stamps_ ? obs::NowNs() : 0;
   std::vector<graph::VertexId> touched;
   auto applied = core::ApplyDecisions(w->paper, w->decisions, db_, result_,
                                       &touched);
@@ -341,9 +406,14 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
                                      result_->graph.NameOf(v));
     shards_[static_cast<size_t>(s)].sim->InvalidateProfile(v);
   }
-  if (timing_) {
-    w->apply_ns = obs::NowNs() - apply_start_ns;
-    hist_apply_us_->RecordNs(w->apply_ns);
+  if (stamps_) {
+    const int64_t apply_end_ns = obs::NowNs();
+    w->apply_ns = apply_end_ns - apply_start_ns;
+    if (timing_) hist_apply_us_->RecordNs(w->apply_ns);
+    if (tracing_) {
+      recorder_->RecordAt(apply_end_ns, obs::TraceEventId::kPaperApply,
+                          w->seq, static_cast<uint64_t>(w->apply_ns));
+    }
   }
   if (!applied.ok()) ctr_papers_failed_->Increment();
   if (applied.ok()) {
@@ -372,7 +442,7 @@ ShardRouter::Assignments ShardRouter::CommitPaper(InFlight* w) {
 }
 
 void ShardRouter::RefreshShards() {
-  const int64_t refresh_start_ns = timing_ ? obs::NowNs() : 0;
+  const int64_t refresh_start_ns = stamps_ ? obs::NowNs() : 0;
   // Same storage hygiene as the sequential path's Refresh(): fold the
   // adjacency overflow log into the packed base arrays between fences (the
   // router is the only graph mutator; published views never read it).
@@ -408,7 +478,16 @@ void ShardRouter::RefreshShards() {
   }
   since_refresh_ = 0;
   ctr_refreshes_->Increment();
-  if (timing_) hist_refresh_us_->RecordNs(obs::NowNs() - refresh_start_ns);
+  if (stamps_) {
+    const int64_t refresh_end_ns = obs::NowNs();
+    if (timing_) hist_refresh_us_->RecordNs(refresh_end_ns - refresh_start_ns);
+    if (tracing_) {
+      recorder_->RecordAt(refresh_end_ns, obs::TraceEventId::kRefresh,
+                          commit_version_,
+                          static_cast<uint64_t>(refresh_end_ns -
+                                                refresh_start_ns));
+    }
+  }
 }
 
 void ShardRouter::RouterLoop() {
@@ -593,6 +672,7 @@ serve::ServiceStats ShardRouter::Stats() const {
   stats.rss_mb = util::CurrentRssMb();
   stats.uptime_seconds =
       static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
+  stats.slow_commits = exemplars_.Snapshot();
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // See IngestService::Stats: the contiguous run starts after the in-flight

@@ -83,6 +83,7 @@
 #include "core/similarity.h"
 #include "data/paper_database.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/ingest_service.h"
 #include "shard/placement.h"
 #include "util/status.h"
@@ -182,10 +183,15 @@ class ShardRouter : public serve::Frontend {
     /// Per byline: block written by an in-window predecessor — do not
     /// score speculatively, rescore at commit time instead.
     std::vector<bool> deferred;
+    /// Per byline: sequence of the nearest in-window predecessor that
+    /// claimed this byline's block (meaningful only where deferred[i]) —
+    /// the deferral-blame the scoreboard records for traces/exemplars.
+    std::vector<uint64_t> blocked_by;
     std::vector<core::OccurrenceDecision> decisions;
     bool overlapped = false;  ///< >= 1 byline scored in the scatter phase.
     // Paper-path span stamps/durations (nanoseconds), filled only when
-    // timing is enabled; they feed the histograms and the slow-commit log.
+    // stage stamps are on (metrics or tracing); they feed the histograms,
+    // the flight recorder, and the slow-commit exemplars.
     int64_t submit_ns = 0;   ///< Admission stamp (from Request).
     int64_t extract_ns = 0;  ///< Window-extraction stamp.
     int64_t scatter_ns = 0;  ///< Scatter-phase duration of this window.
@@ -251,10 +257,15 @@ class ShardRouter : public serve::Frontend {
   /// OccurrenceDecision::snapshot_version is stamped from.
   uint64_t commit_version_ = 0;
 
-  // Metrics (src/obs). Instruments are resolved once at construction and
-  // recorded lock-free thereafter; timing_ gates only the clock reads.
+  // Observability (src/obs). Instruments are resolved once at construction
+  // and recorded lock-free thereafter. timing_ (metrics_enabled) gates the
+  // histogram records, tracing_ (trace_enabled) gates the flight-recorder
+  // stores, and stamps_ — their OR — gates the clock reads both share, so
+  // either surface alone pays for the stamps exactly once (DESIGN.md §8).
   obs::Registry registry_;
   const bool timing_;
+  const bool tracing_;
+  const bool stamps_;
   const int64_t start_ns_;  ///< Construction stamp, for uptime_seconds.
   obs::Counter* ctr_papers_applied_;
   obs::Counter* ctr_papers_failed_;
@@ -277,6 +288,10 @@ class ShardRouter : public serve::Frontend {
   /// Per-shard scatter-task latency ("shard<i>_scatter_us"): how long each
   /// shard's slice of a window took — the skew signal for placement.
   std::vector<obs::Histogram*> hist_shard_scatter_us_;
+  obs::FlightRecorder* recorder_;  ///< The process-wide flight recorder.
+  /// Top-K slowest commits (config.trace_exemplars); offered to only on
+  /// the already-slow path, surfaced through Stats().
+  obs::ExemplarTable exemplars_;
 
   mutable std::mutex view_mu_;
   std::shared_ptr<const ReadView> view_;

@@ -1,0 +1,48 @@
+#ifndef IUAD_UTIL_BUILD_INFO_H_
+#define IUAD_UTIL_BUILD_INFO_H_
+
+/// \file build_info.h
+/// Compile-time build identity for the `iuad_build_info` exposition gauge
+/// and the stats surfaces: a version string (overridable with
+/// -DIUAD_VERSION=\"...\"), the compiler banner, and which sanitizer the
+/// binary was built under. All three are constants baked at compile time —
+/// no runtime probing.
+
+namespace iuad::util {
+
+inline const char* BuildVersion() {
+#ifdef IUAD_VERSION
+  return IUAD_VERSION;
+#else
+  return "dev";
+#endif
+}
+
+inline const char* BuildCompiler() {
+#ifdef __VERSION__
+  return "" __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* BuildSanitizer() {
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#else
+  return "none";
+#endif
+}
+
+}  // namespace iuad::util
+
+#endif  // IUAD_UTIL_BUILD_INFO_H_

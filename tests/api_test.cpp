@@ -180,7 +180,7 @@ data::Paper RandomPaper(std::mt19937_64* rng) {
 Request RandomRequest(std::mt19937_64* rng) {
   Request r;
   r.id = RandomInt(rng);
-  std::uniform_int_distribution<int> op(0, 5);
+  std::uniform_int_distribution<int> op(0, 6);
   r.op = static_cast<Op>(op(*rng));
   switch (r.op) {
     case Op::kIngest: {
@@ -200,6 +200,7 @@ Request RandomRequest(std::mt19937_64* rng) {
     case Op::kFlush:
     case Op::kStats:
     case Op::kMetrics:
+    case Op::kTrace:
       break;
   }
   return r;
@@ -238,10 +239,33 @@ obs::RegistrySnapshot RandomMetrics(std::mt19937_64* rng) {
   return m;
 }
 
+/// Random but canonical trace payload: "dur" appears exactly when the
+/// phase is "X", pid is always 1 — the invariants the strict decoder
+/// enforces and the canonical encoder emits.
+std::vector<obs::ChromeTraceEvent> RandomTrace(std::mt19937_64* rng) {
+  std::vector<obs::ChromeTraceEvent> trace;
+  std::uniform_int_distribution<size_t> small(0, 5);
+  const size_t n = small(*rng);
+  for (size_t i = 0; i < n; ++i) {
+    obs::ChromeTraceEvent e;
+    e.name = RandomString(rng);
+    e.ph = std::uniform_int_distribution<int>(0, 1)(*rng) == 0 ? 'X' : 'i';
+    e.ts_us = std::uniform_int_distribution<int64_t>(0, 1LL << 40)(*rng);
+    if (e.ph == 'X') {
+      e.dur_us = std::uniform_int_distribution<int64_t>(0, 1 << 20)(*rng);
+    }
+    e.tid = std::uniform_int_distribution<int>(0, 63)(*rng);
+    e.a0 = RandomInt(rng);
+    e.a1 = RandomInt(rng);
+    trace.push_back(std::move(e));
+  }
+  return trace;
+}
+
 Response RandomResponse(std::mt19937_64* rng) {
   Response r;
   r.id = RandomInt(rng);
-  std::uniform_int_distribution<int> op(0, 5);
+  std::uniform_int_distribution<int> op(0, 6);
   r.op = static_cast<Op>(op(*rng));
   if (std::uniform_int_distribution<int>(0, 3)(*rng) == 0) {
     static const StatusCode codes[] = {
@@ -320,6 +344,21 @@ Response RandomResponse(std::mt19937_64* rng) {
           std::uniform_int_distribution<int>(0, 64000)(*rng) / 8.0;
       r.stats.uptime_seconds =
           std::uniform_int_distribution<int>(0, 1 << 20)(*rng) / 16.0;
+      const size_t exemplars = small(*rng);
+      for (size_t e = 0; e < exemplars; ++e) {
+        obs::SlowCommitExemplar ex;
+        ex.seq = RandomInt(rng);
+        ex.total_ns = RandomInt(rng);
+        const size_t stages = small(*rng);
+        for (size_t s = 0; s < stages; ++s) {
+          ex.stages.push_back({RandomString(rng), RandomInt(rng)});
+        }
+        const size_t deferrals = small(*rng);
+        for (size_t d = 0; d < deferrals; ++d) {
+          ex.deferrals.push_back({RandomString(rng), RandomInt(rng)});
+        }
+        r.stats.slow_commits.push_back(std::move(ex));
+      }
       const size_t shards = small(*rng);
       r.stats.num_shards = static_cast<int>(shards == 0 ? 1 : shards);
       for (size_t s = 0; s < shards; ++s) {
@@ -337,6 +376,9 @@ Response RandomResponse(std::mt19937_64* rng) {
     }
     case Op::kMetrics:
       r.metrics = RandomMetrics(rng);
+      break;
+    case Op::kTrace:
+      r.trace = RandomTrace(rng);
       break;
   }
   return r;

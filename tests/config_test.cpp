@@ -158,6 +158,29 @@ TEST(ConfigValidateTest, RejectsBadObservabilityOptions) {
   EXPECT_TRUE(cfg.Validate().ok());
 }
 
+TEST(ConfigValidateTest, RejectsBadTracingOptions) {
+  core::IuadConfig cfg;
+  cfg.trace_ring_capacity = 63;  // below the recorder's floor
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = {};
+  cfg.trace_ring_capacity = (1 << 20) + 1;  // above the ceiling
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.trace_exemplars = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.trace_exemplars = 1025;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.trace_ring_capacity = 64;  // boundary values are legal
+  cfg.trace_exemplars = 1;
+  cfg.trace_enabled = false;  // off is always legal
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.trace_ring_capacity = 1 << 20;
+  cfg.trace_exemplars = 1024;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
 TEST(ConfigValidateTest, SnapshotPersistenceRequiresAPath) {
   core::IuadConfig cfg;
   cfg.persist_snapshot = true;

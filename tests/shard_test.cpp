@@ -333,6 +333,39 @@ TEST(ShardRouterTest, MetricsToggleIsByteInvisibleToAssignments) {
   }
 }
 
+/// Same acceptance gate for the tracing layer: `trace_enabled` gates only
+/// flight-recorder clock reads and ring stores, so toggling it (with
+/// metrics in both states too — the stamp gating is the OR of the two
+/// flags) must leave every assignment byte-identical.
+TEST(ShardRouterTest, TracingToggleIsByteInvisibleToAssignments) {
+  core::IuadConfig cfg = FastConfig();
+  const auto sequential = SequentialTraces(cfg, 57, 30);
+  ASSERT_EQ(sequential.size(), 30u);
+  for (int shards : {1, 4}) {
+    for (int producers : {1, 4}) {
+      for (int depth : {1, 8}) {
+        cfg.pipeline_depth = depth;
+        cfg.trace_enabled = true;
+        const auto on = RouterTraces(cfg, 57, 30, shards, producers);
+        cfg.trace_enabled = false;
+        const auto off = RouterTraces(cfg, 57, 30, shards, producers);
+        cfg.metrics_enabled = false;  // both observability layers dark
+        const auto dark = RouterTraces(cfg, 57, 30, shards, producers);
+        cfg.metrics_enabled = true;
+        EXPECT_EQ(on, sequential)
+            << "tracing-on diverged: shards=" << shards
+            << " producers=" << producers << " depth=" << depth;
+        EXPECT_EQ(off, on)
+            << "trace toggle changed assignments: shards=" << shards
+            << " producers=" << producers << " depth=" << depth;
+        EXPECT_EQ(dark, on)
+            << "all-off diverged: shards=" << shards
+            << " producers=" << producers << " depth=" << depth;
+      }
+    }
+  }
+}
+
 TEST(ShardRouterTest, HashPlacementIsEquallyDeterministic) {
   const core::IuadConfig cfg = FastConfig();
   const auto sequential = SequentialTraces(cfg, 34, 40);
