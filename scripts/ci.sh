@@ -39,10 +39,10 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
 if [[ "$TSAN_ONLY" == "1" ]]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target shard_test serve_test api_test obs_test util_test
+    --target shard_test serve_test api_test obs_test util_test wal_test
   (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)" \
-    -R '^(shard_test|serve_test|api_test|obs_test|util_test)$')
-  echo "tsan gate (shard_test serve_test api_test obs_test util_test): OK"
+    -R '^(shard_test|serve_test|api_test|obs_test|util_test|wal_test)$')
+  echo "tsan gate (shard_test serve_test api_test obs_test util_test wal_test): OK"
   exit 0
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -213,12 +213,66 @@ PAPER_SPANS=$(grep -o '"name":"paper"' "$SMOKE_DIR/trace.json" | wc -l)
 test "$PAPER_SPANS" -ge 2
 echo "tracing smoke: OK ($PAPER_SPANS paper spans)"
 
+# Durability smoke: ingest through a WAL-backed session, kill -9 the
+# process with no shutdown whatsoever, then serve again from the same
+# --wal-dir — recovery must replay the committed papers and the recovered
+# state must still answer queries for them (DESIGN.md §9, end to end
+# through the CLI).
+mkfifo "$SMOKE_DIR/in5.fifo"
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio \
+  --wal-dir "$SMOKE_DIR/wal" --wal-fsync-every 1 \
+  < "$SMOKE_DIR/in5.fifo" > "$SMOKE_DIR/out5.txt" 2> "$SMOKE_DIR/err5.txt" &
+SERVE_PID=$!
+exec 9> "$SMOKE_DIR/in5.fifo"
+printf '%s\n' '{"id":1,"op":"ingest","papers":[{"title":"durable paper one","venue":"VenueX","year":2024,"authors":["Wal Smoke Author","Wal Smoke Coauthor"]},{"title":"durable paper two","venue":"VenueY","year":2025,"authors":["Wal Smoke Author"]}]}' >&9
+printf '%s\n' '{"id":2,"op":"flush"}' >&9
+for _ in $(seq 1 200); do
+  grep -q '"id":2,"op":"flush","ok":true,"applied":2' "$SMOKE_DIR/out5.txt" \
+    && break
+  sleep 0.05
+done
+grep '"id":2,"op":"flush","ok":true,"applied":2' "$SMOKE_DIR/out5.txt" \
+  >/dev/null
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true  # reaps the SIGKILL; nonzero status is the point
+exec 9>&-
+cat > "$SMOKE_DIR/recover.ndjson" <<'EOF'
+{"id":3,"op":"query_authors","name":"Wal Smoke Author"}
+{"id":4,"op":"stats"}
+EOF
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio \
+  --wal-dir "$SMOKE_DIR/wal" \
+  < "$SMOKE_DIR/recover.ndjson" > "$SMOKE_DIR/out6.txt" \
+  2> "$SMOKE_DIR/err6.txt"
+grep -q 'WAL recovery:.*2 replayed' "$SMOKE_DIR/err6.txt"
+grep '"id":4,"op":"stats","ok":true' "$SMOKE_DIR/out6.txt" \
+  | grep '"recovery_replayed":2' >/dev/null
+# The recovered attribution must equal an uninterrupted run's: same ingest
+# + query session, no crash, no WAL — the determinism-as-recovery-oracle
+# check, byte for byte on the query response.
+cat > "$SMOKE_DIR/uninterrupted.ndjson" <<'EOF'
+{"id":1,"op":"ingest","papers":[{"title":"durable paper one","venue":"VenueX","year":2024,"authors":["Wal Smoke Author","Wal Smoke Coauthor"]},{"title":"durable paper two","venue":"VenueY","year":2025,"authors":["Wal Smoke Author"]}]}
+{"id":2,"op":"flush"}
+{"id":3,"op":"query_authors","name":"Wal Smoke Author"}
+EOF
+"./$BUILD_DIR"/iuad_main serve "$SMOKE_DIR/corpus.tsv" \
+  --load-snapshot "$SMOKE_DIR/corpus.snap" --stdio \
+  < "$SMOKE_DIR/uninterrupted.ndjson" > "$SMOKE_DIR/out7.txt"
+grep '"id":3,"op":"query_authors","ok":true,"authors":\[{"vertex":' \
+  "$SMOKE_DIR/out7.txt" >/dev/null
+diff <(grep '"op":"query_authors"' "$SMOKE_DIR/out6.txt") \
+     <(grep '"op":"query_authors"' "$SMOKE_DIR/out7.txt")
+echo "WAL kill -9 / recover smoke: OK"
+
 # Optional bench trajectories (BENCH_stages.json, BENCH_ingest.json,
-# BENCH_shard.json, BENCH_api.json). Off by default to keep CI time
-# bounded; set IUAD_RUN_BENCH=1 to record them.
+# BENCH_shard.json, BENCH_api.json, BENCH_wal.json). Off by default to
+# keep CI time bounded; set IUAD_RUN_BENCH=1 to record them.
 if [[ "${IUAD_RUN_BENCH:-0}" == "1" ]]; then
   scripts/bench_stages.sh
   scripts/bench_ingest.sh
   scripts/bench_shard.sh
   scripts/bench_api.sh
+  scripts/bench_wal.sh
 fi

@@ -85,7 +85,15 @@ void EncodeStats(JsonWriter* w, const serve::ServiceStats& stats) {
       .Field("conflict_stalls", stats.conflict_stalls)
       .Field("speculative_rescores", stats.speculative_rescores)
       .FieldExact("rss_mb", stats.rss_mb)
-      .FieldExact("uptime_seconds", stats.uptime_seconds);
+      .FieldExact("uptime_seconds", stats.uptime_seconds)
+      .Field("wal_appended", stats.wal_appended)
+      .Field("wal_fsyncs", stats.wal_fsyncs)
+      .Field("wal_bytes", stats.wal_bytes)
+      .Field("recovery_replayed", stats.recovery_replayed)
+      .Field("wal_last_checkpoint_seq", stats.wal_last_checkpoint_seq)
+      .FieldExact("wal_last_checkpoint_age_s",
+                  stats.wal_last_checkpoint_age_s)
+      .FieldExact("wal_fsync_wait_us_p99", stats.wal_fsync_wait_us_p99);
   w->BeginArray("slow_commits");
   for (const obs::SlowCommitExemplar& e : stats.slow_commits) {
     w->BeginObjectElement()
@@ -382,6 +390,16 @@ iuad::Result<serve::ServiceStats> DecodeStats(const JsonValue& value) {
                         r.Int("speculative_rescores"));
   IUAD_ASSIGN_OR_RETURN(stats.rss_mb, r.Number("rss_mb"));
   IUAD_ASSIGN_OR_RETURN(stats.uptime_seconds, r.Number("uptime_seconds"));
+  IUAD_ASSIGN_OR_RETURN(stats.wal_appended, r.Int("wal_appended"));
+  IUAD_ASSIGN_OR_RETURN(stats.wal_fsyncs, r.Int("wal_fsyncs"));
+  IUAD_ASSIGN_OR_RETURN(stats.wal_bytes, r.Int("wal_bytes"));
+  IUAD_ASSIGN_OR_RETURN(stats.recovery_replayed, r.Int("recovery_replayed"));
+  IUAD_ASSIGN_OR_RETURN(stats.wal_last_checkpoint_seq,
+                        r.Int("wal_last_checkpoint_seq"));
+  IUAD_ASSIGN_OR_RETURN(stats.wal_last_checkpoint_age_s,
+                        r.Number("wal_last_checkpoint_age_s"));
+  IUAD_ASSIGN_OR_RETURN(stats.wal_fsync_wait_us_p99,
+                        r.Number("wal_fsync_wait_us_p99"));
   IUAD_ASSIGN_OR_RETURN(const JsonValue* slow, r.Array("slow_commits"));
   for (const JsonValue& item : slow->items()) {
     IUAD_ASSIGN_OR_RETURN(ObjectReader er,

@@ -20,6 +20,8 @@
 ///              [--metrics-port P] [--stats-interval S]
 ///              [--slow-commit-ms M] [--no-metrics]
 ///              [--trace-out out.json] [--no-trace]
+///              [--wal-dir DIR] [--wal-fsync-every N] [--wal-fsync-ms M]
+///              [--wal-checkpoint-every N]
 ///       Load a fitted snapshot next to the corpus it was saved against and
 ///       bring up a serving front end behind the one serve::Frontend
 ///       interface: the single-applier IngestService (src/serve) by
@@ -50,6 +52,16 @@
 ///       SIGSEGV/SIGABRT post-mortem dump to PATH.crash; --no-trace turns
 ///       recording off. Assignments are byte-identical with metrics and
 ///       tracing on or off, in any combination (DESIGN.md §7).
+///       Durability (src/wal, DESIGN.md §9): --wal-dir DIR write-ahead-logs
+///       every commit into DIR and recovers from it at startup — if DIR
+///       holds a previous session's checkpoint and log tail, the serve
+///       loads the checkpoint instead of the CLI corpus/snapshot pair and
+///       replays the tail before accepting traffic, reproducing the
+///       pre-crash assignments bit-for-bit. --wal-fsync-every N /
+///       --wal-fsync-ms M tune the group-commit fsync cadence (1/0 =
+///       strictest); --wal-checkpoint-every N compacts the log with a
+///       checkpoint roughly every N commits (0 = only recover, never
+///       compact).
 ///
 /// Exit status: 0 on success, 1 on any error (message on stderr).
 
@@ -87,6 +99,7 @@
 #include "util/strings.h"
 #include "util/thread_pool.h"
 #include "util/tsv.h"
+#include "wal/wal.h"
 
 using namespace iuad;
 
@@ -120,6 +133,9 @@ void Usage() {
                " [--metrics-port P] [--stats-interval S]\n"
                "           [--slow-commit-ms M] [--no-metrics]\n"
                "           [--trace-out out.json] [--no-trace]\n"
+               "           [--wal-dir DIR] [--wal-fsync-every N]"
+               " [--wal-fsync-ms M]\n"
+               "           [--wal-checkpoint-every N]\n"
                "(--threads 0 = all hardware threads; output is identical at"
                " any T.\n"
                " --shards on run/evaluate: word2vec training shards, 0 ="
@@ -306,6 +322,24 @@ void PrintServiceStats(std::FILE* info, const serve::ServiceStats& stats) {
         stats.pipeline_occupancy, static_cast<long>(stats.conflict_stalls),
         static_cast<long>(stats.speculative_rescores));
   }
+  // Durability line, present whenever the WAL has done anything (all zeros
+  // and age -1 mean serving without --wal-dir). Keys match the NDJSON
+  // stats payload exactly, like everything else here.
+  if (stats.wal_appended > 0 || stats.wal_fsyncs > 0 ||
+      stats.recovery_replayed > 0 || stats.wal_last_checkpoint_seq > 0 ||
+      stats.wal_last_checkpoint_age_s >= 0.0) {
+    std::fprintf(
+        info,
+        "  wal_appended=%ld wal_fsyncs=%ld wal_bytes=%ld "
+        "recovery_replayed=%ld wal_last_checkpoint_seq=%ld "
+        "wal_last_checkpoint_age_s=%.0f wal_fsync_wait_us_p99=%.0f\n",
+        static_cast<long>(stats.wal_appended),
+        static_cast<long>(stats.wal_fsyncs),
+        static_cast<long>(stats.wal_bytes),
+        static_cast<long>(stats.recovery_replayed),
+        static_cast<long>(stats.wal_last_checkpoint_seq),
+        stats.wal_last_checkpoint_age_s, stats.wal_fsync_wait_us_p99);
+  }
   for (const obs::SlowCommitExemplar& e : stats.slow_commits) {
     std::fprintf(info, "  slow_commit seq=%ld total_ns=%ld",
                  static_cast<long>(e.seq), static_cast<long>(e.total_ns));
@@ -433,11 +467,14 @@ int RunTcpServer(serve::Frontend& service, const core::IuadConfig& cfg) {
 /// interface: stream ingestion, the networked/stdio query API, stats,
 /// lookup, stop, and the optional shutdown checkpoint of the
 /// post-ingestion state.
+/// `seq_base` is the first free ingestion sequence: 0 on a fresh serve,
+/// the replayed-tail length after WAL recovery (replay occupied the
+/// sequences below it, and --stream pins papers by sequence).
 int DriveService(serve::Frontend& service, data::PaperDatabase* db,
                  core::DisambiguationResult* result,
                  const core::IuadConfig& cfg,
                  const std::map<std::string, std::string>& flags,
-                 int producers) {
+                 int producers, uint64_t seq_base) {
   // In stdio mode stdout carries protocol lines only; everything
   // informational goes to stderr so scripted clients see pure NDJSON.
   std::FILE* info = flags.count("stdio") > 0 ? stderr : stdout;
@@ -474,7 +511,7 @@ int DriveService(serve::Frontend& service, data::PaperDatabase* db,
     auto producer = [&] {
       for (size_t i = next.fetch_add(1); i < stream.size();
            i = next.fetch_add(1)) {
-        futures[i] = service.SubmitAt(i, stream[i]);
+        futures[i] = service.SubmitAt(seq_base + i, stream[i]);
       }
     };
     std::vector<std::thread> threads;
@@ -579,10 +616,48 @@ int CmdServe(const std::string& in,
   auto db = data::PaperDatabase::LoadTsv(in);
   if (!db.ok()) return Fail(db.status().ToString());
 
+  // Durability: open (or initialize) the WAL directory BEFORE loading the
+  // snapshot — a previous session's checkpoint redirects the load, and the
+  // manifest's base fingerprint must be checked against the CLI corpus
+  // either way (serving a WAL against the wrong corpus is refused, not
+  // silently merged).
+  std::unique_ptr<wal::Log> wal_log;
+  wal::Options wal_opts;
+  std::string wal_dir;
+  if (auto it = flags.find("wal-dir"); it != flags.end() &&
+                                       !it->second.empty()) {
+    wal_dir = it->second;
+    if (auto f = flags.find("wal-fsync-every"); f != flags.end()) {
+      wal_opts.fsync_every_n = std::atoi(f->second.c_str());
+    }
+    if (auto f = flags.find("wal-fsync-ms"); f != flags.end()) {
+      wal_opts.fsync_interval_ms = std::atof(f->second.c_str());
+    }
+    auto opened = wal::Log::Open(wal_dir, db->Fingerprint(), wal_opts);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    wal_log = std::move(*opened);
+  }
+
   iuad::Stopwatch load_sw;
-  auto snap = io::LoadSnapshot(snap_it->second, *db);
+  std::string snap_path = snap_it->second;
+  if (wal_log != nullptr && wal_log->has_checkpoint()) {
+    // Recovery, step 1: the checkpoint pair supersedes the CLI corpus +
+    // snapshot (it IS that state plus every compacted commit).
+    auto ckpt_db =
+        data::PaperDatabase::LoadTsv(wal_log->checkpoint_corpus_path());
+    if (!ckpt_db.ok()) return Fail(ckpt_db.status().ToString());
+    db = std::move(ckpt_db);
+    snap_path = wal_log->checkpoint_snapshot_path();
+  }
+  auto snap = io::LoadSnapshot(snap_path, *db);
   if (!snap.ok()) return Fail(snap.status().ToString());
   core::IuadConfig cfg = std::move(snap->config);
+  cfg.wal_dir = wal_dir;
+  cfg.wal_fsync_every_n = wal_opts.fsync_every_n;
+  cfg.wal_fsync_interval_ms = wal_opts.fsync_interval_ms;
+  if (auto it = flags.find("wal-checkpoint-every"); it != flags.end()) {
+    cfg.wal_checkpoint_every_n = std::atoi(it->second.c_str());
+  }
   if (auto it = flags.find("queue"); it != flags.end()) {
     cfg.ingest_queue_capacity = std::atoi(it->second.c_str());
   }
@@ -650,13 +725,38 @@ int CmdServe(const std::string& in,
                 cfg.shard_placement == core::ShardPlacement::kHash
                     ? "hash"
                     : "size-aware");
-    service =
-        std::make_unique<shard::ShardRouter>(&*db, &snap->result, cfg);
+    service = std::make_unique<shard::ShardRouter>(&*db, &snap->result, cfg,
+                                                   wal_log.get());
   } else {
-    service =
-        std::make_unique<serve::IngestService>(&*db, &snap->result, cfg);
+    service = std::make_unique<serve::IngestService>(&*db, &snap->result,
+                                                     cfg, wal_log.get());
   }
-  return DriveService(*service, &*db, &snap->result, cfg, flags, producers);
+
+  // Recovery, step 2: replay the durable log tail through the normal
+  // submission path before any traffic — the recovered state is then
+  // bit-identical to the pre-crash state (DESIGN.md §9).
+  uint64_t seq_base = 0;
+  if (wal_log != nullptr) {
+    iuad::Stopwatch replay_sw;
+    auto replayed = wal::ReplayTail(*wal_log, service.get());
+    if (!replayed.ok()) return Fail(replayed.status().ToString());
+    seq_base = *replayed;
+    if (wal_log->has_checkpoint() || *replayed > 0) {
+      std::fprintf(info,
+                   "WAL recovery: checkpoint seq=%llu + %llu replayed log "
+                   "records in %.0f ms (next seq %llu)\n",
+                   static_cast<unsigned long long>(wal_log->snapshot_seq()),
+                   static_cast<unsigned long long>(*replayed),
+                   replay_sw.ElapsedSeconds() * 1e3,
+                   static_cast<unsigned long long>(wal_log->durable_next()));
+    } else {
+      std::fprintf(info, "WAL enabled at %s (fresh log)\n",
+                   wal_dir.c_str());
+    }
+    std::fflush(info);
+  }
+  return DriveService(*service, &*db, &snap->result, cfg, flags, producers,
+                      seq_base);
 }
 
 }  // namespace

@@ -203,6 +203,32 @@ struct IuadConfig {
   /// Capacity K of the slow-commit exemplar table (top-K by latency).
   int trace_exemplars = 8;
 
+  // --- Durability (src/wal) ----------------------------------------------
+  /// Directory of the write-ahead log (`serve --wal-dir`). Empty disables
+  /// durability: a crash loses everything since the last explicit
+  /// checkpoint. Non-empty makes every commit attempt a logged record and
+  /// recovery automatic on the next serve against the same directory.
+  std::string wal_dir;
+  /// Group-commit width: the WAL fsyncs after this many buffered records.
+  /// 1 = fsync every record (strict durability, slowest). CLI flag:
+  /// --wal-fsync-every.
+  int wal_fsync_every_n = 64;
+  /// Time trigger of the group commit: flush+fsync on append once this
+  /// many milliseconds have passed since the last sync, even when fewer
+  /// than wal_fsync_every_n records are buffered. Bounds durability lag
+  /// under sustained slow load; keep it well above the fsync cost itself
+  /// or batches degenerate to a couple of records (BENCH_wal.json). 0
+  /// disables the time trigger (the idle-transition flush still runs).
+  /// CLI flag: --wal-fsync-ms.
+  double wal_fsync_interval_ms = 50.0;
+  /// Checkpoint cadence: once at least this many papers have been applied
+  /// since the last checkpoint, the commit thread writes one at the next
+  /// similarity-cache refresh boundary (the only point where recovery can
+  /// reconstruct cache state exactly — DESIGN.md §9). 0 disables automatic
+  /// checkpoints (the log grows until a manual one). CLI flag:
+  /// --wal-checkpoint-every.
+  int wal_checkpoint_every_n = 0;
+
   /// Seed for every randomized component (sampling, splitting, embeddings).
   uint64_t seed = 1234;
 
@@ -270,6 +296,13 @@ struct IuadConfig {
     }
     if (trace_exemplars < 1 || trace_exemplars > 1024) {
       return bad("trace_exemplars must be in [1, 1024]");
+    }
+    if (wal_fsync_every_n < 1) return bad("wal_fsync_every_n must be >= 1");
+    if (wal_fsync_interval_ms < 0.0) {
+      return bad("wal_fsync_interval_ms must be >= 0");
+    }
+    if (wal_checkpoint_every_n < 0) {
+      return bad("wal_checkpoint_every_n must be >= 0");
     }
     if (persist_snapshot && snapshot_path.empty()) {
       return bad("snapshot_path must be non-empty when persistence is "

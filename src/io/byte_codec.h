@@ -1,0 +1,165 @@
+// Shared little-endian byte codec for on-disk formats (snapshots, WAL).
+//
+// Writer appends fixed-width scalars / length-prefixed containers to a
+// buffer; Reader is its bounds-checked mirror. Both were factored out of
+// snapshot.cpp so the WAL record format shares one codec (and one checksum)
+// with the snapshot format instead of growing a second dialect.
+
+#ifndef IUAD_IO_BYTE_CODEC_H_
+#define IUAD_IO_BYTE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iuad::io {
+
+/// FNV-1a over `n` bytes. Chainable: pass a previous digest as `h` to extend.
+inline uint64_t Fnv1a(const void* data, size_t n,
+                      uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Appends fixed-width scalars / length-prefixed containers to a buffer.
+class Writer {
+ public:
+  template <typename T>
+  void Raw(T x) {
+    static_assert(std::is_trivially_copyable<T>::value, "raw scalar only");
+    const size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(&buf_[at], &x, sizeof(T));
+  }
+  void Bytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  void U8(uint8_t x) { Raw(x); }
+  void U32(uint32_t x) { Raw(x); }
+  void U64(uint64_t x) { Raw(x); }
+  void I32(int32_t x) { Raw(x); }
+  void I64(int64_t x) { Raw(x); }
+  void F64(double x) { Raw(x); }
+  void Bool(bool x) { U8(x ? 1 : 0); }
+  void Str(std::string_view s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+  void IntVec(const std::vector<int>& xs) {
+    U64(xs.size());
+    for (int x : xs) I32(x);
+  }
+  void F64Vec(const std::vector<double>& xs) {
+    U64(xs.size());
+    for (double x : xs) F64(x);
+  }
+  void FloatVec(const std::vector<float>& xs) {
+    U64(xs.size());
+    const size_t at = buf_.size();
+    buf_.resize(at + xs.size() * sizeof(float));
+    if (!xs.empty()) std::memcpy(&buf_[at], xs.data(), xs.size() * sizeof(float));
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked mirror of Writer. Every read reports corruption (a
+/// truncated or bit-flipped payload that nevertheless passed the checksum
+/// is astronomically unlikely, but the reader still never walks off the
+/// buffer) through ok()/status().
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Raw() {
+    static_assert(std::is_trivially_copyable<T>::value, "raw scalar only");
+    T x{};
+    if (!Take(sizeof(T))) return x;
+    std::memcpy(&x, data_ + pos_ - sizeof(T), sizeof(T));
+    return x;
+  }
+  uint8_t U8() { return Raw<uint8_t>(); }
+  uint32_t U32() { return Raw<uint32_t>(); }
+  uint64_t U64() { return Raw<uint64_t>(); }
+  int32_t I32() { return Raw<int32_t>(); }
+  int64_t I64() { return Raw<int64_t>(); }
+  double F64() { return Raw<double>(); }
+  bool Bool() { return U8() != 0; }
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!Take(n)) return {};
+    return std::string(data_ + pos_ - n, n);
+  }
+  std::vector<int> IntVec() {
+    const uint64_t n = U64();
+    std::vector<int> xs;
+    if (!CheckCount(n, sizeof(int32_t))) return xs;
+    xs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) xs.push_back(I32());
+    return xs;
+  }
+  std::vector<double> F64Vec() {
+    const uint64_t n = U64();
+    std::vector<double> xs;
+    if (!CheckCount(n, sizeof(double))) return xs;
+    xs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) xs.push_back(F64());
+    return xs;
+  }
+  std::vector<float> FloatVec() {
+    const uint64_t n = U64();
+    std::vector<float> xs;
+    if (!CheckCount(n, sizeof(float)) || !Take(n * sizeof(float))) return xs;
+    xs.resize(n);
+    if (n > 0) std::memcpy(xs.data(), data_ + pos_ - n * sizeof(float),
+                           n * sizeof(float));
+    return xs;
+  }
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+  iuad::Status status() const {
+    if (ok_) return iuad::Status::OK();
+    return iuad::Status::IoError("payload truncated or corrupt");
+  }
+
+ private:
+  bool Take(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool CheckCount(uint64_t n, size_t elem_size) {
+    // A hostile/corrupt count must not drive a giant reserve.
+    if (!ok_ || n > (size_ - pos_) / elem_size) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace iuad::io
+
+#endif  // IUAD_IO_BYTE_CODEC_H_

@@ -1,0 +1,107 @@
+#include "io/fsync_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace iuad::io {
+
+iuad::Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    return iuad::Status::IoError("fsync failed for " + what + ": " +
+                                 std::strerror(errno));
+  }
+  return iuad::Status::OK();
+}
+
+iuad::Status FdatasyncFd(int fd, const std::string& what) {
+  if (::fdatasync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    return iuad::Status::IoError("fdatasync failed for " + what + ": " +
+                                 std::strerror(errno));
+  }
+  return iuad::Status::OK();
+}
+
+iuad::Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return iuad::Status::IoError("cannot open directory " + dir +
+                                 " for fsync: " + std::strerror(errno));
+  }
+  iuad::Status s = FsyncFd(fd, "directory " + dir);
+  ::close(fd);
+  return s;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+iuad::Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return iuad::Status::IoError("cannot open " + path +
+                                 " for fsync: " + std::strerror(errno));
+  }
+  iuad::Status s = FsyncFd(fd, path);
+  ::close(fd);
+  return s;
+}
+
+iuad::Status PromoteTempFile(const std::string& tmp, const std::string& path) {
+  IUAD_RETURN_NOT_OK(FsyncPath(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return iuad::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return FsyncDir(ParentDir(path));
+}
+
+iuad::Status WriteFileDurably(const std::string& path, const std::string& head,
+                              const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return iuad::Status::IoError("cannot open " + tmp +
+                                 " for writing: " + std::strerror(errno));
+  }
+  auto write_all = [fd](const std::string& buf) {
+    size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  if (!write_all(head) || !write_all(body)) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return iuad::Status::IoError("short write to " + tmp);
+  }
+  if (iuad::Status s = FsyncFd(fd, tmp); !s.ok()) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return iuad::Status::IoError("close failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return iuad::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return FsyncDir(ParentDir(path));
+}
+
+}  // namespace iuad::io

@@ -1,0 +1,52 @@
+// Crash-durable file primitives shared by snapshots and the WAL.
+//
+// Plain write-then-rename survives a crash of *this* process but not a power
+// loss: the rename can hit the journal before the data blocks do, leaving a
+// zero-length or half-written file under the final name. The atomic-replace
+// protocol here is the full sequence — write temp, fsync temp, rename,
+// fsync parent directory — so the replacement is durable once
+// WriteFileDurably returns.
+
+#ifndef IUAD_IO_FSYNC_UTIL_H_
+#define IUAD_IO_FSYNC_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace iuad::io {
+
+/// fsync(2) an open descriptor; EINVAL/ENOTSUP (e.g. pipes in tests) is
+/// treated as success so the helpers stay usable on exotic filesystems.
+iuad::Status FsyncFd(int fd, const std::string& what);
+
+/// fdatasync(2) an open descriptor, same error tolerance as FsyncFd.
+/// Flushes the data blocks and any metadata needed to retrieve them (file
+/// size after an append) but not timestamps — measurably cheaper than
+/// fsync on the WAL group-commit path, where it runs on the commit thread.
+iuad::Status FdatasyncFd(int fd, const std::string& what);
+
+/// Opens `dir` read-only and fsyncs it so a just-created/renamed/unlinked
+/// directory entry is durable.
+iuad::Status FsyncDir(const std::string& dir);
+
+/// Parent directory of `path` ("." when path has no separator).
+std::string ParentDir(const std::string& path);
+
+/// Atomically replaces `path` with head+body: write `path`.tmp, fsync it,
+/// rename over `path`, fsync the parent directory. A crash at any point
+/// leaves either the old file or the new one, never a torn mix.
+iuad::Status WriteFileDurably(const std::string& path, const std::string& head,
+                              const std::string& body);
+
+/// fsyncs an already-written file by path (open read-only + fsync).
+iuad::Status FsyncPath(const std::string& path);
+
+/// Durable half of atomic replacement for files written by someone else
+/// (e.g. PaperDatabase::SaveTsv): fsync `tmp`, rename it over `path`,
+/// fsync the parent directory.
+iuad::Status PromoteTempFile(const std::string& tmp, const std::string& path);
+
+}  // namespace iuad::io
+
+#endif  // IUAD_IO_FSYNC_UTIL_H_

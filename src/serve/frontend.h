@@ -109,6 +109,20 @@ struct ServiceStats {
   /// breakdowns and deferral blame — populated once a commit breaches
   /// config.slow_commit_ms (DESIGN.md §8). Ordered slowest-first.
   std::vector<obs::SlowCommitExemplar> slow_commits;
+  // Durability (src/wal, DESIGN.md §9). All zero / -1 when serving without
+  // --wal-dir. Read live from the WAL instruments at Stats() call time, not
+  // epoch-bound — durability state is process liveness, like rss_mb.
+  int64_t wal_appended = 0;        ///< Commit attempts logged this session.
+  int64_t wal_fsyncs = 0;          ///< Group-commit fsync batches issued.
+  int64_t wal_bytes = 0;           ///< Record bytes written (excl. headers).
+  int64_t recovery_replayed = 0;   ///< Tail records replayed at startup.
+  /// Sequences covered by the last checkpoint (0 = none yet): everything
+  /// below this lives in the snapshot, everything at or above in segments.
+  int64_t wal_last_checkpoint_seq = 0;
+  /// Seconds since the last checkpoint committed; -1 when no checkpoint
+  /// exists (or no WAL). Alarms on this catch a stuck compactor.
+  double wal_last_checkpoint_age_s = -1.0;
+  double wal_fsync_wait_us_p99 = 0.0;  ///< p99 fsync stall seen by commits.
   std::vector<ShardHealth> shards;  ///< Per-shard breakdown; empty at 1.
 };
 

@@ -1,10 +1,13 @@
 #include "serve/ingest_service.h"
 
 #include <algorithm>
+#include <ctime>
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/memory.h"
+#include "wal/wal.h"
 
 namespace iuad::serve {
 
@@ -19,10 +22,11 @@ IngestService::Assignments StoppedError() {
 
 IngestService::IngestService(data::PaperDatabase* db,
                              core::DisambiguationResult* result,
-                             core::IuadConfig config)
+                             core::IuadConfig config, wal::Log* wal)
     : db_(db),
       result_(result),
       config_(std::move(config)),
+      wal_(wal),
       inc_(db, result, config_),
       timing_(config_.metrics_enabled),
       tracing_(config_.trace_enabled),
@@ -40,6 +44,19 @@ IngestService::IngestService(data::PaperDatabase* db,
       hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")),
       recorder_(&obs::FlightRecorder::Instance()),
       exemplars_(config_.trace_exemplars) {
+  if (wal_ != nullptr) {
+    // The WAL's instruments live in this frontend's registry so they land
+    // on every scrape surface for free. Cache the pointers: Stats() is
+    // const and cannot run registry lookups.
+    wal_->BindMetrics(&registry_);
+    ctr_wal_appended_ = registry_.GetCounter("wal_appended");
+    ctr_wal_fsyncs_ = registry_.GetCounter("wal_fsyncs");
+    ctr_wal_bytes_ = registry_.GetCounter("wal_bytes");
+    ctr_recovery_replayed_ = registry_.GetCounter("recovery_replayed");
+    gauge_wal_ckpt_seq_ = registry_.GetGauge("wal_last_checkpoint_seq");
+    gauge_wal_ckpt_ts_ = registry_.GetGauge("wal_last_checkpoint_timestamp");
+    hist_wal_fsync_wait_us_ = registry_.GetHistogram("wal_fsync_wait_us");
+  }
   PublishView();  // epoch 0: the pre-ingestion state, queryable immediately
   applier_ = std::thread([this] { ApplierLoop(); });
 }
@@ -135,6 +152,13 @@ void IngestService::ApplierLoop() {
       // The applier is the sole mutator of db/result; readers only see
       // published views, so no lock is held across the actual ingestion.
       Assignments applied = inc_.AddPaper(node.mapped().paper);
+      // Log the commit *attempt*, success or failure: ApplyDecisions may
+      // partially mutate on failure, so recovery must re-execute the exact
+      // attempt sequence (wal.h). AddPaper received the paper by const ref,
+      // so the submitted form (pre dense-id rewrite) is what gets logged —
+      // replay resubmits it identically. Buffered user-space; durability
+      // happens at the group-commit flush below.
+      if (wal_ != nullptr) wal_->Append(seq, node.mapped().paper);
       const int64_t applied_ns = stamps_ ? obs::NowNs() : 0;
       if (timing_) hist_apply_us_->RecordNs(applied_ns - extract_ns);
       if (tracing_) {
@@ -150,6 +174,32 @@ void IngestService::ApplierLoop() {
         ++since_publish_;
       } else {
         ctr_papers_failed_->Increment();
+      }
+      if (wal_ != nullptr) {
+        ++wal_since_checkpoint_;
+        // Checkpoint only when THIS apply succeeded and landed exactly on a
+        // similarity-refresh boundary (papers_ingested a multiple of the
+        // refresh interval ⇒ Refresh() just ran inside AddPaper): that is
+        // the one cache state a frontend freshly constructed from the
+        // checkpoint rebuilds bit-for-bit (wal.h file comment). A failed
+        // attempt may have mutated the graph after the last refresh, so it
+        // never anchors a checkpoint.
+        if (config_.wal_checkpoint_every_n > 0 && applied.ok() &&
+            wal_since_checkpoint_ >=
+                static_cast<int64_t>(config_.wal_checkpoint_every_n) &&
+            inc_.papers_ingested() % config_.incremental_refresh_interval ==
+                0) {
+          if (iuad::Status s =
+                  wal_->Checkpoint(*db_, *result_, config_, seq + 1);
+              s.ok()) {
+            wal_since_checkpoint_ = 0;
+          } else {
+            IUAD_LOG(kWarning)
+                << "WAL checkpoint failed (serving continues; log "
+                   "compaction is stalled): "
+                << s.message();
+          }
+        }
       }
       const bool publish = since_publish_ >= config_.ingest_refresh_window;
       if (publish) PublishView();
@@ -184,14 +234,32 @@ void IngestService::ApplierLoop() {
       apply_in_flight_ = false;
       ++next_apply_;
       if (publish) published_through_ = next_apply_;
+      const bool wal_idle =
+          wal_ != nullptr && pending_.count(next_apply_) == 0;
       admit_cv_.notify_all();
       applied_cv_.notify_all();
+      if (wal_ != nullptr) {
+        lock.unlock();
+        // Group commit: while loaded, fsync on the every-N / interval
+        // cadence so one fsync covers a window of commits; on the idle
+        // transition force the flush so a burst's last records never sit
+        // un-durable waiting for more traffic. Never under mu_ — producers
+        // must not block on an fsync.
+        if (wal_idle) {
+          (void)wal_->Flush();
+        } else {
+          wal_->MaybeFlush();
+        }
+      }
       continue;
     }
 
     if (drain_waiters_ > 0 && published_through_ < next_apply_) {
       const uint64_t through = next_apply_;
       lock.unlock();
+      // Drain's contract includes durability: everything applied before the
+      // drain point is on disk when Drain() returns.
+      if (wal_ != nullptr) (void)wal_->Flush();
       PublishView();
       lock.lock();
       published_through_ = through;
@@ -207,6 +275,7 @@ void IngestService::ApplierLoop() {
     for (auto& [seq, req] : stranded) {
       req.promise.set_value(StoppedError());
     }
+    if (wal_ != nullptr) (void)wal_->Flush();  // Stop leaves nothing buffered
     PublishView();  // final epoch: the fully-applied state
     lock.lock();
     published_through_ = next_apply_;
@@ -318,6 +387,20 @@ ServiceStats IngestService::Stats() const {
   stats.uptime_seconds =
       static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
   stats.slow_commits = exemplars_.Snapshot();
+  if (wal_ != nullptr) {
+    stats.wal_appended = ctr_wal_appended_->Value();
+    stats.wal_fsyncs = ctr_wal_fsyncs_->Value();
+    stats.wal_bytes = ctr_wal_bytes_->Value();
+    stats.recovery_replayed = ctr_recovery_replayed_->Value();
+    stats.wal_last_checkpoint_seq = gauge_wal_ckpt_seq_->Value();
+    const int64_t ckpt_ts = gauge_wal_ckpt_ts_->Value();
+    stats.wal_last_checkpoint_age_s =
+        ckpt_ts > 0
+            ? static_cast<double>(std::time(nullptr) - ckpt_ts)
+            : -1.0;
+    stats.wal_fsync_wait_us_p99 =
+        hist_wal_fsync_wait_us_->Snapshot().PercentileUs(99.0);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // Everything buffered beyond the contiguous run from the next consumable

@@ -60,6 +60,10 @@
 #include "serve/frontend.h"
 #include "util/status.h"
 
+namespace iuad::wal {
+class Log;
+}  // namespace iuad::wal
+
 namespace iuad::serve {
 
 /// MPSC ingestion + concurrent read service over one disambiguation
@@ -68,8 +72,15 @@ class IngestService : public Frontend {
  public:
   /// Starts the applier thread. `config` must already Validate() OK; the
   /// queue capacity / refresh window knobs are read from it (see config.h).
+  ///
+  /// `wal`, when non-null, is an opened wal::Log (caller-owned, must
+  /// outlive the service) the applier logs every commit attempt into at
+  /// its global sequence, flushing on the group-commit cadence and on idle
+  /// transitions, and — when config.wal_checkpoint_every_n > 0 —
+  /// checkpointing at similarity-refresh boundaries (DESIGN.md §9). The
+  /// service binds the WAL's instruments into its own registry.
   IngestService(data::PaperDatabase* db, core::DisambiguationResult* result,
-                core::IuadConfig config);
+                core::IuadConfig config, wal::Log* wal = nullptr);
 
   /// Stops accepting work, applies everything already admitted, joins the
   /// applier. Outstanding futures all complete.
@@ -132,7 +143,10 @@ class IngestService : public Frontend {
   data::PaperDatabase* db_;
   core::DisambiguationResult* result_;
   core::IuadConfig config_;
+  wal::Log* wal_;  ///< Null when serving without durability.
   core::IncrementalDisambiguator inc_;
+  /// Commit attempts since the last WAL checkpoint (applier-owned).
+  int64_t wal_since_checkpoint_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable admit_cv_;    ///< Producers waiting on the window.
@@ -182,6 +196,16 @@ class IngestService : public Frontend {
   obs::Histogram* hist_publish_us_;
   obs::Histogram* hist_commit_latency_us_;
   obs::FlightRecorder* recorder_;  ///< The process-wide flight recorder.
+  /// WAL instruments, cached at construction so const Stats() can read
+  /// their values without touching the (non-const) registry lookup. All
+  /// null when wal_ is null.
+  obs::Counter* ctr_wal_appended_ = nullptr;
+  obs::Counter* ctr_wal_fsyncs_ = nullptr;
+  obs::Counter* ctr_wal_bytes_ = nullptr;
+  obs::Counter* ctr_recovery_replayed_ = nullptr;
+  obs::Gauge* gauge_wal_ckpt_seq_ = nullptr;
+  obs::Gauge* gauge_wal_ckpt_ts_ = nullptr;
+  obs::Histogram* hist_wal_fsync_wait_us_ = nullptr;
   /// Top-K slowest commits (config.trace_exemplars); offered to only on
   /// the already-slow path, surfaced through Stats().
   obs::ExemplarTable exemplars_;

@@ -1,11 +1,14 @@
 #include "shard/shard_router.h"
 
 #include <algorithm>
+#include <ctime>
 #include <unordered_map>
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/memory.h"
+#include "wal/wal.h"
 
 namespace iuad::shard {
 
@@ -20,10 +23,11 @@ ShardRouter::Assignments StoppedError() {
 
 ShardRouter::ShardRouter(data::PaperDatabase* db,
                          core::DisambiguationResult* result,
-                         core::IuadConfig config)
+                         core::IuadConfig config, wal::Log* wal)
     : db_(db),
       result_(result),
       config_(std::move(config)),
+      wal_(wal),
       placement_(BlockPlacement::Build(result->graph, config_.num_shards,
                                        config_.shard_placement)),
       timing_(config_.metrics_enabled),
@@ -51,6 +55,18 @@ ShardRouter::ShardRouter(data::PaperDatabase* db,
       hist_commit_latency_us_(registry_.GetHistogram("commit_latency_us")),
       recorder_(&obs::FlightRecorder::Instance()),
       exemplars_(config_.trace_exemplars) {
+  if (wal_ != nullptr) {
+    // WAL instruments live in the router's registry (one scrape surface);
+    // pointers cached because Stats() is const.
+    wal_->BindMetrics(&registry_);
+    ctr_wal_appended_ = registry_.GetCounter("wal_appended");
+    ctr_wal_fsyncs_ = registry_.GetCounter("wal_fsyncs");
+    ctr_wal_bytes_ = registry_.GetCounter("wal_bytes");
+    ctr_recovery_replayed_ = registry_.GetCounter("recovery_replayed");
+    gauge_wal_ckpt_seq_ = registry_.GetGauge("wal_last_checkpoint_seq");
+    gauge_wal_ckpt_ts_ = registry_.GetGauge("wal_last_checkpoint_timestamp");
+    hist_wal_fsync_wait_us_ = registry_.GetHistogram("wal_fsync_wait_us");
+  }
   shards_.resize(static_cast<size_t>(placement_.num_shards()));
   hist_shard_scatter_us_.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -219,6 +235,35 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
   // check, promise, frontier advance, wakeups.
   for (InFlight& w : window) {
     Assignments applied = CommitPaper(&w);
+    if (wal_ != nullptr) {
+      // Log the commit *attempt*, success or failure (a failed apply may
+      // have written blocks — replay must re-execute the exact attempt
+      // sequence). w.paper is the submitted form: CommitPaper reads it by
+      // reference and never consumes it. Buffered; the fsync is group-
+      // committed across the window at the end of RunWindow.
+      wal_->Append(w.seq, w.paper);
+      ++wal_since_checkpoint_;
+      // Checkpoint only when THIS apply succeeded and triggered the shard
+      // refresh (since_refresh_ just reset): the one cache state a freshly
+      // constructed router rebuilds bit-for-bit (wal.h). The window cap
+      // pins refreshes to a window's last paper, so a checkpoint can only
+      // fire there — it never stalls mid-window.
+      if (config_.wal_checkpoint_every_n > 0 && applied.ok() &&
+          since_refresh_ == 0 &&
+          wal_since_checkpoint_ >=
+              static_cast<int64_t>(config_.wal_checkpoint_every_n)) {
+        if (iuad::Status s =
+                wal_->Checkpoint(*db_, *result_, config_, w.seq + 1);
+            s.ok()) {
+          wal_since_checkpoint_ = 0;
+        } else {
+          IUAD_LOG(kWarning)
+              << "WAL checkpoint failed (serving continues; log "
+                 "compaction is stalled): "
+              << s.message();
+        }
+      }
+    }
     const bool publish = since_publish_ >= config_.ingest_refresh_window;
     const int64_t publish_start_ns = stamps_ ? obs::NowNs() : 0;
     if (publish) PublishView();
@@ -264,6 +309,23 @@ void ShardRouter::RunWindow(std::vector<InFlight> window) {
     if (publish) published_through_ = next_apply_;
     admit_cv_.notify_all();
     applied_cv_.notify_all();
+  }
+  if (wal_ != nullptr) {
+    // Group commit at window granularity: one fsync can cover the whole
+    // window's records when the cadence fires; on the idle transition
+    // (nothing consumable queued) force the flush so a burst's tail never
+    // sits un-durable. Never under mu_ — producers must not block on an
+    // fsync.
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      idle = pending_.count(next_apply_) == 0;
+    }
+    if (idle) {
+      (void)wal_->Flush();
+    } else {
+      wal_->MaybeFlush();
+    }
   }
 }
 
@@ -533,6 +595,9 @@ void ShardRouter::RouterLoop() {
     if (drain_waiters_ > 0 && published_through_ < next_apply_) {
       const uint64_t through = next_apply_;
       lock.unlock();
+      // Drain's contract includes durability: everything applied before
+      // the drain point is on disk when Drain() returns.
+      if (wal_ != nullptr) (void)wal_->Flush();
       PublishView();
       lock.lock();
       published_through_ = through;
@@ -548,6 +613,7 @@ void ShardRouter::RouterLoop() {
     for (auto& [seq, req] : stranded) {
       req.promise.set_value(StoppedError());
     }
+    if (wal_ != nullptr) (void)wal_->Flush();  // Stop leaves nothing buffered
     PublishView();
     lock.lock();
     published_through_ = next_apply_;
@@ -673,6 +739,20 @@ serve::ServiceStats ShardRouter::Stats() const {
   stats.uptime_seconds =
       static_cast<double>(obs::NowNs() - start_ns_) / 1e9;
   stats.slow_commits = exemplars_.Snapshot();
+  if (wal_ != nullptr) {
+    stats.wal_appended = ctr_wal_appended_->Value();
+    stats.wal_fsyncs = ctr_wal_fsyncs_->Value();
+    stats.wal_bytes = ctr_wal_bytes_->Value();
+    stats.recovery_replayed = ctr_recovery_replayed_->Value();
+    stats.wal_last_checkpoint_seq = gauge_wal_ckpt_seq_->Value();
+    const int64_t ckpt_ts = gauge_wal_ckpt_ts_->Value();
+    stats.wal_last_checkpoint_age_s =
+        ckpt_ts > 0
+            ? static_cast<double>(std::time(nullptr) - ckpt_ts)
+            : -1.0;
+    stats.wal_fsync_wait_us_p99 =
+        hist_wal_fsync_wait_us_->Snapshot().PercentileUs(99.0);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   stats.queued_now = static_cast<int>(pending_.size());
   // See IngestService::Stats: the contiguous run starts after the in-flight

@@ -89,6 +89,10 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+namespace iuad::wal {
+class Log;
+}  // namespace iuad::wal
+
 namespace iuad::shard {
 
 /// Name-block-sharded MPSC ingestion + concurrent read service: the
@@ -100,8 +104,15 @@ class ShardRouter : public serve::Frontend {
   /// knobs are read from it. `db` and `result` are caller-owned, must
   /// outlive the router, and are exclusively the router's until
   /// Stop()/destruction.
+  ///
+  /// `wal`, when non-null, is an opened wal::Log (caller-owned, outliving
+  /// the router) the router thread logs every commit attempt into,
+  /// group-committing the fsync across each pipelined window and — when
+  /// config.wal_checkpoint_every_n > 0 — checkpointing at shard-refresh
+  /// boundaries, which the window cap pins to window boundaries
+  /// (DESIGN.md §9).
   ShardRouter(data::PaperDatabase* db, core::DisambiguationResult* result,
-              core::IuadConfig config);
+              core::IuadConfig config, wal::Log* wal = nullptr);
 
   /// Stops accepting work, applies everything admitted, joins the router.
   ~ShardRouter() override;
@@ -221,6 +232,9 @@ class ShardRouter : public serve::Frontend {
   data::PaperDatabase* db_;
   core::DisambiguationResult* result_;
   core::IuadConfig config_;
+  wal::Log* wal_;  ///< Null when serving without durability.
+  /// Commit attempts since the last WAL checkpoint (router-thread-owned).
+  int64_t wal_since_checkpoint_ = 0;
   BlockPlacement placement_;
   std::vector<Shard> shards_;
   /// Scatter pool: one slot per shard; the router thread doubles as
@@ -288,6 +302,15 @@ class ShardRouter : public serve::Frontend {
   /// Per-shard scatter-task latency ("shard<i>_scatter_us"): how long each
   /// shard's slice of a window took — the skew signal for placement.
   std::vector<obs::Histogram*> hist_shard_scatter_us_;
+  /// WAL instruments, cached at construction so const Stats() can read
+  /// values without the (non-const) registry lookup. Null when wal_ is.
+  obs::Counter* ctr_wal_appended_ = nullptr;
+  obs::Counter* ctr_wal_fsyncs_ = nullptr;
+  obs::Counter* ctr_wal_bytes_ = nullptr;
+  obs::Counter* ctr_recovery_replayed_ = nullptr;
+  obs::Gauge* gauge_wal_ckpt_seq_ = nullptr;
+  obs::Gauge* gauge_wal_ckpt_ts_ = nullptr;
+  obs::Histogram* hist_wal_fsync_wait_us_ = nullptr;
   obs::FlightRecorder* recorder_;  ///< The process-wide flight recorder.
   /// Top-K slowest commits (config.trace_exemplars); offered to only on
   /// the already-slow path, surfaced through Stats().

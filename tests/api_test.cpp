@@ -344,6 +344,16 @@ Response RandomResponse(std::mt19937_64* rng) {
           std::uniform_int_distribution<int>(0, 64000)(*rng) / 8.0;
       r.stats.uptime_seconds =
           std::uniform_int_distribution<int>(0, 1 << 20)(*rng) / 16.0;
+      r.stats.wal_appended = RandomInt(rng);
+      r.stats.wal_fsyncs = RandomInt(rng);
+      r.stats.wal_bytes = RandomInt(rng);
+      r.stats.recovery_replayed = RandomInt(rng);
+      r.stats.wal_last_checkpoint_seq = RandomInt(rng);
+      // Includes the no-checkpoint sentinel (-1) and fractional ages.
+      r.stats.wal_last_checkpoint_age_s =
+          std::uniform_int_distribution<int>(-8, 1 << 20)(*rng) / 8.0;
+      r.stats.wal_fsync_wait_us_p99 =
+          std::uniform_int_distribution<int>(0, 1 << 20)(*rng) / 16.0;
       const size_t exemplars = small(*rng);
       for (size_t e = 0; e < exemplars; ++e) {
         obs::SlowCommitExemplar ex;
